@@ -1,0 +1,72 @@
+// Figures 11-13 reproduction: ratio of estimated to actual RTT for NACK
+// senders at each level of the Figure 10 hierarchy (receiver 3 = mesh,
+// 25 = middle, 36 = leaf). The paper sends fake NACKs at regular times and
+// plots the per-receiver estimate/actual ratio; >50% of receivers land
+// within a few percent, and estimates improve over successive
+// measurements (EWMA).
+#include <algorithm>
+#include <cstdio>
+
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "stats/report.hpp"
+#include "stats/time_series.hpp"
+#include "topo/figure10.hpp"
+
+using namespace sharq;
+
+int main() {
+  sim::Simulator simu(20260705);
+  net::Network net(simu);
+  topo::Figure10 topo = topo::make_figure10(net);
+  sfq::Config cfg;
+  sfq::Session s(net, topo.source, topo.receivers, cfg);
+  s.start();
+
+  std::printf("Figures 11-13: estimated/actual RTT ratio for NACK senders\n");
+  std::printf("(sender 3 = mesh level, 25 = middle level, 36 = leaf level)\n\n");
+
+  const std::vector<net::NodeId> senders{3, 25, 36};
+  // Measurement epochs: like the paper, repeated probes at regular times;
+  // early epochs may see an unconverged hierarchy.
+  const std::vector<double> epochs{8.0, 12.0, 16.0, 24.0, 40.0};
+  for (net::NodeId sender : senders) {
+    std::printf("# sender %d (figure %s)\n", sender,
+                sender == 3 ? "11" : sender == 25 ? "12" : "13");
+    std::printf("# t  median-ratio  p10  p90  frac-within-5%%  no-estimate\n");
+    for (double t : epochs) {
+      simu.run_until(t);
+      auto hints = s.agent_for(sender).session().make_hints();
+      std::vector<double> ratios;
+      int missing = 0;
+      for (net::NodeId r : topo.receivers) {
+        if (r == sender) continue;
+        const double actual = 2.0 * net.path_delay(r, sender);
+        const double est =
+            2.0 * s.agent_for(r).session().estimate_dist(sender, hints);
+        if (est <= 0.0) {
+          ++missing;
+          continue;
+        }
+        ratios.push_back(est / actual);
+      }
+      std::sort(ratios.begin(), ratios.end());
+      auto q = [&](double p) {
+        return ratios[static_cast<std::size_t>(p * (ratios.size() - 1))];
+      };
+      const double within = static_cast<double>(std::count_if(
+                                ratios.begin(), ratios.end(), [](double x) {
+                                  return x >= 0.95 && x <= 1.05;
+                                })) /
+                            static_cast<double>(ratios.size());
+      std::printf("%5.1f  %.3f  %.3f  %.3f  %.2f  %d\n", t, q(0.5), q(0.1),
+                  q(0.9), within, missing);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper's claim: >50%% of receivers estimate within a few percent, and\n"
+      "early inaccuracies (suboptimal initial ZCRs) decay over successive\n"
+      "measurements. Compare the frac-within-5%% column across epochs.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 16 reproduction: SHARQFEC(ns,ni) vs SHARQFEC(ns) -- both without
+// scoping; the first also without preemptive injection. Paper finding:
+// letting every receiver send repairs (vs sender-only, Fig 14) hurts
+// suppression; turning on source injection wins some of it back.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace sharq::bench;
+
+int main() {
+  Workload w;
+  RunResult ns_ni = run_sharqfec(sharqfec_ns_ni(), w, "SHARQFEC(ns,ni)");
+  RunResult ns = run_sharqfec(sharqfec_ns(), w, "SHARQFEC(ns)");
+
+  std::printf(
+      "Figure 16: mean data+repair packets per receiver per 0.1 s\n"
+      "SHARQFEC(ns,ni) = no scoping, no injection, peer repairs\n"
+      "SHARQFEC(ns)    = no scoping, source injection on\n");
+  print_two_series("ns,ni", ns_ni.data_repair_series(), "ns",
+                   ns.data_repair_series());
+  std::printf("\nSummary\n");
+  print_summary({&ns_ni, &ns});
+  return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "rm/delivery_log.hpp"
+#include "sharqfec/config.hpp"
+#include "sim/simulator.hpp"
+#include "srm/agent.hpp"
+#include "stats/traffic_recorder.hpp"
+#include "topo/figure10.hpp"
+
+namespace sharq::bench {
+
+/// The paper's §6.2 workload: 1024 x 1000-byte packets at 800 kbit/s,
+/// groups of 16, session traffic from t=1 s, data from t=6 s.
+struct Workload {
+  std::uint32_t packets = 1024;
+  int packet_size = 1000;
+  double rate_bps = 800e3;
+  sim::Time session_start = 1.0;  // implicit: agents start at t=0-ish
+  sim::Time data_start = 6.0;
+  sim::Time run_until = 45.0;
+  std::uint64_t seed = 20260705;
+};
+
+/// Everything the figure benches need from one protocol run.
+struct RunResult {
+  std::string label;
+  std::unique_ptr<stats::TrafficRecorder> recorder;
+  std::vector<net::NodeId> receivers;
+  net::NodeId source = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t repairs_sent = 0;
+  std::uint64_t session_msgs = 0;
+  int incomplete_receivers = 0;
+  double mean_recovery_latency = 0.0;
+
+  /// Mean per-receiver deliveries of data+repair per 0.1 s bin.
+  std::vector<double> data_repair_series() const;
+  /// Mean per-receiver NACK deliveries per 0.1 s bin.
+  std::vector<double> nack_series() const;
+  /// Data+repair deliveries at the source per 0.1 s bin.
+  std::vector<double> source_data_repair_series() const;
+  /// NACK deliveries at the source per 0.1 s bin.
+  std::vector<double> source_nack_series() const;
+  /// Data+repair transmissions on the backbone links adjacent to the
+  /// source per 0.1 s bin (the core traffic Figure 20 plots).
+  std::vector<double> backbone_data_repair_series() const;
+  /// NACK transmissions on those links (Figure 21).
+  std::vector<double> backbone_nack_series() const;
+};
+
+/// Run SHARQFEC (or an ablated variant) on the Figure 10 topology.
+RunResult run_sharqfec(const sfq::Config& cfg, const Workload& w,
+                       const std::string& label);
+
+/// Run the SRM baseline on the Figure 10 topology.
+RunResult run_srm(const srm::Config& cfg, const Workload& w,
+                  const std::string& label);
+
+/// The paper's variant labels.
+sfq::Config sharqfec_full();
+sfq::Config sharqfec_ns();        // no scoping
+sfq::Config sharqfec_ns_ni();     // no scoping, no injection
+sfq::Config sharqfec_ni();        // no injection
+sfq::Config sharqfec_ns_ni_so();  // ECSRM-like
+
+/// Print two series side by side: t, a, b (0.1 s bins).
+void print_two_series(const std::string& ta, const std::vector<double>& a,
+                      const std::string& tb, const std::vector<double>& b);
+
+/// Print run-level summary counters for a set of runs.
+void print_summary(const std::vector<const RunResult*>& runs);
+
+}  // namespace sharq::bench

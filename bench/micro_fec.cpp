@@ -1,0 +1,83 @@
+// Micro-benchmarks for the FEC substrate (google-benchmark): GF(256)
+// multiply-accumulate, Reed-Solomon parity generation, and worst-case
+// decode (all data shards erased). Also sweeps group size k, the knob
+// DESIGN.md flags as ablation #2.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "fec/group_codec.hpp"
+#include "fec/reed_solomon.hpp"
+
+namespace {
+
+std::vector<std::vector<std::uint8_t>> make_shards(int k, int size) {
+  std::mt19937 rng(1234);
+  std::vector<std::vector<std::uint8_t>> out(k);
+  for (auto& s : out) {
+    s.resize(size);
+    for (auto& b : s) b = rng() & 0xff;
+  }
+  return out;
+}
+
+void BM_Gf256MulAdd(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<std::uint8_t> dst(n, 0x55), src(n, 0xAA);
+  for (auto _ : state) {
+    sharq::fec::GF256::mul_add(dst.data(), src.data(), 0xC3, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Gf256MulAdd)->Arg(1000)->Arg(16000);
+
+void BM_RsEncodeParity(benchmark::State& state) {
+  const int k = state.range(0);
+  sharq::fec::ReedSolomon rs(k, k);
+  auto data = make_shards(k, 1000);
+  int idx = k;
+  for (auto _ : state) {
+    auto parity = rs.encode_parity(idx, data);
+    benchmark::DoNotOptimize(parity.data());
+    idx = k + (idx + 1 - k) % k;
+  }
+  state.SetBytesProcessed(state.iterations() * 1000 * k);
+}
+BENCHMARK(BM_RsEncodeParity)->Arg(4)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RsDecodeAllParity(benchmark::State& state) {
+  const int k = state.range(0);
+  sharq::fec::ReedSolomon rs(k, k);
+  auto data = make_shards(k, 1000);
+  std::vector<sharq::fec::ReedSolomon::Shard> shards;
+  for (int i = k; i < 2 * k; ++i) {
+    shards.push_back({i, rs.encode_parity(i, data)});
+  }
+  for (auto _ : state) {
+    auto out = rs.decode(shards);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 1000 * k);
+}
+BENCHMARK(BM_RsDecodeAllParity)->Arg(4)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GroupRoundTrip(benchmark::State& state) {
+  const int k = state.range(0);
+  auto codec = std::make_shared<sharq::fec::ReedSolomon>(k, k);
+  auto data = make_shards(k, 1000);
+  sharq::fec::GroupEncoder enc(codec, data);
+  for (auto _ : state) {
+    sharq::fec::GroupDecoder dec(codec);
+    // Lose a quarter of the data; fill from parity.
+    for (int i = k / 4; i < k; ++i) dec.add(i, enc.shard(i));
+    for (int i = k; i < k + k / 4; ++i) dec.add(i, enc.shard(i));
+    auto out = dec.reconstruct();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GroupRoundTrip)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

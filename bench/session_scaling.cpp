@@ -1,0 +1,84 @@
+// Session-traffic scaling (extension of Figure 8): measure — not just
+// analyze — the session bytes each receiver handles per second under
+// (a) SHARQFEC's scoped session management and (b) a flat single-zone
+// session (the O(n^2) regime SRM-style protocols live in), for growing
+// session sizes on the national-hierarchy topology.
+#include <cstdio>
+
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "stats/report.hpp"
+#include "stats/traffic_recorder.hpp"
+#include "topo/national.hpp"
+
+using namespace sharq;
+
+namespace {
+
+struct Sample {
+  int receivers = 0;
+  double scoped_bytes_per_rx_s = 0;
+  double flat_bytes_per_rx_s = 0;
+};
+
+double run_case(int regions, int cities, int suburbs, int subs, bool scoped,
+                int* receivers_out) {
+  sim::Simulator simu(5);
+  net::Network net(simu);
+  topo::NationalParams p;
+  p.regions = regions;
+  p.cities_per_region = cities;
+  p.suburbs_per_city = suburbs;
+  p.subscribers_per_suburb = subs;
+  p.access_loss = 0.0;
+  topo::National nat = topo::make_national(net, p);
+  std::vector<net::NodeId> receivers;
+  for (auto v : {&nat.region_caches, &nat.city_caches, &nat.suburb_hubs,
+                 &nat.subscribers}) {
+    receivers.insert(receivers.end(), v->begin(), v->end());
+  }
+  *receivers_out = static_cast<int>(receivers.size());
+  stats::TrafficRecorder rec(net.node_count(), 1.0);
+  net.set_sink(&rec);
+  sfq::Config cfg;
+  cfg.scoping = scoped;
+  sfq::Session s(net, nat.source, receivers, cfg);
+  s.start();
+  const double kWindow = 20.0;
+  simu.run_until(5.0 + kWindow);
+  // Session bytes delivered per receiver per second, steady state.
+  double pkts = 0;
+  for (net::NodeId r : receivers) {
+    pkts += rec.node_total(r, net::TrafficClass::kSession);
+  }
+  (void)pkts;
+  return static_cast<double>(rec.bytes_delivered()) /
+         static_cast<double>(receivers.size()) / (kWindow + 5.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Session traffic scaling: scoped vs flat (measured)\n");
+  std::printf("National hierarchy shapes; session-only runs (no data)\n\n");
+  stats::Table t({"receivers", "scoped B/rx/s", "flat B/rx/s", "ratio"});
+  struct Shape {
+    int r, c, s, u;
+  };
+  for (const Shape sh : {Shape{2, 2, 2, 2}, Shape{2, 3, 3, 3},
+                         Shape{3, 4, 3, 4}, Shape{3, 4, 4, 6}}) {
+    int n = 0;
+    const double scoped = run_case(sh.r, sh.c, sh.s, sh.u, true, &n);
+    const double flat = run_case(sh.r, sh.c, sh.s, sh.u, false, &n);
+    t.add_row({std::to_string(n), stats::Table::num(scoped, 1),
+               stats::Table::num(flat, 1),
+               stats::Table::num(flat / scoped, 2)});
+  }
+  t.print();
+  std::printf(
+      "\nFlat sessions grow as O(n^2) total (every member echoes every\n"
+      "other); scoped sessions grow with the sum of squared zone sizes.\n"
+      "The ratio widens with scale — at the paper's 10M receivers it is\n"
+      "~10^6 (Figure 8).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Protocol face-off: SRM vs the ECSRM-like hybrid vs full SHARQFEC on one
+// shared workload — the comparison the paper's evaluation builds up to,
+// in a single runnable program.
+#include <cstdio>
+
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "srm/session.hpp"
+#include "stats/report.hpp"
+#include "stats/traffic_recorder.hpp"
+#include "topo/figure10.hpp"
+
+using namespace sharq;
+
+namespace {
+
+struct Outcome {
+  std::string name;
+  std::uint64_t nacks = 0;
+  std::uint64_t repairs = 0;
+  double rx_packets_per_receiver = 0;
+  double backbone_nacks = 0;
+  int incomplete = 0;
+};
+
+Outcome run_srm_case() {
+  sim::Simulator simu(7);
+  net::Network net(simu);
+  topo::Figure10 topo = topo::make_figure10(net);
+  stats::TrafficRecorder rec(net.node_count(), 0.1);
+  net.set_sink(&rec);
+  rm::DeliveryLog log;
+  srm::Config cfg;
+  srm::Session s(net, topo.source, topo.receivers, cfg, &log);
+  s.start();
+  s.send_stream(512, 6.0);
+  simu.run_until(40.0);
+  Outcome o;
+  o.name = "SRM (adaptive timers)";
+  for (auto& a : s.agents()) {
+    o.nacks += a->requests_sent();
+    o.repairs += a->repairs_sent();
+  }
+  double rx = 0;
+  for (net::NodeId r : topo.receivers) {
+    rx += rec.node_total(r, net::TrafficClass::kData) +
+          rec.node_total(r, net::TrafficClass::kRepair);
+    o.incomplete += log.complete(r, 512) ? 0 : 1;
+  }
+  o.rx_packets_per_receiver = rx / 112.0;
+  o.backbone_nacks = rec.node_total(topo.source, net::TrafficClass::kNack);
+  return o;
+}
+
+Outcome run_sfq_case(bool scoped, const char* name) {
+  sim::Simulator simu(7);
+  net::Network net(simu);
+  topo::Figure10 topo = topo::make_figure10(net);
+  stats::TrafficRecorder rec(net.node_count(), 0.1);
+  net.set_sink(&rec);
+  rm::DeliveryLog log;
+  sfq::Config cfg;
+  if (!scoped) {
+    cfg.scoping = false;
+    cfg.injection = false;
+    cfg.sender_only = true;  // ECSRM-like
+  }
+  sfq::Session s(net, topo.source, topo.receivers, cfg, &log);
+  s.start();
+  s.send_stream(32, 6.0);  // 512 packets in groups of 16
+  simu.run_until(40.0);
+  Outcome o;
+  o.name = name;
+  for (auto& a : s.agents()) {
+    o.nacks += a->transfer().nacks_sent();
+    o.repairs += a->transfer().repairs_sent();
+  }
+  double rx = 0;
+  for (net::NodeId r : topo.receivers) {
+    rx += rec.node_total(r, net::TrafficClass::kData) +
+          rec.node_total(r, net::TrafficClass::kRepair);
+    o.incomplete += log.complete(r, 32) ? 0 : 1;
+  }
+  o.rx_packets_per_receiver = rx / 112.0;
+  o.backbone_nacks = rec.node_total(topo.source, net::TrafficClass::kNack);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Protocol face-off: 512 x 1000 B packets @ 800 kbit/s on the "
+              "Figure 10 topology\n(13-28%% compounded loss at the leaves)\n\n");
+  Outcome srm_o = run_srm_case();
+  Outcome ecsrm_o = run_sfq_case(false, "Hybrid ARQ/FEC (ECSRM-like)");
+  Outcome sfq_o = run_sfq_case(true, "SHARQFEC (scoped + injection)");
+
+  stats::Table t({"protocol", "NACKs sent", "repairs sent",
+                  "pkts/receiver", "NACKs at source", "incomplete"});
+  for (const Outcome& o : {srm_o, ecsrm_o, sfq_o}) {
+    t.add_row({o.name, std::to_string(o.nacks), std::to_string(o.repairs),
+               stats::Table::num(o.rx_packets_per_receiver, 0),
+               stats::Table::num(o.backbone_nacks, 0),
+               std::to_string(o.incomplete)});
+  }
+  t.print();
+  std::printf(
+      "\nReading: SRM floods requests/repairs globally; the flat hybrid\n"
+      "suppresses with counts+FEC; SHARQFEC additionally confines both to\n"
+      "the zones that need them, keeping the source's neighborhood quiet.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Plot the time series the bench binaries print.
+
+The figure benches emit blocks of the form
+
+    # t  <labelA>  <labelB>
+    6.0  3.161  3.161
+    6.1  7.839  7.839
+    ...
+
+Pipe one through this script (requires matplotlib; falls back to a
+text-mode sparkline when it is unavailable):
+
+    build/bench/fig17_scoping | scripts/plot_series.py -o fig17.png
+"""
+import argparse
+import sys
+
+
+def parse_blocks(lines):
+    """Yield (labels, rows) for each '# t ...' block found."""
+    labels, rows = None, []
+    for line in lines:
+        line = line.strip()
+        if line.startswith("# t"):
+            if labels and rows:
+                yield labels, rows
+            labels, rows = line[3:].split(), []
+            continue
+        if labels is None or not line:
+            if labels and rows:
+                yield labels, rows
+                labels, rows = None, []
+            continue
+        parts = line.split()
+        try:
+            rows.append([float(x) for x in parts])
+        except ValueError:
+            if labels and rows:
+                yield labels, rows
+            labels, rows = None, []
+    if labels and rows:
+        yield labels, rows
+
+
+def sparkline(values, width=72):
+    """Text fallback: one coarse sparkline per series."""
+    marks = " .:-=+*#%@"
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    top = max(sampled) or 1.0
+    return "".join(marks[min(int(v / top * (len(marks) - 1)), len(marks) - 1)]
+                   for v in sampled)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("-o", "--output", help="write a PNG instead of showing")
+    ap.add_argument("file", nargs="?", help="input file (default: stdin)")
+    args = ap.parse_args()
+    lines = open(args.file).readlines() if args.file else sys.stdin.readlines()
+
+    blocks = list(parse_blocks(lines))
+    if not blocks:
+        print("no '# t ...' series blocks found", file=sys.stderr)
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg" if args.output else matplotlib.get_backend())
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for labels, rows in blocks:
+            print(f"series: {' vs '.join(labels)}")
+            for i, label in enumerate(labels):
+                vals = [r[i + 1] for r in rows if len(r) > i + 1]
+                print(f"  {label:>12} |{sparkline(vals)}|  peak={max(vals):.1f}")
+        return 0
+
+    fig, axes = plt.subplots(len(blocks), 1, figsize=(10, 4 * len(blocks)),
+                             squeeze=False)
+    for ax, (labels, rows) in zip((a for row in axes for a in row), blocks):
+        t = [r[0] for r in rows]
+        for i, label in enumerate(labels):
+            ax.plot(t, [r[i + 1] if len(r) > i + 1 else 0 for r in rows],
+                    label=label, linewidth=1)
+        ax.set_xlabel("time (s)")
+        ax.set_ylabel("packets / 0.1 s")
+        ax.legend()
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if args.output:
+        fig.savefig(args.output, dpi=120)
+        print(f"wrote {args.output}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

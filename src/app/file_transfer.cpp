@@ -1,0 +1,73 @@
+#include "app/file_transfer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sharq::app {
+
+FileMulticast::FileMulticast(sfq::Session& session, const sfq::Config& cfg)
+    : session_(session), cfg_(cfg) {
+  if (!cfg.real_payload) {
+    throw std::invalid_argument(
+        "FileMulticast needs Config::real_payload = true");
+  }
+  group_bytes_ =
+      static_cast<std::size_t>(cfg_.group_size) * cfg_.shard_size_bytes;
+}
+
+std::uint32_t FileMulticast::send_file(std::vector<std::uint8_t> file,
+                                       sim::Time start_at) {
+  file_size_ = file.size();
+  groups_ = static_cast<std::uint32_t>((file.size() + group_bytes_ - 1) /
+                                       group_bytes_);
+  if (groups_ == 0) groups_ = 0;
+  session_.send_stream(groups_, start_at, std::move(file));
+  return groups_;
+}
+
+void FileMulticast::attach_receiver(net::NodeId node, Delegate delegate) {
+  ReceiverState st;
+  st.delegate = std::move(delegate);
+  receivers_[node] = std::move(st);
+  // Surface bytes whenever the next in-order group completes. Groups can
+  // complete out of order; pump() drains the contiguous prefix.
+  session_.agent_for(node).transfer().set_completion_callback(
+      [this, node](std::uint32_t) { pump(node); });
+}
+
+void FileMulticast::pump(net::NodeId node) {
+  auto it = receivers_.find(node);
+  if (it == receivers_.end()) return;
+  ReceiverState& st = it->second;
+  auto& transfer = session_.agent_for(node).transfer();
+  while (!st.done && st.next_group < groups_ &&
+         transfer.group_complete(st.next_group)) {
+    std::vector<std::uint8_t> bytes = transfer.reconstructed(st.next_group);
+    // Trim the final group's padding back to the true file size.
+    const std::uint64_t remaining = file_size_ - st.offset;
+    const std::size_t usable =
+        static_cast<std::size_t>(std::min<std::uint64_t>(bytes.size(),
+                                                         remaining));
+    if (usable > 0 && st.delegate.on_bytes) {
+      st.delegate.on_bytes(st.offset, bytes.data(), usable);
+    }
+    st.offset += usable;
+    ++st.next_group;
+    if (st.next_group == groups_ || st.offset == file_size_) {
+      st.done = true;
+      if (st.delegate.on_complete) st.delegate.on_complete();
+    }
+  }
+}
+
+std::uint64_t FileMulticast::bytes_delivered(net::NodeId node) const {
+  auto it = receivers_.find(node);
+  return it == receivers_.end() ? 0 : it->second.offset;
+}
+
+bool FileMulticast::file_complete(net::NodeId node) const {
+  auto it = receivers_.find(node);
+  return it != receivers_.end() && it->second.done;
+}
+
+}  // namespace sharq::app

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sharqfec/protocol.hpp"
+
+namespace sharq::app {
+
+/// Application-level reliable file multicast on top of SHARQFEC.
+///
+/// The transfer layer deals in fixed-size groups of shards; this wrapper
+/// deals in files: the sender takes an arbitrary byte buffer (padded to a
+/// whole number of groups on the wire, trimmed again on delivery), and
+/// each receiver surfaces a contiguous, in-order byte stream through a
+/// callback as soon as the prefix is decodable — even though groups may
+/// complete out of order under loss.
+class FileMulticast {
+ public:
+  /// Callbacks a receiver can register.
+  struct Delegate {
+    /// `data`/`size`: the next contiguous chunk, `offset`: its position.
+    std::function<void(std::uint64_t offset, const std::uint8_t* data,
+                       std::size_t size)>
+        on_bytes;
+    /// The whole file arrived.
+    std::function<void()> on_complete;
+  };
+
+  /// Wrap an existing session. `cfg.real_payload` must have been set on
+  /// the session's Config (the wrapper checks and refuses otherwise).
+  FileMulticast(sfq::Session& session, const sfq::Config& cfg);
+
+  /// Sender side: schedule `file` for transmission at `start_at`.
+  /// Returns the number of groups the file occupies on the wire.
+  std::uint32_t send_file(std::vector<std::uint8_t> file, sim::Time start_at);
+
+  /// Receiver side: register a delegate for `node`. Must be a receiver
+  /// that belongs to the wrapped session.
+  void attach_receiver(net::NodeId node, Delegate delegate);
+
+  /// Bytes of contiguous prefix delivered to `node` so far.
+  std::uint64_t bytes_delivered(net::NodeId node) const;
+
+  /// True once `node` received the whole file.
+  bool file_complete(net::NodeId node) const;
+
+  std::uint64_t file_size() const { return file_size_; }
+  std::uint32_t group_count() const { return groups_; }
+
+ private:
+  struct ReceiverState {
+    Delegate delegate;
+    std::uint32_t next_group = 0;   ///< first group not yet surfaced
+    std::uint64_t offset = 0;       ///< bytes surfaced so far
+    bool done = false;
+  };
+
+  void pump(net::NodeId node);
+
+  sfq::Session& session_;
+  sfq::Config cfg_;
+  std::uint64_t file_size_ = 0;
+  std::uint32_t groups_ = 0;
+  std::size_t group_bytes_ = 0;
+  std::unordered_map<net::NodeId, ReceiverState> receivers_;
+};
+
+}  // namespace sharq::app

@@ -1,0 +1,108 @@
+#include "fec/matrix.hpp"
+
+#include <cassert>
+
+namespace sharq::fec {
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(int rows, int cols) {
+  assert(rows <= 255 && "GF(256) Vandermonde limited to 255 rows");
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.at(r, c) = GF256::pow(GF256::alpha_pow(r), static_cast<unsigned>(c));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const Elem a = at(r, k);
+      if (a == 0) continue;
+      GF256::mul_add(out.row(r), other.row(k), a, other.cols_);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<int>& row_ids) const {
+  Matrix out(static_cast<int>(row_ids.size()), cols_);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    assert(row_ids[i] >= 0 && row_ids[i] < rows_);
+    for (int c = 0; c < cols_; ++c) {
+      out.at(static_cast<int>(i), c) = at(row_ids[i], c);
+    }
+  }
+  return out;
+}
+
+bool Matrix::invert() {
+  assert(rows_ == cols_);
+  const int n = rows_;
+  Matrix aug(n, 2 * n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) aug.at(r, c) = at(r, c);
+    aug.at(r, n + r) = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (aug.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < 2 * n; ++c) std::swap(aug.at(pivot, c), aug.at(col, c));
+    }
+    const Elem inv = GF256::inverse(aug.at(col, col));
+    GF256::scale(aug.row(col), inv, 2 * n);
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Elem factor = aug.at(r, col);
+      if (factor != 0) GF256::mul_add(aug.row(r), aug.row(col), factor, 2 * n);
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) at(r, c) = aug.at(r, n + c);
+  }
+  return true;
+}
+
+bool Matrix::reduce_to_identity_on(const std::vector<int>& lead) {
+  assert(static_cast<int>(lead.size()) == rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const int col = lead[i];
+    // Find a row at or below i with a nonzero entry in `col`.
+    int pivot = -1;
+    for (int r = i; r < rows_; ++r) {
+      if (at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != i) {
+      for (int c = 0; c < cols_; ++c) std::swap(at(pivot, c), at(i, c));
+    }
+    GF256::scale(row(i), GF256::inverse(at(i, col)), cols_);
+    for (int r = 0; r < rows_; ++r) {
+      if (r == i) continue;
+      const Elem factor = at(r, col);
+      if (factor != 0) GF256::mul_add(row(r), row(i), factor, cols_);
+    }
+  }
+  return true;
+}
+
+}  // namespace sharq::fec

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fec/gf256.hpp"
+
+namespace sharq::fec {
+
+/// Dense matrix over GF(2^8).
+///
+/// Sized for erasure coding (dimensions <= 255), so a simple row-major
+/// vector with O(n^3) Gauss-Jordan inversion is the right tool.
+class Matrix {
+ public:
+  using Elem = GF256::Elem;
+
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Elem& at(int r, int c) { return data_[r * cols_ + c]; }
+  Elem at(int r, int c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r.
+  Elem* row(int r) { return data_.data() + r * cols_; }
+  const Elem* row(int r) const { return data_.data() + r * cols_; }
+
+  /// The n x n identity.
+  static Matrix identity(int n);
+
+  /// Vandermonde matrix V[r][c] = alpha^(r*c), rows x cols.
+  /// Any `cols` rows of it are linearly independent when rows <= 255.
+  static Matrix vandermonde(int rows, int cols);
+
+  /// this * other. Precondition: cols() == other.rows().
+  Matrix multiply(const Matrix& other) const;
+
+  /// Extract a sub-matrix made of the given rows (all columns).
+  Matrix select_rows(const std::vector<int>& row_ids) const;
+
+  /// Invert in place via Gauss-Jordan. Returns false if singular.
+  bool invert();
+
+  /// Row-reduce so the columns listed in `lead` form an identity; helper
+  /// for building systematic generator matrices.
+  /// Returns false if the selected columns are not independent.
+  bool reduce_to_identity_on(const std::vector<int>& lead);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Elem> data_;
+};
+
+}  // namespace sharq::fec

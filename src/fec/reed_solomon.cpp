@@ -1,0 +1,99 @@
+#include "fec/reed_solomon.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sharq::fec {
+
+ReedSolomon::ReedSolomon(int k, int max_parity)
+    : k_(k), max_parity_(max_parity) {
+  if (k < 1 || max_parity < 0 || k + max_parity > 255) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k, k+parity <= 255");
+  }
+  // Start from an (n x k) Vandermonde matrix; any k rows are independent.
+  // Row-reduce on the first k rows' columns so data shards are systematic.
+  const int n = k + max_parity;
+  Matrix v = Matrix::vandermonde(n, k);
+  // Gauss-Jordan using the top k rows as pivots, applied to all n rows:
+  // equivalent to multiplying on the right by inverse(top-k block).
+  Matrix top(k, k);
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) top.at(r, c) = v.at(r, c);
+  }
+  const bool ok = top.invert();
+  assert(ok && "top Vandermonde block must be invertible");
+  (void)ok;
+  gen_ = v.multiply(top);
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode_parity(
+    int index, const std::vector<std::vector<std::uint8_t>>& data) const {
+  if (index < k_ || index >= max_shards()) {
+    throw std::out_of_range("encode_parity: index must be a parity index");
+  }
+  if (static_cast<int>(data.size()) != k_) {
+    throw std::invalid_argument("encode_parity: need exactly k data shards");
+  }
+  const std::size_t size = data.front().size();
+  std::vector<std::uint8_t> out(size, 0);
+  for (int c = 0; c < k_; ++c) {
+    if (data[c].size() != size) {
+      throw std::invalid_argument("encode_parity: shard sizes differ");
+    }
+    GF256::mul_add(out.data(), data[c].data(), gen_.at(index, c), size);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
+    const std::vector<Shard>& shards) const {
+  // Pick the first k distinct, in-range shards (prefer data shards: they
+  // come for free in a systematic code).
+  std::unordered_set<int> seen;
+  std::vector<const Shard*> picked;
+  picked.reserve(k_);
+  std::size_t size = 0;
+  auto consider = [&](const Shard& s, bool data_only) {
+    if (static_cast<int>(picked.size()) >= k_) return;
+    if (s.index < 0 || s.index >= max_shards()) return;
+    if (data_only != (s.index < k_)) return;
+    if (!seen.insert(s.index).second) return;
+    if (picked.empty()) {
+      size = s.bytes.size();
+    } else if (s.bytes.size() != size) {
+      throw std::invalid_argument("decode: shard sizes differ");
+    }
+    picked.push_back(&s);
+  };
+  for (const Shard& s : shards) consider(s, /*data_only=*/true);
+  for (const Shard& s : shards) consider(s, /*data_only=*/false);
+  if (static_cast<int>(picked.size()) < k_) return std::nullopt;
+
+  // Fast path: all k data shards present.
+  bool all_data = true;
+  for (const Shard* s : picked) all_data = all_data && s->index < k_;
+  std::vector<std::vector<std::uint8_t>> out(k_);
+  if (all_data) {
+    for (const Shard* s : picked) out[s->index] = s->bytes;
+    return out;
+  }
+
+  // General path: invert the k x k sub-generator of the picked rows.
+  std::vector<int> rows;
+  rows.reserve(k_);
+  for (const Shard* s : picked) rows.push_back(s->index);
+  Matrix sub = gen_.select_rows(rows);
+  if (!sub.invert()) return std::nullopt;  // cannot happen for Vandermonde
+
+  for (int d = 0; d < k_; ++d) {
+    out[d].assign(size, 0);
+    for (int j = 0; j < k_; ++j) {
+      GF256::mul_add(out[d].data(), picked[j]->bytes.data(), sub.at(d, j),
+                     size);
+    }
+  }
+  return out;
+}
+
+}  // namespace sharq::fec

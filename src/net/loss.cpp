@@ -1,0 +1,23 @@
+#include "net/loss.hpp"
+
+namespace sharq::net {
+
+bool GilbertElliottLoss::drop_next(sim::Rng& rng) {
+  // State transition first, then the per-state loss draw, so a burst's
+  // first packet already sees the Bad state's rate.
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? bad_loss_ : good_loss_);
+}
+
+double GilbertElliottLoss::mean_loss_rate() const {
+  const double denom = p_gb_ + p_bg_;
+  if (denom <= 0.0) return good_loss_;
+  const double pi_bad = p_gb_ / denom;
+  return (1.0 - pi_bad) * good_loss_ + pi_bad * bad_loss_;
+}
+
+}  // namespace sharq::net

@@ -1,0 +1,320 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace sharq::net {
+
+const char* to_string(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kData: return "data";
+    case TrafficClass::kRepair: return "repair";
+    case TrafficClass::kNack: return "nack";
+    case TrafficClass::kSession: return "session";
+    case TrafficClass::kControl: return "control";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulator& simu) : simu_(simu) {}
+
+NodeId Network::add_node() {
+  nodes_.push_back(NodeRec{});
+  routing_.push_back(Routing{});
+  invalidate_routing();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Network::add_nodes(int count) {
+  const NodeId first = static_cast<NodeId>(nodes_.size());
+  for (int i = 0; i < count; ++i) add_node();
+  return first;
+}
+
+LinkId Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
+  assert(from >= 0 && from < node_count() && to >= 0 && to < node_count());
+  assert(from != to && "self links are not allowed");
+  Link l;
+  l.from = from;
+  l.to = to;
+  l.bandwidth_bps = cfg.bandwidth_bps;
+  l.delay = cfg.delay;
+  l.loss = cfg.loss_rate > 0.0
+               ? std::unique_ptr<LossModel>(new BernoulliLoss(cfg.loss_rate))
+               : std::unique_ptr<LossModel>(new NoLoss);
+  l.rng = simu_.rng().fork();
+  l.queue_limit_pkts = cfg.queue_limit_pkts;
+  links_.push_back(std::move(l));
+  const LinkId id = static_cast<LinkId>(links_.size() - 1);
+  nodes_[from].out_links.push_back(id);
+  invalidate_routing();
+  return id;
+}
+
+std::pair<LinkId, LinkId> Network::add_duplex_link(NodeId a, NodeId b,
+                                                   const LinkConfig& cfg) {
+  return {add_link(a, b, cfg), add_link(b, a, cfg)};
+}
+
+void Network::set_loss_model(LinkId link, std::unique_ptr<LossModel> model) {
+  assert(link >= 0 && link < link_count());
+  links_[link].loss = std::move(model);
+}
+
+LinkId Network::find_link(NodeId from, NodeId to) const {
+  if (from < 0 || from >= node_count()) return kNoLink;
+  for (LinkId l : nodes_[from].out_links) {
+    if (links_[l].to == to) return l;
+  }
+  return kNoLink;
+}
+
+ChannelId Network::create_channel(ZoneId scope) {
+  Channel c;
+  c.scope = scope;
+  channels_.push_back(std::move(c));
+  return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+void Network::subscribe(ChannelId ch, NodeId node) {
+  assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  if (channels_[ch].subs.insert(node).second) ++channels_[ch].version;
+}
+
+void Network::unsubscribe(ChannelId ch, NodeId node) {
+  assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  if (channels_[ch].subs.erase(node) > 0) ++channels_[ch].version;
+}
+
+bool Network::subscribed(ChannelId ch, NodeId node) const {
+  return channels_[ch].subs.count(node) > 0;
+}
+
+void Network::attach(NodeId node, Agent* agent) {
+  assert(node >= 0 && node < node_count());
+  agent->node_ = node;
+  agent->net_ = this;
+  nodes_[node].agents.push_back(agent);
+}
+
+void Network::detach(NodeId node, Agent* agent) {
+  auto& v = nodes_[node].agents;
+  v.erase(std::remove(v.begin(), v.end(), agent), v.end());
+}
+
+void Network::invalidate_routing() {
+  for (Routing& r : routing_) r.valid = false;
+  fwd_cache_.clear();
+}
+
+void Network::ensure_routing(NodeId src) {
+  Routing& r = routing_[src];
+  if (r.valid) return;
+  const int n = node_count();
+  r.dist.assign(n, sim::kTimeInfinity);
+  r.pred_link.assign(n, kNoLink);
+  r.next_hop.assign(n, kNoNode);
+  r.next_hop_known.assign(n, false);
+  // Dijkstra by propagation delay, with a tiny per-hop epsilon so equal-
+  // delay paths deterministically prefer fewer hops.
+  constexpr sim::Time kHopEps = 1e-9;
+  using Item = std::pair<sim::Time, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;
+    for (LinkId lid : nodes_[u].out_links) {
+      const Link& l = links_[lid];
+      if (!l.up) continue;
+      const sim::Time nd = d + l.delay + kHopEps;
+      if (nd < r.dist[l.to]) {
+        r.dist[l.to] = nd;
+        r.pred_link[l.to] = lid;
+        pq.emplace(nd, l.to);
+      }
+    }
+  }
+  r.valid = true;
+}
+
+std::vector<NodeId> Network::path(NodeId a, NodeId b) {
+  ensure_routing(a);
+  const Routing& r = routing_[a];
+  if (b < 0 || b >= node_count() || r.dist[b] == sim::kTimeInfinity) return {};
+  std::vector<NodeId> rev{b};
+  NodeId cur = b;
+  while (cur != a) {
+    const LinkId pl = r.pred_link[cur];
+    cur = links_[pl].from;
+    rev.push_back(cur);
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+sim::Time Network::path_delay(NodeId a, NodeId b) {
+  if (a == b) return 0.0;
+  ensure_routing(a);
+  const sim::Time d = routing_[a].dist[b];
+  if (d == sim::kTimeInfinity) return sim::kTimeInfinity;
+  // Strip the per-hop epsilon contribution by recomputing over the path.
+  sim::Time total = 0.0;
+  NodeId cur = b;
+  while (cur != a) {
+    const LinkId pl = routing_[a].pred_link[cur];
+    total += links_[pl].delay;
+    cur = links_[pl].from;
+  }
+  return total;
+}
+
+double Network::path_loss(NodeId a, NodeId b) {
+  if (a == b) return 0.0;
+  ensure_routing(a);
+  if (routing_[a].dist[b] == sim::kTimeInfinity) return 1.0;
+  double deliver = 1.0;
+  NodeId cur = b;
+  while (cur != a) {
+    const LinkId pl = routing_[a].pred_link[cur];
+    deliver *= 1.0 - links_[pl].loss->mean_loss_rate();
+    cur = links_[pl].from;
+  }
+  return 1.0 - deliver;
+}
+
+const Network::FwdEntry& Network::forwarding(ChannelId ch, NodeId origin) {
+  const Channel& channel = channels_[ch];
+  FwdEntry& e = fwd_cache_[FwdKey{ch, origin}];
+  if (!e.out.empty() && e.version == channel.version + 1) return e;
+
+  ensure_routing(origin);
+  const Routing& r = routing_[origin];
+  const int n = node_count();
+  e.version = channel.version + 1;  // 0 marks "never built"
+  e.out.assign(n, {});
+  e.deliver.assign(n, false);
+
+  const ZoneId scope = channel.scope;
+  const bool origin_in_scope =
+      scope == kNoZone || zones_.contains(scope, origin);
+  if (!origin_in_scope) return e;  // boundary blocks everything
+
+  std::vector<bool> on_tree(n, false);
+  on_tree[origin] = true;
+  std::vector<char> edge_added(links_.size(), 0);
+  for (NodeId s : channel.subs) {
+    if (s == origin) continue;
+    if (scope != kNoZone && !zones_.contains(scope, s)) continue;
+    if (r.dist[s] == sim::kTimeInfinity) continue;
+    // Verify the whole path stays inside the scope zone, then graft it.
+    bool inside = true;
+    if (scope != kNoZone) {
+      for (NodeId cur = s; cur != origin;) {
+        const LinkId pl = r.pred_link[cur];
+        cur = links_[pl].from;
+        if (!zones_.contains(scope, cur)) {
+          inside = false;
+          break;
+        }
+      }
+    }
+    if (!inside) continue;
+    e.deliver[s] = true;
+    for (NodeId cur = s; !on_tree[cur];) {
+      on_tree[cur] = true;
+      const LinkId pl = r.pred_link[cur];
+      if (!edge_added[pl]) {
+        edge_added[pl] = 1;
+        e.out[links_[pl].from].push_back(pl);
+      }
+      cur = links_[pl].from;
+    }
+  }
+  return e;
+}
+
+std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
+                            int size_bytes,
+                            std::shared_ptr<const MessageBase> msg,
+                            bool lossless) {
+  assert(origin >= 0 && origin < node_count());
+  assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  Packet p;
+  p.uid = next_uid_++;
+  p.origin = origin;
+  p.channel = ch;
+  p.cls = cls;
+  p.size_bytes = size_bytes;
+  p.lossless = lossless;
+  p.msg = std::move(msg);
+  const std::vector<LinkId> outs = forwarding(ch, origin).out[origin];
+  for (LinkId l : outs) transmit(l, p);
+  return p.uid;
+}
+
+void Network::set_link_up(LinkId l, bool up) {
+  assert(l >= 0 && l < link_count());
+  Link& lk = links_[l];
+  if (lk.up == up) return;
+  lk.up = up;
+  if (!up) {
+    ++lk.epoch;  // invalidates packets currently being serialized
+    lk.busy_until = simu_.now();
+    lk.queued = 0;
+  }
+  invalidate_routing();
+}
+
+void Network::transmit(LinkId link, const Packet& packet) {
+  Link& l = links_[link];
+  if (!l.up || (l.queue_limit_pkts >= 0 && l.queued >= l.queue_limit_pkts)) {
+    if (sink_) sink_->on_drop(simu_.now(), link, packet);
+    return;
+  }
+  if (sink_) sink_->on_transmit(simu_.now(), link, packet);
+  const sim::Time now = simu_.now();
+  const sim::Time tx_time =
+      static_cast<double>(packet.size_bytes) * 8.0 / l.bandwidth_bps;
+  const sim::Time start = std::max(now, l.busy_until);
+  l.busy_until = start + tx_time;
+  ++l.queued;
+  // Loss is decided at serialization completion so stateful (bursty) loss
+  // models see packets in wire order.
+  simu_.at(start + tx_time, [this, link, packet, epoch = l.epoch] {
+    Link& lk = links_[link];
+    if (!lk.up || lk.epoch != epoch) return;  // link died mid-flight
+    --lk.queued;
+    if (!packet.lossless && lk.loss->drop_next(lk.rng)) {
+      if (sink_) sink_->on_drop(simu_.now(), link, packet);
+      return;
+    }
+    simu_.after(lk.delay, [this, to = lk.to, packet] { arrive(to, packet); });
+  });
+}
+
+void Network::arrive(NodeId at, const Packet& packet) {
+  // Copy what we need out of the cache entry first: agent callbacks may
+  // send(), which can rehash fwd_cache_ and invalidate references into it.
+  bool deliver_here = false;
+  std::vector<LinkId> outs;
+  {
+    const FwdEntry& fwd = forwarding(packet.channel, packet.origin);
+    deliver_here = static_cast<int>(fwd.deliver.size()) > at && fwd.deliver[at];
+    if (static_cast<int>(fwd.out.size()) > at) outs = fwd.out[at];
+  }
+  // Forward before delivering so downstream copies are not reordered by
+  // anything an agent transmits synchronously on the same links.
+  for (LinkId l : outs) transmit(l, packet);
+  if (deliver_here) {
+    if (sink_) sink_->on_deliver(simu_.now(), at, packet);
+    // Copy: an agent may detach others while handling the packet.
+    const std::vector<Agent*> agents = nodes_[at].agents;
+    for (Agent* a : agents) a->on_receive(packet);
+  }
+}
+
+}  // namespace sharq::net

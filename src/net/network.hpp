@@ -1,0 +1,239 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "net/zone.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::net {
+
+class Network;
+
+/// A protocol endpoint attached to a node.
+///
+/// Agents receive every packet delivered to their node on channels the
+/// node subscribes to. A node's own sends are NOT looped back to its
+/// agents (protocols track their own transmissions directly).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Packet delivered to this agent's node.
+  virtual void on_receive(const Packet& packet) = 0;
+
+  NodeId node() const { return node_; }
+  Network& network() const { return *net_; }
+
+ private:
+  friend class Network;
+  NodeId node_ = kNoNode;
+  Network* net_ = nullptr;
+};
+
+/// Observer for traffic accounting (implemented by the stats module).
+class TrafficSink {
+ public:
+  virtual ~TrafficSink() = default;
+
+  /// Packet delivered to a subscribed node.
+  virtual void on_deliver(sim::Time t, NodeId at, const Packet& packet) = 0;
+
+  /// Packet handed to a link for transmission.
+  virtual void on_transmit(sim::Time t, LinkId link, const Packet& packet) {
+    (void)t, (void)link, (void)packet;
+  }
+
+  /// Packet dropped (loss model or full queue).
+  virtual void on_drop(sim::Time t, LinkId link, const Packet& packet) {
+    (void)t, (void)link, (void)packet;
+  }
+};
+
+/// Configuration for one simplex link.
+struct LinkConfig {
+  double bandwidth_bps = 10e6;  ///< serialization rate
+  sim::Time delay = 0.010;      ///< propagation delay, seconds
+  double loss_rate = 0.0;       ///< Bernoulli drop probability
+  int queue_limit_pkts = -1;    ///< FIFO cap; -1 = unbounded
+};
+
+/// The simulated network: nodes, simplex links, multicast channels with
+/// administrative scoping, and source-rooted shortest-path forwarding.
+///
+/// Routing model: every source uses its shortest-path tree (by propagation
+/// delay) toward the channel's subscribers, pruned at the boundary of the
+/// channel's scope zone — packets on a scoped channel never traverse a
+/// node outside the zone, which is exactly the containment administrative
+/// scoping provides. Trees are rebuilt lazily when membership changes.
+class Network {
+ public:
+  explicit Network(sim::Simulator& simu);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  /// Add a node; returns its dense id.
+  NodeId add_node();
+
+  /// Add `count` nodes; returns the id of the first.
+  NodeId add_nodes(int count);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  /// Add one simplex link. Routing caches are invalidated.
+  LinkId add_link(NodeId from, NodeId to, const LinkConfig& cfg);
+
+  /// Add a duplex link (two simplex links with the same config).
+  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b,
+                                            const LinkConfig& cfg);
+
+  /// Replace the loss process of a link.
+  void set_loss_model(LinkId link, std::unique_ptr<LossModel> model);
+
+  /// The simplex link from `from` to `to`, or kNoLink.
+  LinkId find_link(NodeId from, NodeId to) const;
+
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  /// Endpoints of a link.
+  NodeId link_from(LinkId l) const { return links_[l].from; }
+  NodeId link_to(LinkId l) const { return links_[l].to; }
+
+  /// Mean loss rate configured on a link.
+  double link_loss_rate(LinkId l) const {
+    return links_[l].loss->mean_loss_rate();
+  }
+
+  /// Take a link down (packets in flight are lost; routing recomputes
+  /// around it) or bring it back up. Models backbone failures.
+  void set_link_up(LinkId l, bool up);
+  bool link_up(LinkId l) const { return links_[l].up; }
+
+  // --- zones & channels ----------------------------------------------------
+
+  ZoneHierarchy& zones() { return zones_; }
+  const ZoneHierarchy& zones() const { return zones_; }
+
+  /// Create a channel confined to `scope` (kNoZone = unscoped/global).
+  ChannelId create_channel(ZoneId scope = kNoZone);
+
+  ZoneId channel_scope(ChannelId ch) const { return channels_[ch].scope; }
+
+  void subscribe(ChannelId ch, NodeId node);
+  void unsubscribe(ChannelId ch, NodeId node);
+  bool subscribed(ChannelId ch, NodeId node) const;
+  const std::unordered_set<NodeId>& subscribers(ChannelId ch) const {
+    return channels_[ch].subs;
+  }
+
+  // --- agents ---------------------------------------------------------------
+
+  /// Attach an agent (non-owning) to a node.
+  void attach(NodeId node, Agent* agent);
+  void detach(NodeId node, Agent* agent);
+
+  // --- traffic ---------------------------------------------------------------
+
+  /// Multicast `msg` from `origin` on `ch`. Returns the packet uid.
+  /// `lossless` exempts the packet from link loss (paper §6.2 exempts
+  /// session messages and NACKs).
+  std::uint64_t send(NodeId origin, ChannelId ch, TrafficClass cls,
+                     int size_bytes, std::shared_ptr<const MessageBase> msg,
+                     bool lossless = false);
+
+  // --- ground truth (for tests, metrics, and analytic benches) -------------
+
+  /// One-way propagation delay along the routed path (kTimeInfinity if
+  /// unreachable).
+  sim::Time path_delay(NodeId a, NodeId b);
+
+  /// Compounded mean loss along the routed path a -> b.
+  double path_loss(NodeId a, NodeId b);
+
+  /// The routed node sequence a..b (empty if unreachable).
+  std::vector<NodeId> path(NodeId a, NodeId b);
+
+  // --- plumbing --------------------------------------------------------------
+
+  void set_sink(TrafficSink* sink) { sink_ = sink; }
+  sim::Simulator& simulator() { return simu_; }
+
+  /// Drop all routing/forwarding caches (topology editing mid-run).
+  void invalidate_routing();
+
+ private:
+  struct Link {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    double bandwidth_bps = 0.0;
+    sim::Time delay = 0.0;
+    std::unique_ptr<LossModel> loss;
+    sim::Rng rng;
+    int queue_limit_pkts = -1;
+    sim::Time busy_until = 0.0;
+    int queued = 0;
+    bool up = true;
+    std::uint32_t epoch = 0;  // bumped on down; kills in-flight packets
+  };
+  struct NodeRec {
+    std::vector<LinkId> out_links;
+    std::vector<Agent*> agents;
+  };
+  struct Channel {
+    ZoneId scope = kNoZone;
+    std::unordered_set<NodeId> subs;
+    std::uint64_t version = 0;
+  };
+  struct Routing {
+    bool valid = false;
+    std::vector<sim::Time> dist;       // from src, by dst
+    std::vector<LinkId> pred_link;     // into dst on shortest path from src
+    std::vector<NodeId> next_hop;      // first hop from src toward dst
+    std::vector<bool> next_hop_known;
+  };
+  struct FwdKey {
+    ChannelId channel;
+    NodeId origin;
+    friend bool operator==(const FwdKey&, const FwdKey&) = default;
+  };
+  struct FwdKeyHash {
+    std::size_t operator()(const FwdKey& k) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.channel))
+           << 32) |
+          static_cast<std::uint32_t>(k.origin));
+    }
+  };
+  struct FwdEntry {
+    std::uint64_t version = 0;
+    std::vector<std::vector<LinkId>> out;  // per node
+    std::vector<bool> deliver;             // per node
+  };
+
+  void ensure_routing(NodeId src);
+  const FwdEntry& forwarding(ChannelId ch, NodeId origin);
+  void transmit(LinkId link, const Packet& packet);
+  void arrive(NodeId at, const Packet& packet);
+
+  sim::Simulator& simu_;
+  std::vector<NodeRec> nodes_;
+  std::vector<Link> links_;
+  std::vector<Channel> channels_;
+  ZoneHierarchy zones_;
+  std::vector<Routing> routing_;  // per source node
+  std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwd_cache_;
+  TrafficSink* sink_ = nullptr;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace sharq::net

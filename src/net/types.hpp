@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sharq::net {
+
+/// Index of a node (host or router) in a Network. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Index of a simplex link in a Network. Dense, 0-based.
+using LinkId = std::int32_t;
+
+/// Index of a multicast channel (group) in a Network. Dense, 0-based.
+using ChannelId = std::int32_t;
+
+/// Index of an administrative scope zone. Dense, 0-based.
+using ZoneId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr LinkId kNoLink = -1;
+inline constexpr ChannelId kNoChannel = -1;
+inline constexpr ZoneId kNoZone = -1;
+
+}  // namespace sharq::net

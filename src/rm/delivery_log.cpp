@@ -1,0 +1,47 @@
+#include "rm/delivery_log.hpp"
+
+namespace sharq::rm {
+
+void DeliveryLog::record(net::NodeId node, std::uint64_t unit, sim::Time t) {
+  auto& per_node = log_[node];
+  per_node.emplace(unit, t);  // keep the first (earliest) completion
+}
+
+std::size_t DeliveryLog::completed_count(net::NodeId node) const {
+  auto it = log_.find(node);
+  return it == log_.end() ? 0 : it->second.size();
+}
+
+bool DeliveryLog::complete(net::NodeId node, std::uint64_t total) const {
+  auto it = log_.find(node);
+  if (it == log_.end()) return total == 0;
+  for (std::uint64_t u = 0; u < total; ++u) {
+    if (it->second.find(u) == it->second.end()) return false;
+  }
+  return true;
+}
+
+sim::Time DeliveryLog::completion_time(net::NodeId node,
+                                       std::uint64_t unit) const {
+  auto it = log_.find(node);
+  if (it == log_.end()) return sim::kTimeNever;
+  auto jt = it->second.find(unit);
+  return jt == it->second.end() ? sim::kTimeNever : jt->second;
+}
+
+std::vector<double> DeliveryLog::latencies(
+    const std::vector<net::NodeId>& nodes,
+    const std::unordered_map<std::uint64_t, sim::Time>& sent_at) const {
+  std::vector<double> out;
+  for (net::NodeId n : nodes) {
+    auto it = log_.find(n);
+    if (it == log_.end()) continue;
+    for (const auto& [unit, t] : it->second) {
+      auto st = sent_at.find(unit);
+      if (st != sent_at.end()) out.push_back(t - st->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace sharq::rm

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace sharq::rm {
+
+/// Protocol-independent record of what each receiver ultimately delivered
+/// to the application, used by integration tests and benches to verify
+/// reliability and measure recovery latency.
+class DeliveryLog {
+ public:
+  /// Receiver `node` completed application unit `unit` (an SRM sequence
+  /// number or a SHARQFEC group id) at time `t`.
+  void record(net::NodeId node, std::uint64_t unit, sim::Time t);
+
+  /// Units completed by `node`.
+  std::size_t completed_count(net::NodeId node) const;
+
+  /// True if `node` completed every unit in [0, total).
+  bool complete(net::NodeId node, std::uint64_t total) const;
+
+  /// Completion time of `unit` at `node` (kTimeNever if missing).
+  sim::Time completion_time(net::NodeId node, std::uint64_t unit) const;
+
+  /// All completion latencies (t - reference_time(unit)) for a node set.
+  std::vector<double> latencies(
+      const std::vector<net::NodeId>& nodes,
+      const std::unordered_map<std::uint64_t, sim::Time>& sent_at) const;
+
+ private:
+  // node -> unit -> completion time
+  std::unordered_map<net::NodeId,
+                     std::unordered_map<std::uint64_t, sim::Time>>
+      log_;
+};
+
+}  // namespace sharq::rm

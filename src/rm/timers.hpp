@@ -1,0 +1,53 @@
+#pragma once
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace sharq::rm {
+
+/// SRM-style suppression timer windows (Floyd et al. '95), shared by the
+/// SRM baseline and SHARQFEC (which uses them with fixed constants
+/// C1=C2=2, D1=D2=1 per the paper).
+struct TimerPolicy {
+  double c1 = 2.0;  ///< request window start multiplier
+  double c2 = 2.0;  ///< request window width multiplier
+  double d1 = 1.0;  ///< reply window start multiplier
+  double d2 = 1.0;  ///< reply window width multiplier
+
+  /// Request delay: uniform on 2^i * [c1*d, (c1+c2)*d], where d is the
+  /// one-way distance estimate to the source and i the backoff stage.
+  sim::Time request_delay(sim::Rng& rng, sim::Time d, int backoff_stage) const {
+    const double scale = static_cast<double>(1u << clamp_stage(backoff_stage));
+    return scale * rng.uniform(c1 * d, (c1 + c2) * d);
+  }
+
+  /// Reply delay: uniform on [d1*d, (d1+d2)*d], where d is the one-way
+  /// distance estimate to the requester. No backoff (paper: the SRM repair
+  /// back-off is omitted for SHARQFEC; SRM applies its own suppression).
+  sim::Time reply_delay(sim::Rng& rng, sim::Time d) const {
+    return rng.uniform(d1 * d, (d1 + d2) * d);
+  }
+
+ private:
+  static int clamp_stage(int i) { return i < 0 ? 0 : (i > 16 ? 16 : i); }
+};
+
+/// Session-message stagger (paper §5): uniform [0.9, 1.1] s steady state,
+/// uniform [0.05, 0.25] s for the first three messages to speed up
+/// convergence.
+struct SessionStagger {
+  double steady_lo = 0.9;
+  double steady_hi = 1.1;
+  double startup_lo = 0.05;
+  double startup_hi = 0.25;
+  int startup_count = 3;
+
+  sim::Time next_delay(sim::Rng& rng, int messages_sent_so_far) const {
+    if (messages_sent_so_far < startup_count) {
+      return rng.uniform(startup_lo, startup_hi);
+    }
+    return rng.uniform(steady_lo, steady_hi);
+  }
+};
+
+}  // namespace sharq::rm

@@ -1,0 +1,26 @@
+#include "sharqfec/agent.hpp"
+
+namespace sharq::sfq {
+
+Agent::Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
+             net::NodeId node, bool is_source, rm::DeliveryLog* log)
+    : is_source_(is_source) {
+  net.attach(node, this);
+  hier.join(node);
+  session_ = std::make_unique<SessionManager>(net, hier, cfg, node, is_source);
+  transfer_ = std::make_unique<TransferEngine>(net, hier, *session_, cfg, node,
+                                               is_source, log);
+  session_->set_progress_provider([this] {
+    return std::make_pair(transfer_->max_group_seen(),
+                          transfer_->seen_any_data());
+  });
+  session_->set_progress_listener(
+      [this](std::uint32_t g) { transfer_->note_remote_progress(g); });
+}
+
+void Agent::on_receive(const net::Packet& packet) {
+  if (transfer_->handle(packet)) return;
+  session_->handle(packet);
+}
+
+}  // namespace sharq::sfq

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "rm/delivery_log.hpp"
+#include "sharqfec/config.hpp"
+#include "sharqfec/hierarchy.hpp"
+#include "sharqfec/session_manager.hpp"
+#include "sharqfec/transfer.hpp"
+
+namespace sharq::sfq {
+
+/// A complete SHARQFEC endpoint: the scoped session manager plus the
+/// two-phase transfer engine, attached to one node and joined to every
+/// channel of the node's zone chain.
+class Agent final : public net::Agent {
+ public:
+  Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
+        net::NodeId node, bool is_source, rm::DeliveryLog* log = nullptr);
+
+  /// Begin session messaging and ZCR election.
+  void start() { session_->start(); }
+
+  /// Model this member dying: stop transmitting session/election traffic.
+  /// Pair with Network::detach() to also stop it receiving.
+  void stop() { session_->stop(); }
+
+  /// Source API: stream groups starting at `start_at`.
+  void send_stream(std::uint32_t group_count, sim::Time start_at,
+                   std::vector<std::uint8_t> payload = {}) {
+    transfer_->send_stream(group_count, start_at, std::move(payload));
+  }
+
+  void on_receive(const net::Packet& packet) override;
+
+  SessionManager& session() { return *session_; }
+  const SessionManager& session() const { return *session_; }
+  TransferEngine& transfer() { return *transfer_; }
+  const TransferEngine& transfer() const { return *transfer_; }
+  bool is_source() const { return is_source_; }
+
+ private:
+  bool is_source_;
+  std::unique_ptr<SessionManager> session_;
+  std::unique_ptr<TransferEngine> transfer_;
+};
+
+}  // namespace sharq::sfq

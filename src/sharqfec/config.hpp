@@ -1,0 +1,83 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "net/types.hpp"
+#include "rm/timers.hpp"
+#include "sim/time.hpp"
+
+namespace sharq::sfq {
+
+/// SHARQFEC tunables. Defaults are the values the paper simulates with;
+/// the three feature flags reproduce the ablated variants of §6.2:
+///
+///   scoping=false                    -> SHARQFEC(ns)
+///   injection=false                  -> SHARQFEC(ni)
+///   sender_only=true                 -> SHARQFEC(so)
+///   all three off/on as labelled     -> SHARQFEC(ns,ni,so) == ECSRM-like
+struct Config {
+  // --- ablation flags (paper §6.2) ---------------------------------------
+  bool scoping = true;      ///< use the administrative zone hierarchy
+  bool injection = true;    ///< ZCRs preemptively inject FEC repairs
+  bool sender_only = false; ///< only the source may send repairs
+
+  // --- transfer ------------------------------------------------------------
+  int group_size = 16;            ///< k original packets per group (paper)
+  int shard_size_bytes = 1000;    ///< wire size of data/repair packets
+  double data_rate_bps = 800e3;   ///< CBR source rate (paper)
+  int max_parity = 128;           ///< parity shards available per group
+  bool real_payload = false;      ///< carry & FEC-decode actual bytes
+  /// Late-join policy (paper §7 / Kermode's thesis): a receiver joining
+  /// mid-stream either recovers the full history through its zone's
+  /// repair channels (true) or starts from the first group it hears
+  /// live (false).
+  bool late_join_full_history = true;
+
+  // --- timers (paper: fixed timers, C1=C2=2, D1=D2=1) ----------------------
+  rm::TimerPolicy timers{2.0, 2.0, 1.0, 1.0};
+  /// Paper §7 future work, implemented here as an option: adapt the
+  /// request window per receiver from observed duplicate NACKs (grow it)
+  /// and recovery delay (shrink it), bounded by [c_min, c_max] factors.
+  bool adaptive_timers = false;
+  double adaptive_c1_min = 0.5, adaptive_c1_max = 8.0;
+  double adaptive_c2_min = 1.0, adaptive_c2_max = 16.0;
+  /// Repair pacing: successive repairs from one repairer are spaced at
+  /// this fraction of the data inter-packet interval (paper: one half).
+  double repair_spacing_factor = 0.5;
+  /// NACK attempts at one scope before escalating to the parent zone
+  /// (paper: "after two attempts at each zone").
+  int attempts_per_scope = 2;
+  /// Backoff stage cap for request timers.
+  int max_backoff_stage = 10;
+
+  // --- ZLC prediction (paper: EWMA 0.75 / 0.25) ----------------------------
+  double ewma_old = 0.75;
+  double ewma_new = 0.25;
+  /// A ZCR measures the group's true ZLC after waiting this multiple of
+  /// the RTT to its most distant known receiver (paper: 2.5).
+  double zlc_measure_rtt_factor = 2.5;
+
+  // --- session management ----------------------------------------------------
+  rm::SessionStagger stagger;      ///< paper §5 staggering constants
+  double rtt_gain = 0.25;          ///< EWMA gain for RTT estimates
+  sim::Time default_dist = 0.050;  ///< distance before estimates converge
+  sim::Time zcr_challenge_period = 4.0;   ///< ZCR re-challenge cadence
+  sim::Time zcr_watchdog_period = 10.0;   ///< silence before usurping
+  /// First watchdog window: elections must settle within the paper's 5 s
+  /// session warm-up, so the bootstrap challenge fires early.
+  sim::Time zcr_bootstrap_delay = 1.0;
+  sim::Time zcr_processing_delay = 0.001; ///< challenge->response delay
+  /// Takeover suppression: candidates delay proportionally to their
+  /// distance so the closest receiver announces first.
+  double takeover_delay_factor = 2.0;
+  /// Statically configured ZCRs (paper §5.2: "a cache is placed next to
+  /// the zone's Border Gateway Router"): zone -> node. Members start with
+  /// these as the known ZCRs — no bootstrap election churn — but the
+  /// challenge machinery still runs, so a dead static ZCR is replaced
+  /// ("the challenge phase will only be necessary should one wish to
+  /// provide robustness in the event that the dedicated receiver ceases
+  /// to function").
+  std::unordered_map<net::ZoneId, net::NodeId> static_zcrs;
+};
+
+}  // namespace sharq::sfq

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sharqfec/agent.hpp"
+
+namespace sharq::sfq {
+
+/// Convenience owner of a full SHARQFEC session over a network whose zone
+/// hierarchy (if scoping is on) has already been built: creates the channel
+/// hierarchy, the source agent, and one receiver agent per node.
+class Session {
+ public:
+  Session(net::Network& net, net::NodeId source,
+          const std::vector<net::NodeId>& receivers, const Config& cfg,
+          rm::DeliveryLog* log = nullptr);
+
+  /// Start session messaging/elections on every member.
+  void start();
+
+  /// Late join: add (and start) a receiver while the session runs. The
+  /// joiner recovers history or starts live per Config::late_join_full_
+  /// history; its zone's repair channels localize any catch-up traffic.
+  Agent& add_receiver(net::NodeId node);
+
+  /// Emit `group_count` groups from the source at `start_at`.
+  void send_stream(std::uint32_t group_count, sim::Time start_at,
+                   std::vector<std::uint8_t> payload = {}) {
+    source_agent().send_stream(group_count, start_at, std::move(payload));
+  }
+
+  Hierarchy& hierarchy() { return *hier_; }
+  Agent& source_agent() { return *agents_.front(); }
+  Agent& agent_for(net::NodeId node);
+  const std::vector<std::unique_ptr<Agent>>& agents() const { return agents_; }
+
+  /// True if every receiver completed every group in [0, total).
+  bool all_complete(std::uint32_t total) const;
+
+ private:
+  net::Network& net_;
+  Config cfg_;
+  rm::DeliveryLog* log_;
+  std::unique_ptr<Hierarchy> hier_;
+  std::vector<std::unique_ptr<Agent>> agents_;  // [0] = source
+};
+
+}  // namespace sharq::sfq

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sharqfec/config.hpp"
+#include "sharqfec/hierarchy.hpp"
+#include "sharqfec/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::sfq {
+
+/// Scoped session management for one SHARQFEC member (paper §5):
+///
+///  - sends session messages only within the member's smallest zone
+///    (plus the parent zone for each zone it is the ZCR of);
+///  - measures direct RTTs to the peers of each channel it participates
+///    in via timestamp echoes;
+///  - learns, per ancestor level, the RTT table of its "bridge" ZCR,
+///    enabling indirect RTT estimation to arbitrary senders from the
+///    distance hints those senders attach to NACKs/repairs;
+///  - runs the ZCR challenge/response/takeover election so every zone
+///    converges on its receiver closest to the parent ZCR.
+///
+/// The class is owned by an Agent, which forwards it the session-channel
+/// packets.
+class SessionManager {
+ public:
+  SessionManager(net::Network& net, Hierarchy& hier, const Config& cfg,
+                 net::NodeId node, bool is_source);
+
+  /// Begin session messaging and election timers.
+  void start();
+
+  /// Cease all activity (models the member dying or leaving the session):
+  /// cancels the session timer and every election timer. The object stays
+  /// queryable but will never transmit again.
+  void stop();
+
+  /// Offer a packet; returns true if it was a session/election message
+  /// this manager consumed.
+  bool handle(const net::Packet& packet);
+
+  // --- queries used by the transfer engine ---------------------------------
+
+  /// One-way distance estimate to an arbitrary peer, using direct
+  /// measurements when available and the scoped indirect scheme otherwise.
+  double estimate_dist(net::NodeId peer,
+                       const std::vector<RttHint>& hints = {}) const;
+
+  /// Distance hints to attach to outgoing NACKs/repairs.
+  std::vector<RttHint> make_hints() const;
+
+  /// Am I currently the ZCR of zone `z`?
+  bool is_zcr(net::ZoneId z) const;
+
+  /// Current ZCR of `z` as this member believes (kNoNode if unknown).
+  net::NodeId zcr_of(net::ZoneId z) const;
+
+  /// Largest direct RTT measured to any peer in `z`'s session channel
+  /// (used by ZCRs to time their ZLC measurement; falls back to twice the
+  /// default distance when nothing is measured yet).
+  double max_rtt_in_zone(net::ZoneId z) const;
+
+  /// Direct RTT measured to `peer` on `z`'s channel (<0 if none).
+  double direct_rtt(net::ZoneId z, net::NodeId peer) const;
+
+  /// Cumulative one-way distance to the ZCR at chain index `level`.
+  /// (<0 when not yet derivable.)
+  double dist_to_zcr_at(int level) const;
+
+  net::NodeId node() const { return node_; }
+  const std::vector<net::ZoneId>& chain() const { return chain_; }
+
+  /// Transfer engine hook: supplies (max_group_seen, seen_any_data) for
+  /// inclusion in session messages, enabling tail-loss detection.
+  void set_progress_provider(std::function<std::pair<std::uint32_t, bool>()> f) {
+    progress_ = std::move(f);
+  }
+  /// Transfer engine hook: called when a session message advertises a
+  /// higher max group than we have seen.
+  void set_progress_listener(std::function<void(std::uint32_t)> f) {
+    on_progress_ = std::move(f);
+  }
+
+  std::uint64_t session_messages_sent() const { return session_sent_; }
+  std::uint64_t takeovers_sent() const { return takeovers_sent_; }
+  std::uint64_t challenges_sent() const { return challenges_sent_; }
+
+ private:
+  struct Peer {
+    double rtt = -1.0;           // measured RTT to this peer (EWMA)
+    sim::Time last_ts = 0.0;     // peer clock for echoing
+    sim::Time heard_at = 0.0;
+    bool clock_valid = false;
+  };
+  struct Level {
+    net::ZoneId zone = net::kNoZone;
+    std::unordered_map<net::NodeId, Peer> peers;
+    net::NodeId zcr = net::kNoNode;
+    double zcr_parent_dist = -1.0;  // dist(zcr(zone) -> zcr(parent))
+    sim::Time zcr_last_heard = sim::kTimeNever;
+    // rtt(bridge, peer) learned from the bridge ZCR's announcements on
+    // this zone's channel; bridge = zcr(chain[l-1]) for l>0, zcr(chain[0])
+    // for l==0.
+    std::unordered_map<net::NodeId, double> bridge_rtt;
+    // election plumbing
+    std::unique_ptr<sim::Timer> challenge_timer;
+    std::unique_ptr<sim::Timer> watchdog;
+    std::unique_ptr<sim::Timer> takeover_timer;
+    double candidate_dist = -1.0;
+    sim::Time last_reassert = sim::kTimeNever;
+  };
+  struct PendingChallenge {
+    net::ZoneId zone = net::kNoZone;
+    net::NodeId challenger = net::kNoNode;
+    sim::Time heard_at = sim::kTimeNever;
+    bool mine = false;
+  };
+
+  int level_index(net::ZoneId z) const;          // -1 if not on my chain
+  net::NodeId expected_bridge(int level) const;  // kNoNode if unknown
+  bool participates_at(int level) const;
+  void send_session_messages();
+  void send_session_for_level(int level);
+  void schedule_session();
+  void schedule_challenge(int level);
+  void schedule_watchdog(int level);
+  void issue_challenge(int level);
+  void handle_session(const SessionMsg& msg, int level);
+  void handle_challenge(const ZcrChallengeMsg& msg);
+  void handle_response(const ZcrResponseMsg& msg);
+  void handle_takeover(const ZcrTakeoverMsg& msg);
+  void consider_takeover(int level, double my_dist);
+  static bool claim_beats(double dist_a, net::NodeId a, double dist_b,
+                          net::NodeId b);
+  void become_zcr(int level, double dist_to_parent);
+  void adopt_zcr(int level, net::NodeId who, double dist);
+  void ewma_rtt(double& slot, double sample) const;
+
+  net::Network& net_;
+  sim::Simulator& simu_;
+  Hierarchy& hier_;
+  Config cfg_;
+  net::NodeId node_;
+  bool is_source_;
+  sim::Rng rng_;
+  std::vector<net::ZoneId> chain_;
+  std::vector<Level> levels_;
+  sim::Timer session_timer_;
+  int session_rounds_ = 0;
+  std::unordered_map<std::uint64_t, PendingChallenge> challenges_;
+  std::uint64_t next_challenge_id_;
+  std::function<std::pair<std::uint32_t, bool>()> progress_;
+  std::function<void(std::uint32_t)> on_progress_;
+  std::uint64_t session_sent_ = 0;
+  std::uint64_t takeovers_sent_ = 0;
+  std::uint64_t challenges_sent_ = 0;
+};
+
+}  // namespace sharq::sfq

@@ -1,0 +1,819 @@
+#include "sharqfec/transfer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sharq::sfq {
+
+TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
+                               SessionManager& session, const Config& cfg,
+                               net::NodeId node, bool is_source,
+                               rm::DeliveryLog* log)
+    : net_(net),
+      simu_(net.simulator()),
+      hier_(hier),
+      session_(session),
+      cfg_(cfg),
+      node_(node),
+      is_source_(is_source),
+      log_(log),
+      rng_(net.simulator().rng().fork()),
+      codec_(std::make_shared<fec::ReedSolomon>(cfg.group_size,
+                                                cfg.max_parity)) {
+  zlc_pred_.assign(session_.chain().size(), 0.0);
+  cov_pred_.assign(session_.chain().size(), 0.0);
+  c1_adapt_ = cfg_.timers.c1;
+  c2_adapt_ = cfg_.timers.c2;
+  if (is_source_) source_node_ = node_;
+}
+
+sim::Time TransferEngine::packet_interval() const {
+  return static_cast<double>(cfg_.shard_size_bytes) * 8.0 / cfg_.data_rate_bps;
+}
+
+sim::Time TransferEngine::inter_arrival_estimate() const {
+  return arrival_ewma_ > 0.0 ? arrival_ewma_ : packet_interval();
+}
+
+int TransferEngine::deficit(const Group& grp) const {
+  return std::max(0, cfg_.group_size - grp.decoder.distinct());
+}
+
+int TransferEngine::slice_width() const {
+  return std::max(1, cfg_.max_parity / hier_.depth());
+}
+
+int TransferEngine::slice_start(int global_level) const {
+  return cfg_.group_size + global_level * slice_width();
+}
+
+void TransferEngine::note_parity_seen(Group& grp, int index) {
+  if (index < cfg_.group_size) return;
+  const int level = std::min((index - cfg_.group_size) / slice_width(),
+                             hier_.depth() - 1);
+  grp.slice_next[level] = std::max(grp.slice_next[level], index + 1);
+}
+
+int TransferEngine::next_parity_index(Group& grp, net::ZoneId zone) {
+  const int level = hier_.level(zone);
+  const int lo = slice_start(level);
+  const int hi = std::min(lo + slice_width(), codec_->max_shards());
+  int idx = std::max(grp.slice_next[level], lo);
+  if (idx >= hi) idx = hi - 1;  // slice exhausted: duplicates are harmless
+  grp.slice_next[level] = idx + 1;
+  return idx;
+}
+
+TransferEngine::Group& TransferEngine::ensure_group(std::uint32_t g) {
+  auto it = groups_.find(g);
+  if (it != groups_.end()) return it->second;
+  auto [jt, inserted] = groups_.emplace(g, Group(codec_));
+  (void)inserted;
+  Group& grp = jt->second;
+  grp.id = g;
+  grp.initial_shards = cfg_.group_size;  // lower bound until announced
+  const std::size_t levels = session_.chain().size();
+  grp.zlc.assign(levels, 0);
+  grp.pending_repairs.assign(levels, 0);
+  grp.nacked.assign(levels, false);
+  grp.injected.assign(levels, false);
+  grp.slice_next.assign(hier_.depth(), 0);
+  grp.parity_seen_by_level.assign(hier_.depth(), 0);
+  grp.ldp_timer = std::make_unique<sim::Timer>(simu_);
+  grp.request_timer = std::make_unique<sim::Timer>(simu_);
+  grp.reply_timer = std::make_unique<sim::Timer>(simu_);
+  grp.measure_timer = std::make_unique<sim::Timer>(simu_);
+  grp.inject_timer = std::make_unique<sim::Timer>(simu_);
+  return grp;
+}
+
+std::uint32_t TransferEngine::groups_completed() const {
+  std::uint32_t n = 0;
+  for (const auto& [g, grp] : groups_) n += grp.complete ? 1 : 0;
+  return n;
+}
+
+bool TransferEngine::group_complete(std::uint32_t g) const {
+  auto it = groups_.find(g);
+  return it != groups_.end() && it->second.complete;
+}
+
+double TransferEngine::predicted_zlc(net::ZoneId z) const {
+  const auto& chain = session_.chain();
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    if (chain[l] == z) return zlc_pred_[l];
+  }
+  return 0.0;
+}
+
+std::vector<std::uint8_t> TransferEngine::reconstructed(std::uint32_t g) const {
+  auto it = groups_.find(g);
+  if (it == groups_.end() || !it->second.complete || !cfg_.real_payload) {
+    return {};
+  }
+  auto data = it->second.decoder.reconstruct();
+  if (!data) return {};
+  std::vector<std::uint8_t> out;
+  out.reserve(data->size() * cfg_.shard_size_bytes);
+  for (const auto& shard : *data) out.insert(out.end(), shard.begin(), shard.end());
+  return out;
+}
+
+// --- sender ------------------------------------------------------------------
+
+void TransferEngine::send_stream(std::uint32_t group_count, sim::Time start_at,
+                                 std::vector<std::uint8_t> payload) {
+  assert(is_source_);
+  send_total_groups_ = group_count;
+  groups_total_ = group_count;
+  payload_ = std::move(payload);
+  if (cfg_.real_payload) {
+    payload_.resize(static_cast<std::size_t>(group_count) * cfg_.group_size *
+                        cfg_.shard_size_bytes,
+                    0);
+  }
+  // seen_any_ flips when the first packet actually leaves: advertising
+  // progress before then would make receivers chase phantom losses.
+  simu_.at(start_at, [this] { source_send_next(); });
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
+    Group& grp, int index) {
+  if (!cfg_.real_payload) return nullptr;
+  if (!grp.encoder) {
+    if (is_source_ && grp.id < send_total_groups_) {
+      std::vector<std::vector<std::uint8_t>> data(cfg_.group_size);
+      const std::size_t base = static_cast<std::size_t>(grp.id) *
+                               cfg_.group_size * cfg_.shard_size_bytes;
+      for (int i = 0; i < cfg_.group_size; ++i) {
+        const auto* p = payload_.data() + base + i * cfg_.shard_size_bytes;
+        data[i].assign(p, p + cfg_.shard_size_bytes);
+      }
+      grp.encoder = std::make_unique<fec::GroupEncoder>(codec_, std::move(data));
+    } else if (grp.complete) {
+      auto data = grp.decoder.reconstruct();
+      if (!data) return nullptr;
+      grp.encoder = std::make_unique<fec::GroupEncoder>(codec_, std::move(*data));
+    } else {
+      return nullptr;
+    }
+  }
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      grp.encoder->shard(index));
+}
+
+void TransferEngine::source_send_next() {
+  if (send_group_ >= send_total_groups_) return;
+  Group& grp = ensure_group(send_group_);
+  if (send_index_ == 0) {
+    // Decide this group's proactive redundancy h from the EWMA-predicted
+    // ZLC of the largest zone (zero when injection is disabled).
+    int h = 0;
+    if (cfg_.injection) {
+      // Size up ("sufficient redundancy to guarantee delivery", §3.2):
+      // fractional predicted loss still means some receiver usually needs
+      // that shard, and an unneeded proactive shard merely suppresses.
+      h = static_cast<int>(std::ceil(zlc_pred_.back() - 0.05));
+      // Initial parity lives in the root zone's slice of the parity space.
+      h = std::clamp(h, 0, slice_width() - 1);
+    }
+    grp.initial_shards = cfg_.group_size + h;
+    max_group_seen_ = std::max(max_group_seen_, grp.id);
+    seen_any_ = true;
+  }
+  auto msg = std::make_shared<DataMsg>();
+  msg->group = grp.id;
+  msg->index = send_index_;
+  msg->k = cfg_.group_size;
+  msg->initial_shards = grp.initial_shards;
+  msg->groups_total = groups_total_;
+  msg->bytes = shard_bytes(grp, send_index_);
+  const bool is_parity = send_index_ >= cfg_.group_size;
+  net_.send(node_, hier_.data_channel(),
+            is_parity ? net::TrafficClass::kRepair : net::TrafficClass::kData,
+            cfg_.shard_size_bytes, msg);
+  if (is_parity) ++preemptive_sent_;
+  // The source trivially "has" every shard it emits.
+  add_shard(grp, send_index_, msg->bytes);
+  grp.last_initial_seen = send_index_;
+  grp.max_id_seen = std::max(grp.max_id_seen, send_index_);
+
+  ++send_index_;
+  if (send_index_ >= grp.initial_shards) {
+    // Group fully transmitted: the sender enters the repair phase for it
+    // immediately (paper RP rule 1) and flushes any queued repairs.
+    grp.ldp_done = true;
+    if (!grp.reply_timer->pending()) {
+      int level = -1;
+      for (std::size_t l = grp.pending_repairs.size(); l-- > 0;) {
+        if (grp.pending_repairs[l] > 0) level = static_cast<int>(l);
+      }
+      if (level >= 0) {
+        grp.reply_level = level;
+        fire_reply(grp.id);
+      }
+    }
+    schedule_zlc_measurement(grp);
+    send_index_ = 0;
+    ++send_group_;
+  }
+  simu_.after(packet_interval(), [this] { source_send_next(); });
+}
+
+// --- receive path -------------------------------------------------------------
+
+bool TransferEngine::handle(const net::Packet& packet) {
+  if (const auto* d = packet.as<DataMsg>()) {
+    if (source_node_ == net::kNoNode) source_node_ = packet.origin;
+    if (!is_source_) on_data(*d, packet.cls);
+    return true;
+  }
+  if (const auto* r = packet.as<RepairMsg>()) {
+    on_repair(*r);
+    return true;
+  }
+  if (const auto* n = packet.as<NackMsg>()) {
+    on_nack(*n);
+    return true;
+  }
+  return false;
+}
+
+void TransferEngine::fix_join_point(std::uint32_t first_heard_group,
+                                    bool at_group_start) {
+  if (join_point_fixed_ || is_source_) return;
+  join_point_fixed_ = true;
+  if (cfg_.late_join_full_history) return;  // contract covers everything
+  // Live-only contract: skip all earlier groups, and the partially-heard
+  // one unless we caught its very first shard.
+  skip_before_ = at_group_start ? first_heard_group : first_heard_group + 1;
+}
+
+void TransferEngine::note_remote_progress(std::uint32_t remote_max_group) {
+  fix_join_point(remote_max_group + 1, /*at_group_start=*/true);
+  if (!seen_any_) {
+    // We have heard nothing at all yet; the stream exists, so group 0 and
+    // everything up to the advertised max is missing.
+    seen_any_ = true;
+  }
+  for (std::uint32_t g = skip_before_; g <= remote_max_group; ++g) {
+    Group& grp = ensure_group(g);
+    if (grp.ldp_done || grp.ldp_timer->pending()) continue;
+    if (g < remote_max_group) {
+      // Groups below the advertised max have certainly finished at the
+      // source.
+      finish_ldp(grp);
+    } else if (grp.first_arrival == sim::kTimeNever) {
+      // The advertised max group itself may still be in flight toward us
+      // (the advertisement can race the tranche). Give it one tranche
+      // duration plus slack; a live arrival re-arms this timer, a late
+      // joiner's silence finalizes it and starts recovery.
+      const sim::Time grace =
+          std::max(0.5, 2.0 * cfg_.group_size * inter_arrival_estimate());
+      grp.ldp_timer->arm(grace, [this, g] {
+        auto it = groups_.find(g);
+        if (it != groups_.end() && !it->second.ldp_done) {
+          finish_ldp(it->second);
+        }
+      });
+    }
+  }
+  max_group_seen_ = std::max(max_group_seen_, remote_max_group);
+}
+
+void TransferEngine::on_data(const DataMsg& msg, net::TrafficClass) {
+  fix_join_point(msg.group, /*at_group_start=*/msg.index == 0);
+  seen_any_ = true;
+  if (msg.group < skip_before_) return;  // outside our delivery contract
+  // Inter-arrival estimate refinement (paper: group-by-group).
+  if (last_arrival_ != sim::kTimeNever) {
+    const double gap = simu_.now() - last_arrival_;
+    if (gap > 0.0 && gap < 10.0 * packet_interval()) {
+      arrival_ewma_ =
+          arrival_ewma_ < 0.0 ? gap : 0.9 * arrival_ewma_ + 0.1 * gap;
+    }
+  }
+  last_arrival_ = simu_.now();
+
+  // Groups before this one that we never completed detection on have
+  // finished their initial tranche at the source.
+  if (msg.group > max_group_seen_ || !seen_any_) {
+    for (std::uint32_t g = skip_before_; g < msg.group; ++g) {
+      Group& prev = ensure_group(g);
+      if (!prev.ldp_done && !prev.ldp_timer->pending()) finish_ldp(prev);
+    }
+    max_group_seen_ = std::max(max_group_seen_, msg.group);
+  }
+  if (msg.groups_total > 0) groups_total_ = msg.groups_total;
+
+  Group& grp = ensure_group(msg.group);
+  grp.initial_shards = std::max(grp.initial_shards, msg.initial_shards);
+  if (grp.first_arrival == sim::kTimeNever) grp.first_arrival = simu_.now();
+  note_initial_progress(grp, msg.index);
+  add_shard(grp, msg.index, msg.bytes);
+  if (grp.complete || grp.ldp_done) return;
+  // (Re)arm the LDP timer: expect the rest of the initial tranche at the
+  // estimated inter-packet pace, with slack for jitter.
+  const int remaining = grp.initial_shards - 1 - grp.last_initial_seen;
+  const sim::Time eta =
+      (static_cast<double>(std::max(remaining, 0)) * 1.5 + 2.0) *
+      inter_arrival_estimate();
+  grp.ldp_timer->arm(eta, [this, g = grp.id] {
+    auto it = groups_.find(g);
+    if (it != groups_.end() && !it->second.ldp_done) finish_ldp(it->second);
+  });
+}
+
+void TransferEngine::note_initial_progress(Group& grp, int index) {
+  // Initial-tranche shards arrive in index order over a FIFO tree; a jump
+  // means the skipped shards were lost on our path.
+  if (index <= grp.last_initial_seen) return;
+  int newly_missing_originals = 0;
+  for (int j = grp.last_initial_seen + 1; j < index; ++j) {
+    if (!grp.decoder.has(j) && j < cfg_.group_size) ++newly_missing_originals;
+  }
+  grp.last_initial_seen = index;
+  grp.max_id_seen = std::max(grp.max_id_seen, index);
+  if (newly_missing_originals > 0) raise_llc(grp, newly_missing_originals);
+}
+
+void TransferEngine::raise_llc(Group& grp, int newly_missing) {
+  grp.llc += newly_missing;
+  maybe_request(grp);
+}
+
+void TransferEngine::finish_ldp(Group& grp) {
+  if (grp.ldp_done) return;
+  grp.ldp_done = true;
+  grp.ldp_timer->cancel();
+  // Shards of the initial tranche we never saw are lost.
+  int missing_originals = 0;
+  for (int j = grp.last_initial_seen + 1; j < grp.initial_shards; ++j) {
+    if (!grp.decoder.has(j) && j < cfg_.group_size) ++missing_originals;
+  }
+  grp.last_initial_seen = grp.initial_shards - 1;
+  grp.max_id_seen = std::max(grp.max_id_seen, grp.initial_shards - 1);
+  if (missing_originals > 0) {
+    raise_llc(grp, missing_originals);
+  } else {
+    maybe_request(grp);
+  }
+  if (grp.complete) return;
+  schedule_zlc_measurement(grp);
+}
+
+void TransferEngine::add_shard(
+    Group& grp, int index,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes) {
+  std::vector<std::uint8_t> copy;
+  if (cfg_.real_payload && bytes) copy = *bytes;
+  note_parity_seen(grp, index);
+  if (!grp.decoder.add(index, std::move(copy))) return;
+  if (index >= cfg_.group_size) {
+    // Parity actually received, attributed to the level that emitted it
+    // (used to size incremental injection from below).
+    const int gl = std::min((index - cfg_.group_size) / slice_width(),
+                            hier_.depth() - 1);
+    ++grp.parity_seen_by_level[gl];
+  }
+  grp.max_id_seen = std::max(grp.max_id_seen, index);
+  if (!grp.complete && grp.decoder.complete()) on_group_complete(grp);
+}
+
+// --- request side ---------------------------------------------------------------
+
+int TransferEngine::nack_level(const Group& grp) const {
+  const auto& chain = session_.chain();
+  // A zone's ZCR represents its zone upward: its own unrecovered losses
+  // are, by construction, losses the whole zone shares (they happened
+  // upstream of the zone boundary), so its NACKs start at the parent
+  // scope where a repairer can actually exist. This is what lets the
+  // source learn the per-zone loss it must cover with initial redundancy
+  // ("the source need only add sufficient redundancy to guarantee
+  // delivery of each group to receiver Y", §3.2).
+  int base = 0;
+  while (base + 1 < static_cast<int>(chain.size()) &&
+         session_.is_zcr(chain[base])) {
+    ++base;
+  }
+  int level = std::min<int>(base + grp.scope_level, chain.size() - 1);
+  // Paper: if the source is a member of the target partition, use the
+  // largest scope instead (its repairs serve everyone anyway).
+  if (source_node_ != net::kNoNode &&
+      hier_.zone_contains(chain[level], source_node_)) {
+    level = static_cast<int>(chain.size()) - 1;
+  }
+  return level;
+}
+
+bool TransferEngine::covered_by_zlc(const Group& grp) const {
+  // A NACK at ANY scope containing us whose announced loss count reaches
+  // ours means repairs covering our deficit are on their way (repairs at
+  // larger scopes reach nested zones too).
+  int best = 0;
+  for (int z : grp.zlc) best = std::max(best, z);
+  return grp.llc <= best;
+}
+
+void TransferEngine::maybe_request(Group& grp) {
+  if (is_source_ || grp.complete) return;
+  if (deficit(grp) <= 0) return;
+  // Whether covered by someone else's NACK or not, the request timer must
+  // run: if covered, it acts as a stall probe; if not, it races to be the
+  // zone's NACKer. Suppression proper happens at fire time.
+  if (!grp.request_timer->pending()) arm_request_timer(grp);
+}
+
+void TransferEngine::arm_request_timer(Group& grp) {
+  const double d = std::max(
+      1e-3, session_.estimate_dist(
+                source_node_ == net::kNoNode ? node_ : source_node_));
+  rm::TimerPolicy policy = cfg_.timers;
+  if (cfg_.adaptive_timers) {
+    policy.c1 = c1_adapt_;
+    policy.c2 = c2_adapt_;
+  }
+  const sim::Time delay = policy.request_delay(
+      rng_, d, std::min(grp.backoff_i, cfg_.max_backoff_stage));
+  grp.request_timer->arm(delay, [this, g = grp.id] { fire_request(g); });
+}
+
+void TransferEngine::adapt_request_window(bool heard_duplicate) {
+  if (!cfg_.adaptive_timers) return;
+  ave_dup_nack_ =
+      0.75 * ave_dup_nack_ + 0.25 * (heard_duplicate ? 1.0 : 0.0);
+  if (ave_dup_nack_ >= 0.5) {
+    c1_adapt_ += 0.1;
+    c2_adapt_ += 0.5;
+  } else if (ave_dup_nack_ < 0.2) {
+    c1_adapt_ -= 0.05;
+    c2_adapt_ -= 0.1;
+  }
+  c1_adapt_ = std::clamp(c1_adapt_, cfg_.adaptive_c1_min, cfg_.adaptive_c1_max);
+  c2_adapt_ = std::clamp(c2_adapt_, cfg_.adaptive_c2_min, cfg_.adaptive_c2_max);
+}
+
+void TransferEngine::fire_request(std::uint32_t g) {
+  auto it = groups_.find(g);
+  if (it == groups_.end()) return;
+  Group& grp = it->second;
+  if (grp.complete || deficit(grp) <= 0) return;
+  if (!grp.ldp_done) {
+    // The initial tranche is still arriving: a NACK now would count
+    // in-flight shards as losses and demand repairs nobody needs. Wait
+    // out the rest of the loss-detection phase first.
+    const int remaining = grp.initial_shards - 1 - grp.last_initial_seen;
+    const sim::Time eta = (static_cast<double>(std::max(remaining, 1)) * 1.2 +
+                           1.0) *
+                          inter_arrival_estimate();
+    grp.request_timer->arm(eta, [this, g] { fire_request(g); });
+    return;
+  }
+  const int level = nack_level(grp);
+  // Suppression re-check at fire time (paper LDP rule 6): somebody in
+  // this zone already announced at least our loss count, so their repairs
+  // cover us — unless recovery has stalled (no new shard since our last
+  // probe), in which case the repairs were evidently lost and we NACK
+  // anyway (paper RP rule: repairees detect lost repairs and re-request).
+  const bool covered = covered_by_zlc(grp);
+  const bool progressing = grp.decoder.distinct() != grp.last_fire_distinct;
+  grp.last_fire_distinct = grp.decoder.distinct();
+  if (covered && progressing) {
+    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
+    arm_request_timer(grp);
+    return;
+  }
+  const net::ZoneId zone = session_.chain()[level];
+
+  auto msg = std::make_shared<NackMsg>();
+  msg->group = g;
+  msg->zone = zone;
+  msg->llc = grp.llc;
+  msg->needed = deficit(grp);
+  msg->max_id_seen = grp.max_id_seen;
+  msg->sender = node_;
+  msg->hints = session_.make_hints();
+  ++nacks_sent_;
+  net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kNack,
+            nack_size(msg->hints.size()), msg, /*lossless=*/true);
+  grp.nacked[level] = true;
+  grp.zlc[level] = std::max(grp.zlc[level], grp.llc);
+
+  // Escalate to the parent scope after the configured number of attempts;
+  // a fresh scope starts with a fresh backoff stage (the paper resets i on
+  // repair arrival; without a reset here, escalation to a scope that can
+  // actually repair would inherit minutes of accumulated backoff).
+  ++grp.attempts_at_scope;
+  if (grp.attempts_at_scope >= cfg_.attempts_per_scope &&
+      level + 1 < static_cast<int>(session_.chain().size())) {
+    ++grp.scope_level;
+    grp.attempts_at_scope = 0;
+    grp.backoff_i = 1;
+  } else {
+    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
+  }
+  arm_request_timer(grp);
+}
+
+// --- NACK handling (suppression + repairer bookkeeping) ------------------------
+
+void TransferEngine::on_nack(const NackMsg& msg) {
+  if (join_point_fixed_ && msg.group < skip_before_ && !is_source_) {
+    // Outside our contract — but we may still hold the shards from before
+    // we narrowed it; otherwise ignore.
+    if (groups_.find(msg.group) == groups_.end()) return;
+  }
+  Group& grp = ensure_group(msg.group);
+  const auto& chain = session_.chain();
+  int level = -1;
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    if (chain[l] == msg.zone) {
+      level = static_cast<int>(l);
+      break;
+    }
+  }
+  if (level < 0) return;  // scoping prevents this in practice
+
+  const bool increased = msg.llc > grp.zlc[level];
+  grp.zlc[level] = std::max(grp.zlc[level], msg.llc);
+
+  // The NACK's max-id may reveal shards we never saw (paper LDP rule 7).
+  if (msg.max_id_seen > grp.max_id_seen) {
+    int missing_originals = 0;
+    for (int j = grp.max_id_seen + 1; j <= msg.max_id_seen; ++j) {
+      if (j < cfg_.group_size && !grp.decoder.has(j)) ++missing_originals;
+    }
+    if (grp.last_initial_seen < msg.max_id_seen &&
+        msg.max_id_seen < grp.initial_shards) {
+      grp.last_initial_seen = msg.max_id_seen;
+    }
+    grp.max_id_seen = msg.max_id_seen;
+    if (missing_originals > 0 && !is_source_) {
+      raise_llc(grp, missing_originals);
+    }
+  }
+
+  if (!is_source_ && !grp.complete) {
+    // Suppression (paper LDP rules 5/6): a NACK that covers our losses, or
+    // one that does not raise the ZLC, backs our own request off.
+    if (grp.request_timer->pending() &&
+        (!increased || grp.llc <= grp.zlc[level])) {
+      grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
+      arm_request_timer(grp);
+      // A NACK that didn't raise the ZLC while ours announced the same
+      // losses is a duplicate in the adaptive-timer sense.
+      if (grp.nacked[level] && !increased) adapt_request_window(true);
+    }
+  }
+
+  // Repairer bookkeeping: speculative repair queue for that zone. New
+  // NACKs raise the queue to the worst outstanding deficit; increases do
+  // not reset a pending reply timer (paper LDP rule 8).
+  grp.pending_repairs[level] = std::max(grp.pending_repairs[level], msg.needed);
+  if (!eligible_repairer(grp)) return;
+  if (cfg_.sender_only && !is_source_) return;
+  if (grp.reply_timer->pending()) {
+    grp.reply_level = std::max(grp.reply_level, level);
+    return;
+  }
+  grp.reply_level = level;
+  if (is_source_ || session_.is_zcr(msg.zone)) {
+    // Sender and responsible ZCRs answer immediately (paced).
+    fire_reply(grp.id);
+  } else {
+    const double d =
+        std::max(1e-3, session_.estimate_dist(msg.sender, msg.hints));
+    arm_reply_timer(grp, level, d);
+  }
+}
+
+bool TransferEngine::eligible_repairer(const Group& grp) const {
+  if (is_source_) return grp.ldp_done || grp.complete;
+  return grp.complete;
+}
+
+void TransferEngine::arm_reply_timer(Group& grp, int level,
+                                     double dist_to_requester) {
+  grp.reply_level = level;
+  const sim::Time delay = cfg_.timers.reply_delay(rng_, dist_to_requester);
+  grp.reply_timer->arm(delay, [this, g = grp.id] { fire_reply(g); });
+}
+
+void TransferEngine::fire_reply(std::uint32_t g) {
+  auto it = groups_.find(g);
+  if (it == groups_.end()) return;
+  Group& grp = it->second;
+  if (!eligible_repairer(grp)) return;
+  if (cfg_.sender_only && !is_source_) return;
+  int level = grp.reply_level;
+  if (level < 0) return;
+  if (grp.pending_repairs[level] <= 0) {
+    // This zone is served; check smaller zones we may also owe.
+    level = -1;
+    for (std::size_t l = grp.pending_repairs.size(); l-- > 0;) {
+      if (grp.pending_repairs[l] > 0) level = static_cast<int>(l);
+    }
+    if (level < 0) return;
+    grp.reply_level = level;
+  }
+  send_one_repair(grp, level, /*preemptive=*/false);
+  grp.pending_repairs[level] = std::max(0, grp.pending_repairs[level] - 1);
+  // Pace the rest of the burst at half the data inter-packet interval
+  // (paper RP rule 1).
+  if (grp.pending_repairs[level] > 0 ||
+      *std::max_element(grp.pending_repairs.begin(),
+                        grp.pending_repairs.end()) > 0) {
+    grp.reply_timer->arm(cfg_.repair_spacing_factor * packet_interval(),
+                         [this, g] { fire_reply(g); });
+  }
+}
+
+void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
+  const net::ZoneId zone = session_.chain()[level];
+  const int index = next_parity_index(grp, zone);
+  grp.max_id_seen = std::max(grp.max_id_seen, index);
+
+  auto msg = std::make_shared<RepairMsg>();
+  msg->group = grp.id;
+  msg->index = index;
+  msg->k = cfg_.group_size;
+  msg->new_max_id = index;
+  msg->repairer = node_;
+  msg->zone = zone;
+  msg->preemptive = preemptive;
+  msg->hints = session_.make_hints();
+  msg->bytes = shard_bytes(grp, index);
+  ++repairs_sent_;
+  if (preemptive) ++preemptive_sent_;
+  net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kRepair,
+            cfg_.shard_size_bytes, msg);
+  // Our own shard store should know the shard exists (dedup/coordination).
+  add_shard(grp, index, msg->bytes);
+}
+
+// --- repair handling -----------------------------------------------------------
+
+void TransferEngine::on_repair(const RepairMsg& msg) {
+  seen_any_ = true;
+  if (join_point_fixed_ && msg.group < skip_before_) return;
+  Group& grp = ensure_group(msg.group);
+  const auto& chain = session_.chain();
+  int level = -1;
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    if (chain[l] == msg.zone) {
+      level = static_cast<int>(l);
+      break;
+    }
+  }
+  grp.max_id_seen = std::max(grp.max_id_seen, msg.new_max_id);
+  note_parity_seen(grp, msg.new_max_id);
+  ++grp.repair_coverage;
+  add_shard(grp, msg.index, msg.bytes);
+
+  // A repair resets the request backoff (paper LDP rule: "any time a
+  // repair arrives, i is reset to 1").
+  grp.backoff_i = 1;
+  if (!grp.complete && grp.request_timer->pending() && deficit(grp) > 0) {
+    arm_request_timer(grp);
+  }
+
+  // Dequeue speculative repairs for the repair's zone and every smaller
+  // zone on our chain (paper LDP rule 9).
+  if (level >= 0) {
+    for (int l = 0; l <= level; ++l) {
+      grp.pending_repairs[l] = std::max(0, grp.pending_repairs[l] - 1);
+    }
+    if (grp.reply_timer->pending()) {
+      bool any = false;
+      for (int v : grp.pending_repairs) any = any || v > 0;
+      if (!any) grp.reply_timer->cancel();
+    }
+  }
+}
+
+// --- completion, injection, ZLC measurement -------------------------------------
+
+void TransferEngine::on_group_complete(Group& grp) {
+  grp.complete = true;
+  grp.ldp_done = true;
+  grp.ldp_timer->cancel();
+  grp.request_timer->cancel();
+  // Successful recovery without duplicate NACKs nudges the adaptive
+  // request window back down.
+  if (grp.llc > 0) adapt_request_window(false);
+  if (log_) log_->record(node_, grp.id, simu_.now());
+  if (on_complete_) on_complete_(grp.id);
+  // Becoming a repairer: serve any speculative queue (paper RP rules 2/3).
+  if (eligible_repairer(grp) && (!cfg_.sender_only || is_source_)) {
+    int level = -1;
+    for (std::size_t l = grp.pending_repairs.size(); l-- > 0;) {
+      if (grp.pending_repairs[l] > 0) level = static_cast<int>(l);
+    }
+    if (level >= 0 && !grp.reply_timer->pending()) {
+      const net::ZoneId zone = session_.chain()[level];
+      if (is_source_ || session_.is_zcr(zone)) {
+        grp.reply_level = level;
+        fire_reply(grp.id);
+      } else {
+        arm_reply_timer(grp, level,
+                        std::max(1e-3, cfg_.default_dist * 1.0));
+      }
+    }
+  }
+  schedule_injection(grp);
+  schedule_zlc_measurement(grp);
+}
+
+void TransferEngine::schedule_injection(Group& grp) {
+  if (!cfg_.injection) return;
+  if (cfg_.sender_only && !is_source_) return;
+  const auto& chain = session_.chain();
+  // The source's root-level proactive FEC is the initial tranche; ZCRs of
+  // smaller zones top up their zone to the predicted ZLC.
+  for (std::size_t l = 0; l + 1 < chain.size(); ++l) {
+    if (!session_.is_zcr(chain[l]) || grp.injected[l]) continue;
+    grp.injected[l] = true;
+    // Incremental redundancy: predicted zone loss minus the coverage the
+    // larger scopes are predicted to deliver into this zone (paper §3.2:
+    // each zone compensates only for its own incremental loss; "should
+    // too much redundancy be injected at one level, receivers in
+    // subservient zones will add less").
+    const int want =
+        static_cast<int>(std::ceil(zlc_pred_[l] - cov_pred_[l] - 0.05));
+    const int extra = std::clamp(want, 0, slice_width() - 1);
+    if (extra <= 0) continue;
+    const int level = static_cast<int>(l);
+    // Paced burst of preemptive repairs into this zone (paper RP rule 2:
+    // the ZCR transmits without waiting for NACKs).
+    for (int i = 0; i < extra; ++i) {
+      simu_.after(cfg_.repair_spacing_factor * packet_interval() * i,
+                  [this, g = grp.id, level] {
+                    auto it = groups_.find(g);
+                    if (it == groups_.end()) return;
+                    send_one_repair(it->second, level, /*preemptive=*/true);
+                  });
+    }
+  }
+}
+
+void TransferEngine::schedule_zlc_measurement(Group& grp) {
+  if (grp.measured || grp.measure_timer->pending()) return;
+  const auto& chain = session_.chain();
+  bool responsible = is_source_;
+  for (std::size_t l = 0; !responsible && l < chain.size(); ++l) {
+    responsible = session_.is_zcr(chain[l]);
+  }
+  if (!responsible) return;
+  double max_rtt = 0.0;
+  for (net::ZoneId z : chain) {
+    if (is_source_ || session_.is_zcr(z)) {
+      max_rtt = std::max(max_rtt, session_.max_rtt_in_zone(z));
+    }
+  }
+  // The paper's 2.5x window assumes NACKs are delayed at most one zone
+  // RTT plus the suppression timer; our request timers (like the paper's)
+  // are drawn from 2^i [C1 d_S, (C1+C2) d_S] against the distance to the
+  // SOURCE, so the window must cover that too or the measurement will
+  // consistently run before any NACK can fire.
+  // The relevant distance is the larger of our distance to the source and
+  // the zone's farthest member's (approximated by half the max in-zone
+  // RTT): that member's request timer is the last NACK we must wait for.
+  const double d_src = std::max(
+      session_.estimate_dist(source_node_ == net::kNoNode ? node_
+                                                          : source_node_),
+      max_rtt / 2.0);
+  const double nack_window =
+      2.0 * (cfg_.timers.c1 + cfg_.timers.c2) * std::max(d_src, 1e-3);
+  const sim::Time wait =
+      cfg_.zlc_measure_rtt_factor * std::max(max_rtt, nack_window);
+  grp.measure_timer->arm(wait, [this, g = grp.id] {
+    auto it = groups_.find(g);
+    if (it == groups_.end()) return;
+    Group& grp2 = it->second;
+    grp2.measured = true;
+    const auto& ch = session_.chain();
+    for (std::size_t l = 0; l < ch.size(); ++l) {
+      const bool mine =
+          (is_source_ && l + 1 == ch.size()) || session_.is_zcr(ch[l]);
+      if (!mine) continue;
+      // True ZLC if NACKs announced it; otherwise our own LLC stands in
+      // (paper: "the EWMA filter will use the receiver's LLC in cases
+      // where no NACKs are received").
+      const int measured = std::max(grp2.zlc[l], grp2.llc);
+      zlc_pred_[l] =
+          cfg_.ewma_old * zlc_pred_[l] + cfg_.ewma_new * measured;
+      // Coverage from larger scopes observed for this group: parity whose
+      // originating level is strictly above this zone's level.
+      const int my_glevel = hier_.level(ch[l]);
+      int from_above = 0;
+      for (int gl = 0; gl < my_glevel && gl < hier_.depth(); ++gl) {
+        from_above += grp2.parity_seen_by_level[gl];
+      }
+      cov_pred_[l] =
+          cfg_.ewma_old * cov_pred_[l] + cfg_.ewma_new * from_above;
+    }
+  });
+}
+
+}  // namespace sharq::sfq

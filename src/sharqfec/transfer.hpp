@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fec/group_codec.hpp"
+#include "net/network.hpp"
+#include "rm/delivery_log.hpp"
+#include "sharqfec/config.hpp"
+#include "sharqfec/hierarchy.hpp"
+#include "sharqfec/messages.hpp"
+#include "sharqfec/session_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::sfq {
+
+/// The SHARQFEC data/repair engine for one member (paper §4).
+///
+/// Implements the two-phase group delivery: the Loss Detection Phase
+/// (LLC/ZLC accounting, SRM-style request timers with 2^i backoff, NACK
+/// suppression) and the Repair Phase (speculative repair queues, reply
+/// timers, repair-id coordination, preemptive ZCR injection driven by an
+/// EWMA of past Zone Loss Counts).
+class TransferEngine {
+ public:
+  TransferEngine(net::Network& net, Hierarchy& hier, SessionManager& session,
+                 const Config& cfg, net::NodeId node, bool is_source,
+                 rm::DeliveryLog* log);
+
+  /// Source API: stream `group_count` groups of k shards each, starting at
+  /// `start_at`. With real_payload set, `payload` supplies the bytes
+  /// (padded to whole groups); otherwise sizes alone are simulated.
+  void send_stream(std::uint32_t group_count, sim::Time start_at,
+                   std::vector<std::uint8_t> payload = {});
+
+  /// Offer a packet; returns true if it was a transfer message.
+  bool handle(const net::Packet& packet);
+
+  // --- inspection ------------------------------------------------------------
+  std::uint32_t groups_completed() const;
+  bool group_complete(std::uint32_t g) const;
+  std::uint32_t max_group_seen() const { return max_group_seen_; }
+  bool seen_any_data() const { return seen_any_; }
+  std::uint64_t nacks_sent() const { return nacks_sent_; }
+  std::uint64_t repairs_sent() const { return repairs_sent_; }
+  std::uint64_t preemptive_repairs_sent() const { return preemptive_sent_; }
+  double predicted_zlc(net::ZoneId z) const;
+  /// Reconstructed application bytes for a completed group (real_payload
+  /// mode only; empty otherwise).
+  std::vector<std::uint8_t> reconstructed(std::uint32_t g) const;
+  /// Called by the session manager's progress listener.
+  void note_remote_progress(std::uint32_t remote_max_group);
+  /// Application hook: invoked once per group, on completion.
+  void set_completion_callback(std::function<void(std::uint32_t)> cb) {
+    on_complete_ = std::move(cb);
+  }
+  /// First group this receiver is responsible for (>0 after a late join
+  /// without full-history recovery).
+  std::uint32_t first_tracked_group() const { return skip_before_; }
+
+ private:
+  /// Per-group receiver/repairer state.
+  struct Group {
+    std::uint32_t id = 0;
+    fec::GroupDecoder decoder;
+    int initial_shards = 0;      ///< k + h announced by the source
+    int last_initial_seen = -1;  ///< highest initial-tranche index received
+    int max_id_seen = -1;        ///< highest shard id seen or announced
+    int llc = 0;                 ///< local loss count (missing originals)
+    int repair_coverage = 0;     ///< repair shards seen for this group
+    bool ldp_done = false;
+    bool complete = false;
+    bool repairer_active = false;
+    sim::Time first_arrival = sim::kTimeNever;
+    // Per chain-level state, indexed like the session manager's chain.
+    std::vector<int> zlc;               ///< highest loss count heard per zone
+    std::vector<int> pending_repairs;   ///< speculative repair queue sizes
+    std::vector<bool> nacked;           ///< we announced our LLC at level
+    int backoff_i = 1;                  ///< paper: i starts at 1
+    int scope_level = 0;                ///< current NACK escalation level
+    int attempts_at_scope = 0;
+    std::unique_ptr<sim::Timer> ldp_timer;
+    std::unique_ptr<sim::Timer> request_timer;
+    std::unique_ptr<sim::Timer> reply_timer;
+    std::unique_ptr<sim::Timer> measure_timer;
+    std::unique_ptr<sim::Timer> inject_timer;
+    int reply_level = -1;               ///< level the reply timer serves
+    bool measured = false;
+    std::vector<bool> injected;         ///< per level: injection done
+    // Parity-index coordination: the parity space is partitioned into one
+    // slice per hierarchy level so repairers in nested zones never emit
+    // the same shard; within a slice, repairs heard advance the cursor
+    // (the paper's max-identifier announcements).
+    std::vector<int> slice_next;        ///< per global zone level
+    std::vector<int> parity_seen_by_level;  ///< repairs heard, by origin level
+    int last_fire_distinct = -1;        ///< progress marker for stall NACKs
+    // Sender-side extras
+    std::unique_ptr<fec::GroupEncoder> encoder;  // real-payload repair source
+    explicit Group(std::shared_ptr<const fec::ReedSolomon> codec)
+        : decoder(std::move(codec)) {}
+  };
+
+  Group& ensure_group(std::uint32_t g);
+  void fix_join_point(std::uint32_t first_heard_group, bool at_group_start);
+  void source_send_next();
+  void on_data(const DataMsg& msg, net::TrafficClass cls);
+  void on_repair(const RepairMsg& msg);
+  void on_nack(const NackMsg& msg);
+  void add_shard(Group& grp, int index,
+                 const std::shared_ptr<const std::vector<std::uint8_t>>& bytes);
+  void note_initial_progress(Group& grp, int index);
+  void raise_llc(Group& grp, int newly_missing);
+  void finish_ldp(Group& grp);
+  void maybe_request(Group& grp);
+  void arm_request_timer(Group& grp);
+  void adapt_request_window(bool heard_duplicate);
+  void fire_request(std::uint32_t g);
+  void on_group_complete(Group& grp);
+  void arm_reply_timer(Group& grp, int level, double dist_to_requester);
+  void fire_reply(std::uint32_t g);
+  void send_one_repair(Group& grp, int level, bool preemptive);
+  void schedule_injection(Group& grp);
+  void schedule_zlc_measurement(Group& grp);
+  bool eligible_repairer(const Group& grp) const;
+  int nack_level(const Group& grp) const;
+  bool covered_by_zlc(const Group& grp) const;
+  sim::Time packet_interval() const;
+  sim::Time inter_arrival_estimate() const;
+  int deficit(const Group& grp) const;
+  std::shared_ptr<const std::vector<std::uint8_t>> shard_bytes(Group& grp,
+                                                               int index);
+  int slice_width() const;
+  int slice_start(int global_level) const;
+  void note_parity_seen(Group& grp, int index);
+  int next_parity_index(Group& grp, net::ZoneId zone);
+
+  net::Network& net_;
+  sim::Simulator& simu_;
+  Hierarchy& hier_;
+  SessionManager& session_;
+  Config cfg_;
+  net::NodeId node_;
+  bool is_source_;
+  rm::DeliveryLog* log_;
+  sim::Rng rng_;
+  std::shared_ptr<const fec::ReedSolomon> codec_;
+
+  std::map<std::uint32_t, Group> groups_;
+  std::uint32_t max_group_seen_ = 0;
+  bool seen_any_ = false;
+  /// Groups below this id are outside our delivery contract (late join
+  /// with full-history recovery disabled).
+  std::uint32_t skip_before_ = 0;
+  bool join_point_fixed_ = false;
+  std::uint32_t groups_total_ = 0;  ///< 0 while unknown
+  net::NodeId source_node_ = net::kNoNode;
+  std::function<void(std::uint32_t)> on_complete_;
+
+  // Predicted ZLC per chain level (EWMA state), and the predicted repair
+  // coverage arriving from larger scopes (so ZCR injection is incremental:
+  // each zone tops up only the loss its parent's coverage leaves exposed).
+  std::vector<double> zlc_pred_;
+  std::vector<double> cov_pred_;
+  std::uint32_t send_group_ = 0;
+  int send_index_ = 0;
+  std::uint32_t send_total_groups_ = 0;
+  std::vector<std::uint8_t> payload_;
+  double arrival_ewma_ = -1.0;
+  sim::Time last_arrival_ = sim::kTimeNever;
+
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t repairs_sent_ = 0;
+  std::uint64_t preemptive_sent_ = 0;
+
+  // Adaptive request-window state (Config::adaptive_timers).
+  double c1_adapt_;
+  double c2_adapt_;
+  double ave_dup_nack_ = 0.0;
+
+ public:
+  double adapted_c1() const { return c1_adapt_; }
+  double adapted_c2() const { return c2_adapt_; }
+};
+
+}  // namespace sharq::sfq

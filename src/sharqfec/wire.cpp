@@ -1,0 +1,326 @@
+#include "sharqfec/wire.hpp"
+
+#include <cstring>
+
+namespace sharq::sfq::wire {
+
+namespace {
+
+// --- primitive writer ---------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(MsgType type) {
+    buf_.push_back(static_cast<std::uint8_t>(type));
+    buf_.push_back(kWireVersion);
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void bytes(const std::vector<std::uint8_t>* v) {
+    if (v == nullptr) {
+      u32(0xffffffffu);  // distinguish "no payload" from "empty payload"
+      return;
+    }
+    u32(static_cast<std::uint32_t>(v->size()));
+    buf_.insert(buf_.end(), v->begin(), v->end());
+  }
+  void hints(const std::vector<RttHint>& hs) {
+    u16(static_cast<std::uint16_t>(hs.size()));
+    for (const RttHint& h : hs) {
+      i32(h.zone);
+      i32(h.zcr);
+      f64(h.dist);
+    }
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// --- primitive bounds-checked reader -------------------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return take(1) ? data_[pos_ - 1] : 0; }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= std::uint16_t(data_[pos_ - 2 + i]) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_ - 4 + i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_ - 8 + i]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes() {
+    const std::uint32_t n = u32();
+    if (n == 0xffffffffu) return nullptr;
+    if (!take(n)) return nullptr;
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        data_ + pos_ - n, data_ + pos_);
+  }
+  std::vector<RttHint> hints() {
+    const std::uint16_t n = u16();
+    std::vector<RttHint> out;
+    // Each hint needs 16 bytes; reject counts the buffer cannot hold.
+    if (static_cast<std::size_t>(n) * 16 > remaining()) {
+      ok_ = false;
+      return out;
+    }
+    out.reserve(n);
+    for (std::uint16_t i = 0; i < n && ok_; ++i) {
+      RttHint h;
+      h.zone = i32();
+      h.zcr = i32();
+      h.dist = f64();
+      out.push_back(h);
+    }
+    return out;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+// --- encoders -------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const DataMsg& m) {
+  Writer w(MsgType::kData);
+  w.u32(m.group);
+  w.i32(m.index);
+  w.i32(m.k);
+  w.i32(m.initial_shards);
+  w.u32(m.groups_total);
+  w.bytes(m.bytes.get());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const RepairMsg& m) {
+  Writer w(MsgType::kRepair);
+  w.u32(m.group);
+  w.i32(m.index);
+  w.i32(m.k);
+  w.i32(m.new_max_id);
+  w.i32(m.repairer);
+  w.i32(m.zone);
+  w.u8(m.preemptive ? 1 : 0);
+  w.hints(m.hints);
+  w.bytes(m.bytes.get());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const NackMsg& m) {
+  Writer w(MsgType::kNack);
+  w.u32(m.group);
+  w.i32(m.zone);
+  w.i32(m.llc);
+  w.i32(m.needed);
+  w.i32(m.max_id_seen);
+  w.i32(m.sender);
+  w.hints(m.hints);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const SessionMsg& m) {
+  Writer w(MsgType::kSession);
+  w.i32(m.sender);
+  w.i32(m.zone);
+  w.f64(m.ts);
+  w.i32(m.zcr);
+  w.f64(m.zcr_parent_dist);
+  w.u32(m.max_group_seen);
+  w.u8(m.seen_any_data ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(m.entries.size()));
+  for (const SessionMsg::Entry& e : m.entries) {
+    w.i32(e.peer);
+    w.f64(e.peer_ts);
+    w.f64(e.delay);
+    w.f64(e.rtt_est);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ZcrChallengeMsg& m) {
+  Writer w(MsgType::kZcrChallenge);
+  w.i32(m.challenger);
+  w.i32(m.zone);
+  w.u64(m.challenge_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ZcrResponseMsg& m) {
+  Writer w(MsgType::kZcrResponse);
+  w.i32(m.responder);
+  w.i32(m.zone);
+  w.u64(m.challenge_id);
+  w.f64(m.processing_delay);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ZcrTakeoverMsg& m) {
+  Writer w(MsgType::kZcrTakeover);
+  w.i32(m.new_zcr);
+  w.i32(m.zone);
+  w.f64(m.dist_to_parent);
+  return w.take();
+}
+
+// --- decoder --------------------------------------------------------------------
+
+std::optional<MsgType> peek_type(const std::uint8_t* data, std::size_t size) {
+  if (size < 2 || data[1] != kWireVersion) return std::nullopt;
+  const std::uint8_t t = data[0];
+  if (t < 1 || t > 7) return std::nullopt;
+  return static_cast<MsgType>(t);
+}
+
+std::optional<AnyMsg> decode(const std::uint8_t* data, std::size_t size) {
+  const auto type = peek_type(data, size);
+  if (!type) return std::nullopt;
+  Reader r(data + 2, size - 2);
+  AnyMsg out;
+  switch (*type) {
+    case MsgType::kData: {
+      DataMsg m;
+      m.group = r.u32();
+      m.index = r.i32();
+      m.k = r.i32();
+      m.initial_shards = r.i32();
+      m.groups_total = r.u32();
+      m.bytes = r.bytes();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kRepair: {
+      RepairMsg m;
+      m.group = r.u32();
+      m.index = r.i32();
+      m.k = r.i32();
+      m.new_max_id = r.i32();
+      m.repairer = r.i32();
+      m.zone = r.i32();
+      m.preemptive = r.u8() != 0;
+      m.hints = r.hints();
+      m.bytes = r.bytes();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kNack: {
+      NackMsg m;
+      m.group = r.u32();
+      m.zone = r.i32();
+      m.llc = r.i32();
+      m.needed = r.i32();
+      m.max_id_seen = r.i32();
+      m.sender = r.i32();
+      m.hints = r.hints();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kSession: {
+      SessionMsg m;
+      m.sender = r.i32();
+      m.zone = r.i32();
+      m.ts = r.f64();
+      m.zcr = r.i32();
+      m.zcr_parent_dist = r.f64();
+      m.max_group_seen = r.u32();
+      m.seen_any_data = r.u8() != 0;
+      const std::uint16_t n = r.u16();
+      if (static_cast<std::size_t>(n) * 28 > r.remaining()) {
+        return std::nullopt;
+      }
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        SessionMsg::Entry e;
+        e.peer = r.i32();
+        e.peer_ts = r.f64();
+        e.delay = r.f64();
+        e.rtt_est = r.f64();
+        m.entries.push_back(e);
+      }
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kZcrChallenge: {
+      ZcrChallengeMsg m;
+      m.challenger = r.i32();
+      m.zone = r.i32();
+      m.challenge_id = r.u64();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kZcrResponse: {
+      ZcrResponseMsg m;
+      m.responder = r.i32();
+      m.zone = r.i32();
+      m.challenge_id = r.u64();
+      m.processing_delay = r.f64();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kZcrTakeover: {
+      ZcrTakeoverMsg m;
+      m.new_zcr = r.i32();
+      m.zone = r.i32();
+      m.dist_to_parent = r.f64();
+      out = std::move(m);
+      break;
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace sharq::sfq::wire

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "sharqfec/messages.hpp"
+
+namespace sharq::sfq::wire {
+
+/// Binary wire format for SHARQFEC messages.
+///
+/// The simulator passes message objects by pointer; a deployment needs
+/// bytes. This codec defines a compact little-endian encoding with a
+/// 1-byte type tag, suitable for a UDP payload:
+///
+///   [u8 type][u8 version][body...]
+///
+/// Decoding is fully bounds-checked: truncated or corrupt input yields
+/// std::nullopt, never undefined behaviour (fuzzed in the tests).
+enum class MsgType : std::uint8_t {
+  kData = 1,
+  kRepair = 2,
+  kNack = 3,
+  kSession = 4,
+  kZcrChallenge = 5,
+  kZcrResponse = 6,
+  kZcrTakeover = 7,
+};
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Any decodable message.
+using AnyMsg = std::variant<DataMsg, RepairMsg, NackMsg, SessionMsg,
+                            ZcrChallengeMsg, ZcrResponseMsg, ZcrTakeoverMsg>;
+
+/// Encode one message (overloads per type).
+std::vector<std::uint8_t> encode(const DataMsg& m);
+std::vector<std::uint8_t> encode(const RepairMsg& m);
+std::vector<std::uint8_t> encode(const NackMsg& m);
+std::vector<std::uint8_t> encode(const SessionMsg& m);
+std::vector<std::uint8_t> encode(const ZcrChallengeMsg& m);
+std::vector<std::uint8_t> encode(const ZcrResponseMsg& m);
+std::vector<std::uint8_t> encode(const ZcrTakeoverMsg& m);
+
+/// Decode any message; nullopt on truncation, bad tag, bad version, or
+/// length fields that overrun the buffer.
+std::optional<AnyMsg> decode(const std::uint8_t* data, std::size_t size);
+
+inline std::optional<AnyMsg> decode(const std::vector<std::uint8_t>& buf) {
+  return decode(buf.data(), buf.size());
+}
+
+/// Wire type of an encoded buffer (nullopt if empty/unknown).
+std::optional<MsgType> peek_type(const std::uint8_t* data, std::size_t size);
+
+}  // namespace sharq::sfq::wire

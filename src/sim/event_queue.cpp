@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sharq::sim {
+
+EventId EventQueue::schedule(Time at, Callback fn) {
+  const std::uint64_t seq = next_seq_++;
+  auto entry = std::make_shared<Entry>();
+  entry->at = at;
+  entry->seq = seq;
+  entry->fn = std::move(fn);
+  pending_.emplace(seq, entry);
+  heap_.push(std::move(entry));
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id.value);
+  if (it == pending_.end()) return false;
+  it->second->cancelled = true;
+  it->second->fn = nullptr;  // release captured state promptly
+  pending_.erase(it);
+  return true;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+Time EventQueue::next_time() {
+  skim();
+  if (heap_.empty()) return kTimeInfinity;
+  return heap_.top()->at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::shared_ptr<Entry> top = heap_.top();
+  heap_.pop();
+  pending_.erase(top->seq);
+  return Fired{top->at, std::move(top->fn)};
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_.clear();
+}
+
+}  // namespace sharq::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sharq::sim {
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Handles are never reused within a run, so a stale handle is harmless:
+/// cancelling it is a no-op.
+struct EventId {
+  std::uint64_t value = 0;
+
+  bool valid() const { return value != 0; }
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Time-ordered queue of callbacks with O(log n) insert/pop and O(1)
+/// (lazy) cancellation.
+///
+/// Ties in time are broken by insertion order, which keeps runs
+/// deterministic: two events scheduled for the same instant fire in the
+/// order they were scheduled.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `at`. Returns a handle that can
+  /// be passed to cancel().
+  EventId schedule(Time at, Callback fn);
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// still pending (and is now guaranteed not to run).
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live events still pending.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  Time next_time();
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  struct Fired {
+    Time at = 0.0;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// Drop every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    Time at = 0.0;
+    std::uint64_t seq = 0;  // tie-break + identity
+    Callback fn;
+    bool cancelled = false;
+  };
+  struct Later {
+    bool operator()(const std::shared_ptr<Entry>& a,
+                    const std::shared_ptr<Entry>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  /// Pop cancelled entries off the heap head so top() is live.
+  void skim();
+
+  std::priority_queue<std::shared_ptr<Entry>, std::vector<std::shared_ptr<Entry>>,
+                      Later>
+      heap_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace sharq::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sharq::sim {
+
+/// Deterministic random source for a simulation run.
+///
+/// Wraps a 64-bit Mersenne twister with the handful of draw shapes the
+/// protocols need. Every stochastic decision in the simulator (link loss,
+/// timer jitter, session staggering) draws from an Rng so runs are exactly
+/// reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ea11ab5u) : engine_(seed) {}
+
+  /// Re-seed the stream (resets the sequence).
+  void seed(std::uint64_t s) { engine_.seed(s); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed draw with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Raw 64-bit draw, for deriving child seeds.
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Derive an independent child stream (e.g. one per link).
+  Rng fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sharq::sim

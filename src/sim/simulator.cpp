@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sharq::sim {
+
+EventId Simulator::at(Time when, EventQueue::Callback fn) {
+  return queue_.schedule(std::max(when, now_), std::move(fn));
+}
+
+EventId Simulator::after(Time delay, EventQueue::Callback fn) {
+  return queue_.schedule(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Fired fired = queue_.pop();
+  now_ = std::max(now_, fired.at);
+  ++executed_;
+  if (fired.fn) fired.fn();
+  return true;
+}
+
+void Simulator::run_until(Time until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+  }
+  now_ = std::max(now_, until);
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Timer::arm(Time delay, std::function<void()> fn) {
+  cancel();
+  pending_ = true;
+  deadline_ = simu_->now() + std::max(delay, 0.0);
+  id_ = simu_->after(delay, [this, fn = std::move(fn)] {
+    pending_ = false;
+    deadline_ = kTimeNever;
+    fn();
+  });
+}
+
+void Timer::arm_if_idle(Time delay, std::function<void()> fn) {
+  if (!pending_) arm(delay, std::move(fn));
+}
+
+void Timer::cancel() {
+  if (pending_) {
+    simu_->cancel(id_);
+    pending_ = false;
+    deadline_ = kTimeNever;
+  }
+}
+
+}  // namespace sharq::sim

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace sharq::sim {
+
+/// Discrete-event simulation engine.
+///
+/// Owns the virtual clock, the event queue, and the root random stream.
+/// Every other component (links, agents, protocols) schedules work through
+/// this object; nothing in the library reads wall-clock time.
+///
+/// Typical use:
+/// ```
+/// Simulator simu(/*seed=*/42);
+/// simu.after(1.0, [&]{ ... });
+/// simu.run_until(20.0);
+/// ```
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now()).
+  EventId at(Time when, EventQueue::Callback fn);
+
+  /// Schedule `fn` after a relative delay (clamped to >= 0).
+  EventId after(Time delay, EventQueue::Callback fn);
+
+  /// Cancel a pending event; harmless on stale/invalid handles.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or virtual time would pass `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void run_until(Time until);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Execute at most one event; returns false if the queue was empty.
+  bool step();
+
+  /// Abort the run: discards every pending event.
+  void stop() { queue_.clear(); }
+
+  /// Number of events executed so far (for tests and micro-benchmarks).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Root random stream for this run.
+  Rng& rng() { return rng_; }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+/// A restartable one-shot timer bound to a Simulator.
+///
+/// Protocols use many of these (request timers, reply timers, session
+/// timers). The class guarantees that after cancel()/restart the old
+/// callback can no longer fire, which removes a whole class of
+/// use-after-reschedule bugs.
+class Timer {
+ public:
+  explicit Timer(Simulator& simu) : simu_(&simu) {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm the timer to fire `delay` seconds from now. Any previously
+  /// armed firing is cancelled first.
+  void arm(Time delay, std::function<void()> fn);
+
+  /// Arm only if not already pending.
+  void arm_if_idle(Time delay, std::function<void()> fn);
+
+  /// Cancel a pending firing, if any.
+  void cancel();
+
+  /// True if a firing is scheduled and has not yet run.
+  bool pending() const { return pending_; }
+
+  /// Absolute time of the pending firing (kTimeNever if idle).
+  Time deadline() const { return pending_ ? deadline_ : kTimeNever; }
+
+ private:
+  Simulator* simu_;
+  EventId id_{};
+  bool pending_ = false;
+  Time deadline_ = kTimeNever;
+};
+
+}  // namespace sharq::sim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sharq::sim {
+
+/// Simulation time, in seconds since the start of the run.
+///
+/// A plain double keeps the arithmetic the protocols perform (RTT halving,
+/// EWMA filters, timer windows) natural while still giving ~microsecond
+/// resolution over any realistic run length.
+using Time = double;
+
+/// A time that compares later than every reachable event time.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Sentinel for "no time recorded yet".
+inline constexpr Time kTimeNever = -1.0;
+
+/// Convert milliseconds to simulation seconds.
+constexpr Time from_ms(double ms) { return ms / 1000.0; }
+
+/// Convert simulation seconds to milliseconds.
+constexpr double to_ms(Time t) { return t * 1000.0; }
+
+}  // namespace sharq::sim

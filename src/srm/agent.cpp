@@ -1,0 +1,332 @@
+#include "srm/agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sharq::srm {
+
+Agent::Agent(net::Network& net, net::ChannelId channel, net::NodeId node,
+             Config config, rm::DeliveryLog* log)
+    : net_(net),
+      simu_(net.simulator()),
+      channel_(channel),
+      cfg_(config),
+      log_(log),
+      rng_(net.simulator().rng().fork()),
+      session_timer_(net.simulator()),
+      c1_(config.timers.c1),
+      c2_(config.timers.c2),
+      d1_(config.timers.d1),
+      d2_(config.timers.d2) {
+  net_.attach(node, this);
+  net_.subscribe(channel_, node);
+}
+
+void Agent::start() { schedule_session(); }
+
+void Agent::schedule_session() {
+  const sim::Time delay = cfg_.stagger.next_delay(rng_, session_msgs_sent_);
+  session_timer_.arm(delay, [this] {
+    send_session_message();
+    schedule_session();
+  });
+}
+
+void Agent::send_session_message() {
+  auto msg = std::make_shared<SessionMsg>();
+  msg->sender = node();
+  msg->ts = simu_.now();
+  msg->max_seq_seen = max_seq_;
+  msg->seen_any_data = seen_data_;
+  msg->echoes.reserve(peer_clocks_.size());
+  for (const auto& [peer, clock] : peer_clocks_) {
+    if (!clock.valid) continue;
+    msg->echoes.push_back(SessionMsg::Echo{
+        peer, clock.last_ts, simu_.now() - clock.heard_at});
+  }
+  ++session_msgs_sent_;
+  net_.send(node(), channel_, net::TrafficClass::kSession,
+            session_msg_size(msg->echoes.size()), msg, /*lossless=*/true);
+}
+
+void Agent::send_stream(std::uint32_t count, sim::Time start_at) {
+  is_source_ = true;
+  source_ = node();
+  const sim::Time interval =
+      static_cast<double>(cfg_.packet_size_bytes) * 8.0 / cfg_.data_rate_bps;
+  for (std::uint32_t s = 0; s < count; ++s) {
+    simu_.at(start_at + interval * s, [this, s, count] {
+      // Session messages advertise progress only once packets are truly
+      // on the wire, otherwise receivers would chase phantom losses.
+      seen_data_ = true;
+      max_seq_ = std::max(max_seq_, s);
+      mark_received(s, nullptr);
+      auto msg = std::make_shared<DataMsg>();
+      msg->seq = s;
+      msg->last = (s + 1 == count);
+      net_.send(node(), channel_, net::TrafficClass::kData,
+                cfg_.packet_size_bytes, msg);
+    });
+  }
+}
+
+sim::Time Agent::distance_to(net::NodeId peer) const {
+  auto it = dist_.find(peer);
+  return it == dist_.end() ? cfg_.default_dist : it->second;
+}
+
+sim::Time Agent::dist_to_source() const {
+  return source_ == net::kNoNode ? cfg_.default_dist : distance_to(source_);
+}
+
+bool Agent::has(std::uint32_t seq) const {
+  return seq < have_.size() && have_[seq];
+}
+
+void Agent::mark_received(
+    std::uint32_t seq,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes) {
+  if (seq >= have_.size()) {
+    have_.resize(seq + 1, false);
+    payloads_.resize(seq + 1);
+  }
+  if (have_[seq]) return;
+  have_[seq] = true;
+  payloads_[seq] = bytes;
+  ++held_;
+  if (log_) log_->record(node(), seq, simu_.now());
+}
+
+void Agent::on_receive(const net::Packet& packet) {
+  if (packet.channel != channel_) return;
+  if (const auto* data = packet.as<DataMsg>()) {
+    if (source_ == net::kNoNode) source_ = packet.origin;
+    on_data(data->seq, data->bytes, net::TrafficClass::kData);
+  } else if (const auto* repair = packet.as<RepairMsg>()) {
+    handle_repair_heard(repair->seq);
+    on_data(repair->seq, repair->bytes, net::TrafficClass::kRepair);
+  } else if (const auto* req = packet.as<RequestMsg>()) {
+    handle_request(*req);
+  } else if (const auto* sess = packet.as<SessionMsg>()) {
+    // Record the peer's clock for our next session message.
+    PeerClock& clock = peer_clocks_[sess->sender];
+    clock.last_ts = sess->ts;
+    clock.heard_at = simu_.now();
+    clock.valid = true;
+    // If the peer echoed us, derive the RTT: now - our_ts - peer_hold.
+    for (const SessionMsg::Echo& e : sess->echoes) {
+      if (e.peer != node()) continue;
+      const sim::Time rtt = simu_.now() - e.peer_ts - e.delay;
+      if (rtt <= 0.0) break;
+      const sim::Time d = rtt / 2.0;
+      auto it = dist_.find(sess->sender);
+      if (it == dist_.end()) {
+        dist_[sess->sender] = d;
+      } else {
+        it->second = (1.0 - cfg_.dist_gain) * it->second + cfg_.dist_gain * d;
+      }
+      break;
+    }
+    // Tail-loss detection: the session message advertises the sender's
+    // highest sequence; if it exceeds ours we have missed packets we could
+    // not detect from gaps alone.
+    if (sess->seen_any_data && !is_source_) {
+      if (!seen_data_) {
+        seen_data_ = true;
+        max_seq_ = 0;
+        if (!has(0)) start_request(0);
+      }
+      if (sess->max_seq_seen > max_seq_) {
+        note_gap_up_to(sess->max_seq_seen);
+        if (!has(sess->max_seq_seen)) start_request(sess->max_seq_seen);
+        max_seq_ = sess->max_seq_seen;
+      }
+    }
+  }
+}
+
+void Agent::on_data(
+    std::uint32_t seq,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes,
+    net::TrafficClass) {
+  if (!seen_data_) {
+    seen_data_ = true;
+    // Everything before the first packet we ever saw is also missing.
+    for (std::uint32_t q = 0; q < seq; ++q) {
+      if (!has(q)) start_request(q);
+    }
+    max_seq_ = seq;
+  } else if (seq > max_seq_) {
+    note_gap_up_to(seq);
+    max_seq_ = seq;
+  }
+  const bool was_new = !has(seq);
+  mark_received(seq, bytes);
+  if (was_new) {
+    auto it = requests_.find(seq);
+    if (it != requests_.end()) {
+      adapt_request_timers(it->second, simu_.now());
+      requests_.erase(it);
+    }
+  }
+}
+
+void Agent::note_gap_up_to(std::uint32_t new_max) {
+  // Packets (max_seq_, new_max) exclusive are now known missing.
+  const std::uint32_t from = seen_data_ ? max_seq_ + 1 : 0;
+  for (std::uint32_t q = from; q < new_max; ++q) {
+    if (!has(q)) start_request(q);
+  }
+}
+
+void Agent::start_request(std::uint32_t seq) {
+  if (is_source_ || has(seq)) return;
+  if (requests_.count(seq)) return;
+  PendingRequest pr;
+  pr.timer = std::make_unique<sim::Timer>(simu_);
+  pr.detected_at = simu_.now();
+  pr.backoff = 0;
+  auto [it, inserted] = requests_.emplace(seq, std::move(pr));
+  (void)inserted;
+  rm::TimerPolicy policy = cfg_.timers;
+  policy.c1 = c1_;
+  policy.c2 = c2_;
+  const sim::Time delay =
+      policy.request_delay(rng_, dist_to_source(), it->second.backoff);
+  it->second.timer->arm(delay, [this, seq] { fire_request(seq); });
+}
+
+void Agent::fire_request(std::uint32_t seq) {
+  auto it = requests_.find(seq);
+  if (it == requests_.end() || has(seq)) return;
+  auto msg = std::make_shared<RequestMsg>();
+  msg->seq = seq;
+  msg->requester = node();
+  ++requests_sent_;
+  it->second.requested_once = true;
+  net_.send(node(), channel_, net::TrafficClass::kNack, 32, msg,
+            /*lossless=*/true);
+  // Back off and wait for the repair; if none arrives the timer refires.
+  it->second.backoff = std::min(it->second.backoff + 1, cfg_.max_backoff_stage);
+  rm::TimerPolicy policy = cfg_.timers;
+  policy.c1 = c1_;
+  policy.c2 = c2_;
+  const sim::Time delay =
+      policy.request_delay(rng_, dist_to_source(), it->second.backoff);
+  it->second.timer->arm(delay, [this, seq] { fire_request(seq); });
+}
+
+void Agent::handle_request(const RequestMsg& req) {
+  const std::uint32_t seq = req.seq;
+  if (has(seq)) {
+    // We can repair. Suppress if a reply is already pending or we are in
+    // the post-repair holddown for this sequence.
+    auto hd = holddown_until_.find(seq);
+    if (hd != holddown_until_.end() && simu_.now() < hd->second) return;
+    if (replies_.count(seq)) return;
+    PendingReply rep;
+    rep.timer = std::make_unique<sim::Timer>(simu_);
+    rep.requester = req.requester;
+    auto [it, inserted] = replies_.emplace(seq, std::move(rep));
+    (void)inserted;
+    rm::TimerPolicy policy = cfg_.timers;
+    policy.d1 = d1_;
+    policy.d2 = d2_;
+    const sim::Time delay =
+        policy.reply_delay(rng_, distance_to(req.requester));
+    it->second.timer->arm(delay, [this, seq] {
+      auto jt = replies_.find(seq);
+      if (jt == replies_.end()) return;
+      auto msg = std::make_shared<RepairMsg>();
+      msg->seq = seq;
+      msg->repairer = node();
+      msg->bytes = seq < payloads_.size() ? payloads_[seq] : nullptr;
+      ++repairs_sent_;
+      net_.send(node(), channel_, net::TrafficClass::kRepair,
+                cfg_.packet_size_bytes, msg);
+      holddown_until_[seq] = simu_.now() + cfg_.holddown_factor * dist_to_source();
+      replies_.erase(jt);
+      adapt_reply_timers(/*was_duplicate=*/false);
+    });
+    return;
+  }
+  // We are missing it too: suppression. Hearing another host's request
+  // makes us back off our own pending request (SRM exponential backoff).
+  if (seen_data_ && seq > max_seq_) {
+    note_gap_up_to(seq);
+    max_seq_ = std::max(max_seq_, seq);
+  }
+  auto it = requests_.find(seq);
+  if (it == requests_.end()) {
+    // We had not detected this loss yet.
+    start_request(seq);
+    return;
+  }
+  PendingRequest& pr = it->second;
+  if (pr.requested_once) ++pr.dup_requests;
+  pr.backoff = std::min(pr.backoff + 1, cfg_.max_backoff_stage);
+  rm::TimerPolicy policy = cfg_.timers;
+  policy.c1 = c1_;
+  policy.c2 = c2_;
+  const sim::Time delay =
+      policy.request_delay(rng_, dist_to_source(), pr.backoff);
+  pr.timer->arm(delay, [this, seq] { fire_request(seq); });
+}
+
+void Agent::handle_repair_heard(std::uint32_t seq) {
+  // A repair suppresses our own pending reply for the same data.
+  auto it = replies_.find(seq);
+  if (it != replies_.end()) {
+    ++dup_repairs_;
+    replies_.erase(it);
+    adapt_reply_timers(/*was_duplicate=*/true);
+  }
+  if (has(seq)) {
+    holddown_until_[seq] =
+        simu_.now() + cfg_.holddown_factor * dist_to_source();
+  }
+}
+
+void Agent::adapt_reply_timers(bool was_duplicate) {
+  if (!cfg_.adaptive_timers) return;
+  // Mirror of the request adaptation (Floyd et al. '95): widen the reply
+  // window when our replies keep colliding with other repairers'; shrink
+  // it slowly while we answer without duplication.
+  ave_dup_rep_ = 0.75 * ave_dup_rep_ + 0.25 * (was_duplicate ? 1.0 : 0.0);
+  if (ave_dup_rep_ >= 0.5) {
+    d1_ += 0.05;
+    d2_ += 0.25;
+  } else if (ave_dup_rep_ < 0.2) {
+    d1_ -= 0.025;
+    d2_ -= 0.05;
+  }
+  d1_ = std::clamp(d1_, cfg_.d1_min, cfg_.d1_max);
+  d2_ = std::clamp(d2_, cfg_.d2_min, cfg_.d2_max);
+}
+
+void Agent::adapt_request_timers(const PendingRequest& done, sim::Time now) {
+  if (!cfg_.adaptive_timers) return;
+  if (!done.requested_once && done.dup_requests == 0) {
+    // Recovered purely by someone else's request/repair: counts as zero
+    // duplicates and does not update the delay average.
+    ave_dup_req_ = 0.75 * ave_dup_req_;
+    return;
+  }
+  const double d = std::max(dist_to_source(), 1e-6);
+  const double delay_units = (now - done.detected_at) / d;
+  ave_dup_req_ = 0.75 * ave_dup_req_ + 0.25 * done.dup_requests;
+  ave_req_delay_ = 0.75 * ave_req_delay_ + 0.25 * delay_units;
+  // Floyd et al. '95: grow the window when duplicates are common; shrink
+  // it (bounded) when duplicates are rare but recovery is slow.
+  if (ave_dup_req_ >= 1.0) {
+    c1_ += 0.1;
+    c2_ += 0.5;
+  } else if (ave_dup_req_ < 0.9) {
+    if (ave_req_delay_ > 2.0 * (c1_ + c2_)) c2_ -= 0.1;
+    c1_ -= 0.05;
+  }
+  c1_ = std::clamp(c1_, cfg_.c1_min, cfg_.c1_max);
+  c2_ = std::clamp(c2_, cfg_.c2_min, cfg_.c2_max);
+}
+
+}  // namespace sharq::srm

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "rm/delivery_log.hpp"
+#include "rm/timers.hpp"
+#include "sim/simulator.hpp"
+#include "srm/messages.hpp"
+
+namespace sharq::srm {
+
+/// Tunables for the SRM baseline.
+struct Config {
+  rm::TimerPolicy timers;       ///< C1,C2 request / D1,D2 reply windows
+  bool adaptive_timers = true;  ///< Floyd et al. '95 adaptive adjustment
+  rm::SessionStagger stagger;   ///< session message pacing
+  int packet_size_bytes = 1000;
+  double data_rate_bps = 800e3;
+  sim::Time default_dist = 0.050;  ///< distance before session converges
+  /// After sending a repair, ignore further requests for that seq for
+  /// `holddown_factor * d_source` seconds.
+  double holddown_factor = 3.0;
+  /// EWMA gain for distance estimates from session messages.
+  double dist_gain = 0.5;
+  /// Bounds for adaptive timer parameters.
+  double c1_min = 0.5, c1_max = 8.0, c2_min = 1.0, c2_max = 16.0;
+  double d1_min = 0.5, d1_max = 8.0, d2_min = 1.0, d2_max = 16.0;
+  /// Request backoff cap: 2^6 * [C1 d, (C1+C2) d] is already tens of
+  /// seconds; growing further turns a suppressed receiver into a stalled
+  /// one when its repairs keep getting lost.
+  int max_backoff_stage = 6;
+};
+
+/// One SRM endpoint (source or receiver). All SRM traffic — data,
+/// requests, repairs, session messages — travels on a single global
+/// multicast channel, exactly as in Floyd et al. '95.
+class Agent final : public net::Agent {
+ public:
+  /// Attach an agent to `node`. The channel must be subscribed by every
+  /// session member. `log` may be null.
+  Agent(net::Network& net, net::ChannelId channel, net::NodeId node,
+        Config config, rm::DeliveryLog* log);
+
+  /// Begin session messaging (call for every member before data starts).
+  void start();
+
+  /// Source API: emit `count` packets at the configured CBR rate starting
+  /// at absolute time `start_at`.
+  void send_stream(std::uint32_t count, sim::Time start_at);
+
+  void on_receive(const net::Packet& packet) override;
+
+  // --- inspection -----------------------------------------------------------
+  bool has(std::uint32_t seq) const;
+  std::uint32_t packets_held() const { return held_; }
+  std::uint32_t max_seq_seen() const { return max_seq_; }
+  bool seen_any_data() const { return seen_data_; }
+  sim::Time distance_to(net::NodeId peer) const;
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t repairs_sent() const { return repairs_sent_; }
+  std::uint64_t duplicate_repairs_heard() const { return dup_repairs_; }
+  const Config& config() const { return cfg_; }
+  double adapted_c1() const { return c1_; }
+  double adapted_c2() const { return c2_; }
+
+ private:
+  struct PendingRequest {
+    std::unique_ptr<sim::Timer> timer;
+    int backoff = 0;          // i in 2^i
+    int dup_requests = 0;     // duplicates heard this recovery
+    sim::Time detected_at = 0.0;
+    bool requested_once = false;
+  };
+  struct PendingReply {
+    std::unique_ptr<sim::Timer> timer;
+    net::NodeId requester = net::kNoNode;
+  };
+
+  void send_session_message();
+  void schedule_session();
+  void on_data(std::uint32_t seq,
+               const std::shared_ptr<const std::vector<std::uint8_t>>& bytes,
+               net::TrafficClass cls);
+  void note_gap_up_to(std::uint32_t new_max);
+  void start_request(std::uint32_t seq);
+  void fire_request(std::uint32_t seq);
+  void handle_request(const RequestMsg& req);
+  void handle_repair_heard(std::uint32_t seq);
+  void adapt_request_timers(const PendingRequest& done, sim::Time now);
+  void adapt_reply_timers(bool was_duplicate);
+  void mark_received(std::uint32_t seq,
+                     const std::shared_ptr<const std::vector<std::uint8_t>>&
+                         bytes);
+  sim::Time dist_to_source() const;
+
+  net::Network& net_;
+  sim::Simulator& simu_;
+  net::ChannelId channel_;
+  Config cfg_;
+  rm::DeliveryLog* log_;
+  sim::Rng rng_;
+
+  // data state
+  std::vector<bool> have_;
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> payloads_;
+  std::uint32_t held_ = 0;
+  std::uint32_t max_seq_ = 0;
+  bool seen_data_ = false;
+  net::NodeId source_ = net::kNoNode;
+  bool is_source_ = false;
+
+  // recovery state
+  std::unordered_map<std::uint32_t, PendingRequest> requests_;
+  std::unordered_map<std::uint32_t, PendingReply> replies_;
+  std::unordered_map<std::uint32_t, sim::Time> holddown_until_;
+
+  // session state
+  sim::Timer session_timer_;
+  int session_msgs_sent_ = 0;
+  struct PeerClock {
+    sim::Time last_ts = 0.0;
+    sim::Time heard_at = 0.0;
+    bool valid = false;
+  };
+  std::unordered_map<net::NodeId, PeerClock> peer_clocks_;
+  std::unordered_map<net::NodeId, sim::Time> dist_;
+
+  // adaptive timer state (Floyd et al. '95 appendix, simplified: see
+  // adapt_request_timers)
+  double c1_, c2_, d1_, d2_;
+  double ave_dup_req_ = 0.0;
+  double ave_req_delay_ = 0.0;
+  double ave_dup_rep_ = 0.0;
+
+  // counters
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t repairs_sent_ = 0;
+  std::uint64_t dup_repairs_ = 0;
+};
+
+}  // namespace sharq::srm

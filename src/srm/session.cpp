@@ -1,0 +1,28 @@
+#include "srm/session.hpp"
+
+#include <stdexcept>
+
+namespace sharq::srm {
+
+Session::Session(net::Network& net, net::NodeId source,
+                 const std::vector<net::NodeId>& receivers, Config config,
+                 rm::DeliveryLog* log) {
+  channel_ = net.create_channel(net::kNoZone);
+  agents_.push_back(std::make_unique<Agent>(net, channel_, source, config, log));
+  for (net::NodeId r : receivers) {
+    agents_.push_back(std::make_unique<Agent>(net, channel_, r, config, log));
+  }
+}
+
+void Session::start() {
+  for (auto& a : agents_) a->start();
+}
+
+Agent& Session::agent_for(net::NodeId node) {
+  for (auto& a : agents_) {
+    if (a->node() == node) return *a;
+  }
+  throw std::out_of_range("no SRM agent for node");
+}
+
+}  // namespace sharq::srm

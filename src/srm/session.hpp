@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "srm/agent.hpp"
+
+namespace sharq::srm {
+
+/// Convenience owner of a full SRM session: one source, many receivers,
+/// one global multicast channel.
+class Session {
+ public:
+  /// Create agents for `source` and each node in `receivers`.
+  Session(net::Network& net, net::NodeId source,
+          const std::vector<net::NodeId>& receivers, Config config,
+          rm::DeliveryLog* log = nullptr);
+
+  /// Start session messaging on every member.
+  void start();
+
+  /// Emit the data stream from the source.
+  void send_stream(std::uint32_t count, sim::Time start_at) {
+    source_agent().send_stream(count, start_at);
+  }
+
+  net::ChannelId channel() const { return channel_; }
+  Agent& source_agent() { return *agents_.front(); }
+  Agent& agent_for(net::NodeId node);
+  const std::vector<std::unique_ptr<Agent>>& agents() const { return agents_; }
+
+ private:
+  net::ChannelId channel_;
+  std::vector<std::unique_ptr<Agent>> agents_;  // [0] = source
+};
+
+}  // namespace sharq::srm

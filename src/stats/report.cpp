@@ -1,0 +1,56 @@
+#include "stats/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sharq::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << c;
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::string sep;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    sep += std::string(widths[i], '-') + "  ";
+  }
+  os << sep << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& values, double bin_width,
+                  double t0) {
+  os << "# series: " << name << '\n';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << t0 + bin_width * static_cast<double>(i) << ' ' << values[i] << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace sharq::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace sharq::stats {
+
+/// Minimal fixed-width table printer for bench output.
+///
+/// The bench binaries print the same rows/series the paper's figures plot;
+/// this keeps their formatting consistent and greppable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cells are printed as given.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Write the table (headers, separator, rows) to `os`.
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a named time series as "t value" pairs, one per line, prefixed by
+/// a `# series: name` comment — gnuplot-friendly.
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& values, double bin_width,
+                  double t0 = 0.0);
+
+}  // namespace sharq::stats

@@ -1,0 +1,47 @@
+#include "stats/time_series.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace sharq::stats {
+
+void BinnedSeries::add(sim::Time t, double amount) {
+  if (t < 0.0) t = 0.0;
+  const int idx = static_cast<int>(t / width_);
+  if (idx >= bin_count()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += amount;
+}
+
+double BinnedSeries::total() const {
+  return std::accumulate(bins_.begin(), bins_.end(), 0.0);
+}
+
+double BinnedSeries::peak() const {
+  double p = 0.0;
+  for (double v : bins_) p = std::max(p, v);
+  return p;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  auto at_quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.p50 = at_quantile(0.50);
+  s.p90 = at_quantile(0.90);
+  s.p99 = at_quantile(0.99);
+  return s;
+}
+
+}  // namespace sharq::stats

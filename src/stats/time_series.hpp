@@ -1,0 +1,62 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sharq::stats {
+
+/// A counter binned over fixed-width time intervals.
+///
+/// The paper reports traffic as packet counts per 0.1 s interval; this is
+/// the container those series accumulate into.
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(sim::Time bin_width = 0.1) : width_(bin_width) {}
+
+  /// Add `amount` to the bin containing time `t`.
+  void add(sim::Time t, double amount = 1.0);
+
+  sim::Time bin_width() const { return width_; }
+
+  /// Number of bins touched so far (dense from t=0).
+  int bin_count() const { return static_cast<int>(bins_.size()); }
+
+  /// Value of bin i (0 beyond the recorded range).
+  double bin(int i) const {
+    return (i >= 0 && i < bin_count()) ? bins_[i] : 0.0;
+  }
+
+  /// Start time of bin i.
+  sim::Time bin_start(int i) const { return i * width_; }
+
+  /// Sum over all bins.
+  double total() const;
+
+  /// Largest single bin value.
+  double peak() const;
+
+  const std::vector<double>& bins() const { return bins_; }
+
+ private:
+  sim::Time width_;
+  std::vector<double> bins_;
+};
+
+/// Summary statistics over a set of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a Summary (sorts a copy; fine at analysis time).
+Summary summarize(std::vector<double> samples);
+
+}  // namespace sharq::stats

@@ -1,0 +1,62 @@
+#include "stats/trace_writer.hpp"
+
+#include <ostream>
+
+namespace sharq::stats {
+
+TraceWriter::TraceWriter(std::ostream& os, const net::Network* net,
+                         net::TrafficSink* next)
+    : os_(os), net_(net), next_(next) {}
+
+void TraceWriter::enable_class(net::TrafficClass cls, bool on) {
+  const unsigned bit = 1u << static_cast<unsigned>(cls);
+  if (on) {
+    mask_ |= bit;
+  } else {
+    mask_ &= ~bit;
+  }
+}
+
+void TraceWriter::line(char tag, sim::Time t, int a, int b,
+                       const net::Packet& p) {
+  os_ << tag << ' ' << t << ' ' << a << ' ';
+  if (b >= 0) {
+    os_ << b;
+  } else {
+    os_ << '-';
+  }
+  os_ << ' ' << net::to_string(p.cls) << ' ' << p.size_bytes << ' ' << p.uid
+      << '\n';
+  ++lines_;
+}
+
+void TraceWriter::on_deliver(sim::Time t, net::NodeId at,
+                             const net::Packet& p) {
+  if (enabled(p.cls)) line('r', t, at, -1, p);
+  if (next_) next_->on_deliver(t, at, p);
+}
+
+void TraceWriter::on_transmit(sim::Time t, net::LinkId link,
+                              const net::Packet& p) {
+  if (enabled(p.cls)) {
+    if (net_ != nullptr) {
+      line('h', t, net_->link_from(link), net_->link_to(link), p);
+    } else {
+      line('h', t, link, -1, p);
+    }
+  }
+  if (next_) next_->on_transmit(t, link, p);
+}
+
+void TraceWriter::on_drop(sim::Time t, net::LinkId link, const net::Packet& p) {
+  if (enabled(p.cls)) {
+    if (net_ != nullptr) {
+      line('d', t, net_->link_from(link), net_->link_to(link), p);
+    } else {
+      line('d', t, link, -1, p);
+    }
+  }
+  if (next_) next_->on_drop(t, link, p);
+}
+
+}  // namespace sharq::stats

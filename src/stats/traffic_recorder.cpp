@@ -1,0 +1,83 @@
+#include "stats/traffic_recorder.hpp"
+
+#include <cassert>
+
+namespace sharq::stats {
+
+TrafficRecorder::TrafficRecorder(int node_count, sim::Time bin) : bin_(bin) {
+  per_node_.resize(node_count);
+  for (auto& arr : per_node_) {
+    for (auto& s : arr) s = BinnedSeries(bin_);
+  }
+  for (auto& s : totals_) s = BinnedSeries(bin_);
+  for (auto& s : link_series_) s = BinnedSeries(bin_);
+}
+
+void TrafficRecorder::watch_links(std::unordered_set<net::LinkId> links) {
+  watched_links_ = std::move(links);
+}
+
+void TrafficRecorder::watch_only(std::unordered_set<net::NodeId> nodes) {
+  watch_ = std::move(nodes);
+  watch_all_ = watch_.empty();
+}
+
+void TrafficRecorder::on_deliver(sim::Time t, net::NodeId at,
+                                 const net::Packet& p) {
+  const int ci = class_index(p.cls);
+  totals_[ci].add(t);
+  bytes_delivered_ += static_cast<std::uint64_t>(p.size_bytes);
+  if (at >= 0 && at < static_cast<net::NodeId>(per_node_.size()) &&
+      (watch_all_ || watch_.count(at) > 0)) {
+    per_node_[at][ci].add(t);
+  }
+}
+
+void TrafficRecorder::on_transmit(sim::Time t, net::LinkId link,
+                                  const net::Packet& p) {
+  ++transmissions_;
+  if (watched_links_.count(link) > 0) {
+    link_series_[class_index(p.cls)].add(t);
+  }
+}
+
+void TrafficRecorder::on_drop(sim::Time, net::LinkId, const net::Packet&) {
+  ++drops_;
+}
+
+const BinnedSeries& TrafficRecorder::node_series(net::NodeId node,
+                                                 net::TrafficClass cls) const {
+  return per_node_.at(node)[class_index(cls)];
+}
+
+const BinnedSeries& TrafficRecorder::total_series(net::TrafficClass cls) const {
+  return totals_[class_index(cls)];
+}
+
+double TrafficRecorder::node_total(net::NodeId node,
+                                   net::TrafficClass cls) const {
+  return node_series(node, cls).total();
+}
+
+std::vector<double> TrafficRecorder::mean_over_nodes(
+    const std::vector<net::NodeId>& nodes,
+    std::initializer_list<net::TrafficClass> classes) const {
+  int max_bins = 0;
+  for (net::NodeId n : nodes) {
+    for (net::TrafficClass c : classes) {
+      max_bins = std::max(max_bins, node_series(n, c).bin_count());
+    }
+  }
+  std::vector<double> out(max_bins, 0.0);
+  if (nodes.empty()) return out;
+  for (net::NodeId n : nodes) {
+    for (net::TrafficClass c : classes) {
+      const BinnedSeries& s = node_series(n, c);
+      for (int i = 0; i < s.bin_count(); ++i) out[i] += s.bin(i);
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(nodes.size());
+  return out;
+}
+
+}  // namespace sharq::stats

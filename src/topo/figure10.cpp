@@ -1,0 +1,90 @@
+#include "topo/figure10.hpp"
+
+#include <cassert>
+
+namespace sharq::topo {
+
+std::vector<net::NodeId> Figure10::middles_of(int m) const {
+  assert(m >= 0 && m < static_cast<int>(mesh.size()));
+  return {middles[3 * m], middles[3 * m + 1], middles[3 * m + 2]};
+}
+
+std::vector<net::NodeId> Figure10::leaves_of(int c) const {
+  assert(c >= 0 && c < static_cast<int>(middles.size()));
+  return {leaves[4 * c], leaves[4 * c + 1], leaves[4 * c + 2],
+          leaves[4 * c + 3]};
+}
+
+Figure10 make_figure10(net::Network& net, const Figure10Options& opt) {
+  assert(net.node_count() == 0 && "figure 10 numbering needs a fresh network");
+  assert(opt.backbone_loss.size() == 7 && opt.backbone_delay.size() == 7);
+
+  Figure10 t;
+  t.source = net.add_node();  // node 0
+
+  for (int m = 0; m < 7; ++m) t.mesh.push_back(net.add_node());       // 1-7
+  for (int c = 0; c < 21; ++c) t.middles.push_back(net.add_node());   // 8-28
+  for (int l = 0; l < 84; ++l) t.leaves.push_back(net.add_node());    // 29-112
+
+  t.receivers = t.mesh;
+  t.receivers.insert(t.receivers.end(), t.middles.begin(), t.middles.end());
+  t.receivers.insert(t.receivers.end(), t.leaves.begin(), t.leaves.end());
+
+  // Source -> mesh backbone links (45 Mbit/s, per-tree loss and latency).
+  for (int m = 0; m < 7; ++m) {
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = opt.backbone_bandwidth_bps;
+    cfg.delay = opt.backbone_delay[m];
+    cfg.loss_rate = opt.backbone_loss[m];
+    net.add_duplex_link(t.source, t.mesh[m], cfg);
+  }
+  // Mesh interconnect: a ring among the 7 backbone receivers. Shortest
+  // paths from the source never use these, but they exist so backbone
+  // failure/rerouting scenarios and mesh-shaped sessions can be exercised.
+  for (int m = 0; m < 7; ++m) {
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = opt.backbone_bandwidth_bps;
+    cfg.delay = 0.030;
+    cfg.loss_rate = 0.01;
+    net.add_duplex_link(t.mesh[m], t.mesh[(m + 1) % 7], cfg);
+  }
+  // Mesh -> middle links (8% loss) and middle -> leaf links (4% loss).
+  for (int m = 0; m < 7; ++m) {
+    for (int j = 0; j < 3; ++j) {
+      const int c = 3 * m + j;
+      net::LinkConfig cfg;
+      cfg.bandwidth_bps = opt.tree_bandwidth_bps;
+      cfg.delay = opt.tree_link_delay;
+      cfg.loss_rate = opt.mesh_child_loss;
+      net.add_duplex_link(t.mesh[m], t.middles[c], cfg);
+      for (int i = 0; i < 4; ++i) {
+        net::LinkConfig leaf_cfg;
+        leaf_cfg.bandwidth_bps = opt.tree_bandwidth_bps;
+        leaf_cfg.delay = opt.tree_link_delay;
+        leaf_cfg.loss_rate = opt.child_leaf_loss;
+        net.add_duplex_link(t.middles[c], t.leaves[4 * c + i], leaf_cfg);
+      }
+    }
+  }
+
+  if (opt.build_zones) {
+    net::ZoneHierarchy& zones = net.zones();
+    t.z_root = zones.add_root();
+    zones.assign(t.source, t.z_root);
+    for (int m = 0; m < 7; ++m) {
+      const net::ZoneId tz = zones.add_zone(t.z_root);
+      t.tree_zones.push_back(tz);
+      zones.assign(t.mesh[m], tz);
+      for (int j = 0; j < 3; ++j) {
+        const int c = 3 * m + j;
+        const net::ZoneId lz = zones.add_zone(tz);
+        t.leaf_zones.push_back(lz);
+        zones.assign(t.middles[c], lz);
+        for (int i = 0; i < 4; ++i) zones.assign(t.leaves[4 * c + i], lz);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace sharq::topo

@@ -1,0 +1,94 @@
+// Determinism regression: two runs with the same seed must agree on every
+// observable, and a different seed must diverge. This pins down the
+// property every simulation result in EXPERIMENTS.md relies on.
+#include <gtest/gtest.h>
+
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "srm/session.hpp"
+#include "topo/figure10.hpp"
+
+namespace sharq {
+namespace {
+
+struct Outcome {
+  std::uint64_t nacks = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t events = 0;
+  std::vector<sim::Time> completion_times;
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+Outcome run_sharqfec_once(std::uint64_t seed) {
+  sim::Simulator simu(seed);
+  net::Network net(simu);
+  topo::Figure10 t = topo::make_figure10(net);
+  rm::DeliveryLog log;
+  sfq::Config cfg;
+  sfq::Session s(net, t.source, t.receivers, cfg, &log);
+  s.start();
+  s.send_stream(8, 6.0);
+  simu.run_until(30.0);
+  Outcome o;
+  for (auto& a : s.agents()) {
+    o.nacks += a->transfer().nacks_sent();
+    o.repairs += a->transfer().repairs_sent();
+    o.sessions += a->session().session_messages_sent();
+  }
+  o.events = simu.events_executed();
+  for (net::NodeId r : t.receivers) {
+    for (std::uint32_t g = 0; g < 8; ++g) {
+      o.completion_times.push_back(log.completion_time(r, g));
+    }
+  }
+  return o;
+}
+
+Outcome run_srm_once(std::uint64_t seed) {
+  sim::Simulator simu(seed);
+  net::Network net(simu);
+  topo::Figure10 t = topo::make_figure10(net);
+  rm::DeliveryLog log;
+  srm::Config cfg;
+  srm::Session s(net, t.source, t.receivers, cfg, &log);
+  s.start();
+  s.send_stream(64, 6.0);
+  simu.run_until(20.0);
+  Outcome o;
+  for (auto& a : s.agents()) {
+    o.nacks += a->requests_sent();
+    o.repairs += a->repairs_sent();
+  }
+  o.events = simu.events_executed();
+  for (net::NodeId r : t.receivers) {
+    for (std::uint32_t u = 0; u < 64; ++u) {
+      o.completion_times.push_back(log.completion_time(r, u));
+    }
+  }
+  return o;
+}
+
+TEST(Determinism, SharqfecSameSeedSameRun) {
+  const Outcome a = run_sharqfec_once(12345);
+  const Outcome b = run_sharqfec_once(12345);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.events, 0u);
+}
+
+TEST(Determinism, SharqfecDifferentSeedDiverges) {
+  const Outcome a = run_sharqfec_once(12345);
+  const Outcome b = run_sharqfec_once(54321);
+  EXPECT_NE(a, b);
+}
+
+TEST(Determinism, SrmSameSeedSameRun) {
+  const Outcome a = run_srm_once(777);
+  const Outcome b = run_srm_once(777);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sharq

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleOfHeap) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId id = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, NextTimeInfinityWhenEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator simu;
+  double seen = -1.0;
+  simu.after(2.5, [&] { seen = simu.now(); });
+  simu.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(simu.now(), 2.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator simu;
+  int count = 0;
+  simu.after(1.0, [&] { ++count; });
+  simu.after(2.0, [&] { ++count; });
+  simu.after(3.0, [&] { ++count; });
+  simu.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(simu.now(), 2.0);
+  simu.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator simu;
+  std::vector<double> times;
+  simu.after(1.0, [&] {
+    times.push_back(simu.now());
+    simu.after(1.0, [&] { times.push_back(simu.now()); });
+  });
+  simu.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator simu;
+  simu.after(5.0, [&] {
+    simu.after(-3.0, [&] { EXPECT_DOUBLE_EQ(simu.now(), 5.0); });
+  });
+  simu.run();
+}
+
+TEST(Simulator, StopDiscardsPending) {
+  Simulator simu;
+  int count = 0;
+  simu.after(1.0, [&] {
+    ++count;
+    simu.stop();
+  });
+  simu.after(2.0, [&] { ++count; });
+  simu.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Timer, ArmFiresOnce) {
+  Simulator simu;
+  Timer t(simu);
+  int fired = 0;
+  t.arm(1.0, [&] { ++fired; });
+  EXPECT_TRUE(t.pending());
+  simu.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulator simu;
+  Timer t(simu);
+  int which = 0;
+  t.arm(1.0, [&] { which = 1; });
+  t.arm(2.0, [&] { which = 2; });
+  simu.run();
+  EXPECT_EQ(which, 2);
+  EXPECT_EQ(simu.events_executed(), 1u);
+}
+
+TEST(Timer, CancelStopsFiring) {
+  Simulator simu;
+  Timer t(simu);
+  bool fired = false;
+  t.arm(1.0, [&] { fired = true; });
+  t.cancel();
+  simu.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, ArmIfIdleDoesNotOverride) {
+  Simulator simu;
+  Timer t(simu);
+  int which = 0;
+  t.arm(1.0, [&] { which = 1; });
+  t.arm_if_idle(0.5, [&] { which = 2; });
+  simu.run();
+  EXPECT_EQ(which, 1);
+}
+
+TEST(Timer, DeadlineReported) {
+  Simulator simu;
+  Timer t(simu);
+  EXPECT_EQ(t.deadline(), kTimeNever);
+  t.arm(4.0, [] {});
+  EXPECT_DOUBLE_EQ(t.deadline(), 4.0);
+}
+
+TEST(Timer, DestructorCancels) {
+  Simulator simu;
+  bool fired = false;
+  {
+    Timer t(simu);
+    t.arm(1.0, [&] { fired = true; });
+  }
+  simu.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateRoughlyCorrect) {
+  Rng r(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng a(42);
+  Rng b = a.fork();
+  // Parent and child streams should not be identical.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 32);
+}
+
+}  // namespace
+}  // namespace sharq::sim

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "fec/gf256.hpp"
+#include "fec/group_codec.hpp"
+#include "fec/matrix.hpp"
+#include "fec/reed_solomon.hpp"
+
+namespace sharq::fec {
+namespace {
+
+// ---------- GF(256) ----------------------------------------------------------
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(GF256::add(7, 7), 0);
+}
+
+TEST(GF256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<GF256::Elem>(a), 1), a);
+    EXPECT_EQ(GF256::mul(static_cast<GF256::Elem>(a), 0), 0);
+  }
+}
+
+TEST(GF256, MulCommutative) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    }
+  }
+}
+
+TEST(GF256, MulAssociative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 23) {
+      for (int c = 1; c < 256; c += 29) {
+        EXPECT_EQ(GF256::mul(GF256::mul(a, b), c),
+                  GF256::mul(a, GF256::mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributesOverAdd) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 19) {
+      for (int c = 0; c < 256; c += 31) {
+        EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+                  GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GF256, InverseRoundTrips) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inverse(static_cast<GF256::Elem>(a));
+    EXPECT_EQ(GF256::mul(static_cast<GF256::Elem>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 7) {
+      const auto q = GF256::div(a, b);
+      EXPECT_EQ(GF256::mul(q, b), a);
+    }
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 37) {
+    GF256::Elem acc = 1;
+    for (unsigned n = 0; n < 16; ++n) {
+      EXPECT_EQ(GF256::pow(static_cast<GF256::Elem>(a), n), acc);
+      acc = GF256::mul(acc, static_cast<GF256::Elem>(a));
+    }
+  }
+}
+
+TEST(GF256, AlphaHasFullOrder) {
+  // alpha = 2 generates the multiplicative group: powers repeat at 255.
+  std::vector<bool> seen(256, false);
+  for (unsigned i = 0; i < 255; ++i) {
+    const auto v = GF256::alpha_pow(i);
+    EXPECT_FALSE(seen[v]) << "repeat at power " << i;
+    seen[v] = true;
+  }
+}
+
+TEST(GF256, MulAddMatchesScalarLoop) {
+  std::vector<std::uint8_t> dst(257), src(257), expect(257);
+  std::mt19937 rng(1);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = rng() & 0xff;
+    src[i] = rng() & 0xff;
+  }
+  const GF256::Elem c = 0xA7;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    expect[i] = GF256::add(dst[i], GF256::mul(c, src[i]));
+  }
+  GF256::mul_add(dst.data(), src.data(), c, dst.size());
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(GF256, ScaleByZeroAndOne) {
+  std::vector<std::uint8_t> v{1, 2, 3, 255};
+  auto w = v;
+  GF256::scale(w.data(), 1, w.size());
+  EXPECT_EQ(w, v);
+  GF256::scale(w.data(), 0, w.size());
+  EXPECT_EQ(w, (std::vector<std::uint8_t>{0, 0, 0, 0}));
+}
+
+// ---------- Matrix ------------------------------------------------------------
+
+TEST(Matrix, IdentityMultiplication) {
+  Matrix id = Matrix::identity(5);
+  Matrix v = Matrix::vandermonde(5, 5);
+  EXPECT_EQ(id.multiply(v), v);
+  EXPECT_EQ(v.multiply(id), v);
+}
+
+TEST(Matrix, VandermondeTopRowAllOnes) {
+  Matrix v = Matrix::vandermonde(6, 4);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(v.at(0, c), 1);
+}
+
+TEST(Matrix, InvertRoundTrip) {
+  Matrix v = Matrix::vandermonde(8, 8);
+  Matrix inv = v;
+  ASSERT_TRUE(inv.invert());
+  EXPECT_EQ(v.multiply(inv), Matrix::identity(8));
+}
+
+TEST(Matrix, SingularDetected) {
+  Matrix m(3, 3);
+  // Two identical rows.
+  for (int c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<GF256::Elem>(c + 1);
+    m.at(1, c) = static_cast<GF256::Elem>(c + 1);
+    m.at(2, c) = static_cast<GF256::Elem>(2 * c + 1);
+  }
+  EXPECT_FALSE(m.invert());
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix v = Matrix::vandermonde(6, 3);
+  Matrix s = v.select_rows({5, 0, 2});
+  EXPECT_EQ(s.rows(), 3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(s.at(0, c), v.at(5, c));
+    EXPECT_EQ(s.at(1, c), v.at(0, c));
+    EXPECT_EQ(s.at(2, c), v.at(2, c));
+  }
+}
+
+TEST(Matrix, AnyKRowsOfVandermondeInvertible) {
+  Matrix v = Matrix::vandermonde(20, 5);
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> rows(20);
+    std::iota(rows.begin(), rows.end(), 0);
+    std::shuffle(rows.begin(), rows.end(), rng);
+    rows.resize(5);
+    Matrix sub = v.select_rows(rows);
+    EXPECT_TRUE(sub.invert()) << "trial " << trial;
+  }
+}
+
+// ---------- Reed-Solomon -------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> random_shards(int k, int size,
+                                                     unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::vector<std::uint8_t>> out(k);
+  for (auto& s : out) {
+    s.resize(size);
+    for (auto& b : s) b = rng() & 0xff;
+  }
+  return out;
+}
+
+TEST(ReedSolomon, SystematicDataRowsAreIdentity) {
+  ReedSolomon rs(8, 8);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(rs.generator().at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(ReedSolomon, RejectsBadParams) {
+  EXPECT_THROW(ReedSolomon(0, 5), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(-1, 1), std::invalid_argument);
+}
+
+TEST(ReedSolomon, DecodeFromAllData) {
+  ReedSolomon rs(4, 4);
+  auto data = random_shards(4, 64, 11);
+  std::vector<ReedSolomon::Shard> got;
+  for (int i = 0; i < 4; ++i) got.push_back({i, data[i]});
+  auto dec = rs.decode(got);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, data);
+}
+
+TEST(ReedSolomon, DecodeFromAllParity) {
+  ReedSolomon rs(4, 4);
+  auto data = random_shards(4, 64, 13);
+  std::vector<ReedSolomon::Shard> got;
+  for (int i = 4; i < 8; ++i) got.push_back({i, rs.encode_parity(i, data)});
+  auto dec = rs.decode(got);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, data);
+}
+
+TEST(ReedSolomon, InsufficientShardsFails) {
+  ReedSolomon rs(4, 4);
+  auto data = random_shards(4, 16, 17);
+  std::vector<ReedSolomon::Shard> got{{0, data[0]}, {1, data[1]},
+                                      {2, data[2]}};
+  EXPECT_FALSE(rs.decode(got).has_value());
+}
+
+TEST(ReedSolomon, DuplicatesIgnored) {
+  ReedSolomon rs(3, 3);
+  auto data = random_shards(3, 16, 19);
+  std::vector<ReedSolomon::Shard> got{
+      {0, data[0]}, {0, data[0]}, {0, data[0]}, {1, data[1]}};
+  EXPECT_FALSE(rs.decode(got).has_value());
+  got.push_back({4, rs.encode_parity(4, data)});
+  auto dec = rs.decode(got);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, data);
+}
+
+struct RsParam {
+  int k;
+  int parity;
+  int erase;  // how many data shards to erase
+};
+
+class RsRecovery : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(RsRecovery, AnyKOfNRecovers) {
+  const auto [k, parity, erase] = GetParam();
+  ASSERT_LE(erase, parity);
+  ReedSolomon rs(k, parity);
+  auto data = random_shards(k, 100, 23 + k * 7 + parity);
+  std::mt19937 rng(99 + erase);
+  // Erase `erase` random data shards; replace with random parity shards.
+  std::vector<int> data_ids(k);
+  std::iota(data_ids.begin(), data_ids.end(), 0);
+  std::shuffle(data_ids.begin(), data_ids.end(), rng);
+  std::vector<int> parity_ids(parity);
+  std::iota(parity_ids.begin(), parity_ids.end(), k);
+  std::shuffle(parity_ids.begin(), parity_ids.end(), rng);
+
+  std::vector<ReedSolomon::Shard> got;
+  for (int i = erase; i < k; ++i) got.push_back({data_ids[i], data[data_ids[i]]});
+  for (int i = 0; i < erase; ++i) {
+    got.push_back({parity_ids[i], rs.encode_parity(parity_ids[i], data)});
+  }
+  std::shuffle(got.begin(), got.end(), rng);
+  auto dec = rs.decode(got);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RsRecovery,
+    ::testing::Values(RsParam{1, 1, 1}, RsParam{2, 2, 1}, RsParam{2, 2, 2},
+                      RsParam{4, 4, 3}, RsParam{8, 8, 8}, RsParam{16, 16, 5},
+                      RsParam{16, 16, 16}, RsParam{16, 128, 16},
+                      RsParam{32, 16, 16}, RsParam{64, 64, 64},
+                      RsParam{100, 100, 99}, RsParam{16, 239, 16}));
+
+// ---------- Group codec ---------------------------------------------------------
+
+TEST(GroupCodec, EncoderRoundTripThroughParityOnly) {
+  auto codec = std::make_shared<ReedSolomon>(5, 10);
+  auto data = random_shards(5, 48, 31);
+  GroupEncoder enc(codec, data);
+  GroupDecoder dec(codec);
+  EXPECT_EQ(dec.deficit(), 5);
+  for (int i = 5; i < 10; ++i) {
+    EXPECT_TRUE(dec.add(i, enc.shard(i)));
+  }
+  EXPECT_TRUE(dec.complete());
+  EXPECT_EQ(dec.deficit(), 0);
+  auto out = dec.reconstruct();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(GroupCodec, DuplicateAddRejected) {
+  auto codec = std::make_shared<ReedSolomon>(4, 4);
+  auto data = random_shards(4, 8, 37);
+  GroupEncoder enc(codec, data);
+  GroupDecoder dec(codec);
+  EXPECT_TRUE(dec.add(2, enc.shard(2)));
+  EXPECT_FALSE(dec.add(2, enc.shard(2)));
+  EXPECT_EQ(dec.distinct(), 1);
+  EXPECT_EQ(dec.distinct_data(), 1);
+}
+
+TEST(GroupCodec, OutOfRangeIndexRejected) {
+  auto codec = std::make_shared<ReedSolomon>(4, 4);
+  GroupDecoder dec(codec);
+  EXPECT_FALSE(dec.add(-1, {}));
+  EXPECT_FALSE(dec.add(8, {}));
+  EXPECT_FALSE(dec.has(100));
+}
+
+TEST(GroupCodec, MixedDataAndParity) {
+  auto codec = std::make_shared<ReedSolomon>(6, 6);
+  auto data = random_shards(6, 32, 41);
+  GroupEncoder enc(codec, data);
+  GroupDecoder dec(codec);
+  dec.add(0, enc.shard(0));
+  dec.add(3, enc.shard(3));
+  dec.add(7, enc.shard(7));
+  dec.add(9, enc.shard(9));
+  dec.add(10, enc.shard(10));
+  EXPECT_FALSE(dec.complete());
+  dec.add(11, enc.shard(11));
+  ASSERT_TRUE(dec.complete());
+  auto out = dec.reconstruct();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(GroupCodec, EncoderValidatesShardCount) {
+  auto codec = std::make_shared<ReedSolomon>(4, 4);
+  auto data = random_shards(3, 8, 43);
+  EXPECT_THROW(GroupEncoder(codec, data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sharq::fec

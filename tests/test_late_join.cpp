@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "topo/shapes.hpp"
+
+namespace sharq::sfq {
+namespace {
+
+/// source -- relay -- {a, b, c}; zone = {relay, a, b, c}. `c` joins late.
+struct LateFixture {
+  sim::Simulator simu{61};
+  net::Network net{simu};
+  net::NodeId source, relay, a, b, c;
+  net::ZoneId root, zone;
+
+  LateFixture() {
+    source = net.add_node();
+    relay = net.add_node();
+    a = net.add_node();
+    b = net.add_node();
+    c = net.add_node();
+    net::LinkConfig up;
+    up.delay = 0.020;
+    net.add_duplex_link(source, relay, up);
+    net::LinkConfig down;
+    down.delay = 0.010;
+    for (net::NodeId n : {a, b, c}) net.add_duplex_link(relay, n, down);
+    root = net.zones().add_root();
+    zone = net.zones().add_zone(root);
+    net.zones().assign(source, root);
+    for (net::NodeId n : {relay, a, b, c}) net.zones().assign(n, zone);
+  }
+};
+
+TEST(LateJoin, FullHistoryRecoveredFromZonePeers) {
+  LateFixture f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.late_join_full_history = true;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(20, 6.0);  // ends ~9.2 s
+
+  // c joins at t=12, after the stream finished.
+  f.simu.after(12.0, [&] { s.add_receiver(f.c); });
+  f.simu.run_until(120.0);
+
+  EXPECT_TRUE(log.complete(f.c, 20)) << "late joiner incomplete: "
+                                     << log.completed_count(f.c);
+  // The catch-up repairs must come from the zone, not the source: the
+  // source's only transmissions beyond the stream should be negligible.
+  const std::uint64_t src_repairs = s.source_agent().transfer().repairs_sent();
+  std::uint64_t zone_repairs = 0;
+  for (net::NodeId n : {f.relay, f.a, f.b}) {
+    zone_repairs += s.agent_for(n).transfer().repairs_sent();
+  }
+  EXPECT_GT(zone_repairs, 0u);
+  EXPECT_LT(src_repairs, zone_repairs);
+}
+
+TEST(LateJoin, LiveOnlySkipsHistory) {
+  LateFixture f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.late_join_full_history = false;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(40, 6.0);  // ~160 ms per group; ends ~12.4 s
+
+  f.simu.after(9.0, [&] { s.add_receiver(f.c); });
+  f.simu.run_until(60.0);
+
+  auto& joiner = s.agent_for(f.c).transfer();
+  // Joined around group ~18: everything before the join point is skipped,
+  // everything after is delivered.
+  EXPECT_GT(joiner.first_tracked_group(), 0u);
+  EXPECT_LT(joiner.first_tracked_group(), 40u);
+  for (std::uint32_t g = joiner.first_tracked_group(); g < 40; ++g) {
+    EXPECT_TRUE(joiner.group_complete(g)) << "group " << g;
+  }
+  EXPECT_FALSE(joiner.group_complete(0));
+  EXPECT_EQ(joiner.nacks_sent() > 0 || joiner.groups_completed() > 0, true);
+}
+
+TEST(LateJoin, JoinerDoesNotDisturbExistingReceivers) {
+  LateFixture f;
+  rm::DeliveryLog log;
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(20, 6.0);
+  f.simu.after(8.0, [&] { s.add_receiver(f.c); });
+  f.simu.run_until(90.0);
+  for (net::NodeId r : {f.relay, f.a, f.b, f.c}) {
+    EXPECT_TRUE(log.complete(r, 20)) << "receiver " << r;
+  }
+}
+
+TEST(LateJoin, LinkFailureReroutesAndRecovers) {
+  // Mesh-ring topology: kill the direct source->relay link mid-stream;
+  // routing falls back to the ring and delivery still completes.
+  sim::Simulator simu{67};
+  net::Network net{simu};
+  const net::NodeId src = net.add_node();
+  const net::NodeId r1 = net.add_node();
+  const net::NodeId r2 = net.add_node();
+  const net::NodeId rx = net.add_node();
+  net::LinkConfig l;
+  l.delay = 0.01;
+  net.add_duplex_link(src, r1, l);
+  net.add_duplex_link(src, r2, l);
+  net.add_duplex_link(r1, r2, l);
+  net.add_duplex_link(r1, rx, l);
+  auto& z = net.zones();
+  const net::ZoneId root = z.add_root();
+  for (net::NodeId n : {src, r1, r2, rx}) z.assign(n, root);
+  rm::DeliveryLog log;
+  Config cfg;
+  Session s(net, src, {r1, r2, rx}, cfg, &log);
+  s.start();
+  s.send_stream(24, 6.0);
+  simu.after(8.0, [&] {
+    net.set_link_up(net.find_link(src, r1), false);
+    net.set_link_up(net.find_link(r1, src), false);
+  });
+  simu.run_until(90.0);
+  EXPECT_NEAR(net.path_delay(src, rx), 0.030, 1e-9);  // rerouted via r2
+  EXPECT_TRUE(log.complete(rx, 24));
+}
+
+}  // namespace
+}  // namespace sharq::sfq

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "fec/matrix.hpp"
+#include "fec/reed_solomon.hpp"
+#include "sim/time.hpp"
+
+namespace sharq {
+namespace {
+
+TEST(TimeHelpers, MsConversions) {
+  EXPECT_DOUBLE_EQ(sim::from_ms(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(sim::to_ms(0.25), 250.0);
+  EXPECT_DOUBLE_EQ(sim::to_ms(sim::from_ms(123.456)), 123.456);
+  EXPECT_LT(0.0, sim::kTimeInfinity);
+  EXPECT_LT(sim::kTimeNever, 0.0);
+}
+
+TEST(MatrixReduce, ProducesIdentityOnSelectedColumns) {
+  // Take 4 random independent rows of a Vandermonde and reduce so columns
+  // {0,1,2,3} become the identity.
+  fec::Matrix v = fec::Matrix::vandermonde(8, 4);
+  fec::Matrix m = v.select_rows({1, 3, 5, 7});
+  ASSERT_TRUE(m.reduce_to_identity_on({0, 1, 2, 3}));
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(MatrixReduce, WiderMatrixKeepsOtherColumnsConsistent) {
+  // Augment a 3x3 invertible block with its image of a known vector; the
+  // reduction must transform the extra column by the inverse.
+  fec::Matrix a(3, 4);
+  // Invertible 3x3 from Vandermonde + extra column = A * x with x = e0+e2.
+  fec::Matrix v = fec::Matrix::vandermonde(3, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) a.at(r, c) = v.at(r, c);
+    a.at(r, 3) = fec::GF256::add(v.at(r, 0), v.at(r, 2));
+  }
+  ASSERT_TRUE(a.reduce_to_identity_on({0, 1, 2}));
+  // The extra column must now read x = (1, 0, 1).
+  EXPECT_EQ(a.at(0, 3), 1);
+  EXPECT_EQ(a.at(1, 3), 0);
+  EXPECT_EQ(a.at(2, 3), 1);
+}
+
+TEST(MatrixReduce, DependentColumnsRejected) {
+  fec::Matrix m(2, 3);
+  // Columns 0 and 1 identical -> cannot form an identity on {0, 1}.
+  m.at(0, 0) = m.at(0, 1) = 5;
+  m.at(1, 0) = m.at(1, 1) = 9;
+  m.at(0, 2) = 1;
+  m.at(1, 2) = 2;
+  EXPECT_FALSE(m.reduce_to_identity_on({0, 1}));
+}
+
+TEST(ReedSolomonApi, AccessorsConsistent) {
+  fec::ReedSolomon rs(10, 20);
+  EXPECT_EQ(rs.k(), 10);
+  EXPECT_EQ(rs.max_parity(), 20);
+  EXPECT_EQ(rs.max_shards(), 30);
+  EXPECT_EQ(rs.generator().rows(), 30);
+  EXPECT_EQ(rs.generator().cols(), 10);
+  EXPECT_THROW(rs.encode_parity(5, {}), std::out_of_range);   // data index
+  EXPECT_THROW(rs.encode_parity(30, {}), std::out_of_range);  // past end
+}
+
+TEST(ReedSolomonApi, MismatchedShardSizesRejected) {
+  fec::ReedSolomon rs(2, 2);
+  std::vector<std::vector<std::uint8_t>> data{{1, 2, 3}, {4, 5}};
+  EXPECT_THROW(rs.encode_parity(2, data), std::invalid_argument);
+  std::vector<fec::ReedSolomon::Shard> shards{{0, {1, 2, 3}}, {1, {4, 5}}};
+  EXPECT_THROW(rs.decode(shards), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sharq

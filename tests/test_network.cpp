@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::net {
+namespace {
+
+struct Probe final : MessageBase {
+  int tag = 0;
+};
+
+/// Collects deliveries for assertions.
+class Collector final : public Agent {
+ public:
+  struct Rx {
+    sim::Time at;
+    std::uint64_t uid;
+    NodeId origin;
+    TrafficClass cls;
+  };
+  std::vector<Rx> received;
+  sim::Simulator* simu = nullptr;
+
+  void on_receive(const Packet& p) override {
+    received.push_back(Rx{simu->now(), p.uid, p.origin, p.cls});
+  }
+};
+
+struct Net2 {
+  sim::Simulator simu{12345};
+  Network net{simu};
+};
+
+TEST(ZoneHierarchy, NestingAndChains) {
+  ZoneHierarchy z;
+  const ZoneId root = z.add_root();
+  const ZoneId a = z.add_zone(root);
+  const ZoneId b = z.add_zone(root);
+  const ZoneId a1 = z.add_zone(a);
+  z.assign(1, a1);
+  z.assign(2, a);
+  z.assign(3, b);
+  EXPECT_TRUE(z.contains(root, 1));
+  EXPECT_TRUE(z.contains(a, 1));
+  EXPECT_TRUE(z.contains(a1, 1));
+  EXPECT_FALSE(z.contains(b, 1));
+  EXPECT_EQ(z.chain(1), (std::vector<ZoneId>{a1, a, root}));
+  EXPECT_EQ(z.common_zone(1, 2), a);
+  EXPECT_EQ(z.common_zone(1, 3), root);
+  EXPECT_EQ(z.level(a1), 2);
+  EXPECT_TRUE(z.is_ancestor_or_self(root, a1));
+  EXPECT_FALSE(z.is_ancestor_or_self(b, a1));
+}
+
+TEST(ZoneHierarchy, ReassignRemovesOldMembership) {
+  ZoneHierarchy z;
+  const ZoneId root = z.add_root();
+  const ZoneId a = z.add_zone(root);
+  const ZoneId b = z.add_zone(root);
+  z.assign(7, a);
+  z.assign(7, b);
+  EXPECT_FALSE(z.contains(a, 7));
+  EXPECT_TRUE(z.contains(b, 7));
+  EXPECT_EQ(z.smallest_zone(7), b);
+}
+
+TEST(Network, UnicastStyleDeliveryTiming) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;  // 1000 bytes -> 1 ms serialization
+  cfg.delay = 0.010;
+  f.net.add_duplex_link(a, b, cfg);
+
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  rx.simu = &f.simu;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+
+  f.net.send(a, ch, TrafficClass::kData, 1000, std::make_shared<Probe>());
+  f.simu.run();
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_NEAR(rx.received[0].at, 0.011, 1e-9);  // tx 1 ms + prop 10 ms
+}
+
+TEST(Network, SerializationQueuesBackToBack) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.delay = 0.0;
+  f.net.add_duplex_link(a, b, cfg);
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  rx.simu = &f.simu;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+
+  for (int i = 0; i < 3; ++i) {
+    f.net.send(a, ch, TrafficClass::kData, 1000, std::make_shared<Probe>());
+  }
+  f.simu.run();
+  ASSERT_EQ(rx.received.size(), 3u);
+  EXPECT_NEAR(rx.received[0].at, 0.001, 1e-9);
+  EXPECT_NEAR(rx.received[1].at, 0.002, 1e-9);
+  EXPECT_NEAR(rx.received[2].at, 0.003, 1e-9);
+}
+
+TEST(Network, MulticastFanOutDeliversOncePerSubscriber) {
+  Net2 f;
+  const NodeId src = f.net.add_node();
+  std::vector<NodeId> leaves;
+  std::vector<std::unique_ptr<Collector>> sinks;
+  LinkConfig cfg;
+  for (int i = 0; i < 5; ++i) {
+    const NodeId n = f.net.add_node();
+    f.net.add_duplex_link(src, n, cfg);
+    leaves.push_back(n);
+  }
+  const ChannelId ch = f.net.create_channel();
+  for (NodeId n : leaves) {
+    auto c = std::make_unique<Collector>();
+    c->simu = &f.simu;
+    f.net.attach(n, c.get());
+    f.net.subscribe(ch, n);
+    sinks.push_back(std::move(c));
+  }
+  f.net.send(src, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  for (auto& s : sinks) EXPECT_EQ(s->received.size(), 1u);
+}
+
+TEST(Network, NoLoopbackToOrigin) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.add_duplex_link(a, b, LinkConfig{});
+  const ChannelId ch = f.net.create_channel();
+  Collector rxa, rxb;
+  rxa.simu = rxb.simu = &f.simu;
+  f.net.attach(a, &rxa);
+  f.net.attach(b, &rxb);
+  f.net.subscribe(ch, a);
+  f.net.subscribe(ch, b);
+  f.net.send(a, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rxa.received.size(), 0u);
+  EXPECT_EQ(rxb.received.size(), 1u);
+}
+
+TEST(Network, SharedLinkCarriesOneCopy) {
+  // src -- r -- {a, b}: the src->r link must carry a single copy.
+  Net2 f;
+  const NodeId src = f.net.add_node();
+  const NodeId r = f.net.add_node();
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.add_duplex_link(src, r, LinkConfig{});
+  f.net.add_duplex_link(r, a, LinkConfig{});
+  f.net.add_duplex_link(r, b, LinkConfig{});
+  const ChannelId ch = f.net.create_channel();
+  Collector rxa, rxb;
+  rxa.simu = rxb.simu = &f.simu;
+  f.net.attach(a, &rxa);
+  f.net.attach(b, &rxb);
+  f.net.subscribe(ch, a);
+  f.net.subscribe(ch, b);
+
+  class CountSink final : public TrafficSink {
+   public:
+    int transmits = 0;
+    void on_deliver(sim::Time, NodeId, const Packet&) override {}
+    void on_transmit(sim::Time, LinkId, const Packet&) override {
+      ++transmits;
+    }
+  } sink;
+  f.net.set_sink(&sink);
+  f.net.send(src, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rxa.received.size(), 1u);
+  EXPECT_EQ(rxb.received.size(), 1u);
+  EXPECT_EQ(sink.transmits, 3);  // src->r, r->a, r->b
+}
+
+TEST(Network, ScopedChannelConfinedToZone) {
+  // root zone {all}; child zone {r, a}. A scoped send from a must not
+  // reach b (outside the zone).
+  Net2 f;
+  const NodeId src = f.net.add_node();
+  const NodeId r = f.net.add_node();
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.add_duplex_link(src, r, LinkConfig{});
+  f.net.add_duplex_link(r, a, LinkConfig{});
+  f.net.add_duplex_link(r, b, LinkConfig{});
+  auto& z = f.net.zones();
+  const ZoneId root = z.add_root();
+  const ZoneId child = z.add_zone(root);
+  z.assign(src, root);
+  z.assign(b, root);
+  z.assign(r, child);
+  z.assign(a, child);
+
+  const ChannelId scoped = f.net.create_channel(child);
+  Collector rxr, rxb;
+  rxr.simu = rxb.simu = &f.simu;
+  f.net.attach(r, &rxr);
+  f.net.attach(b, &rxb);
+  f.net.subscribe(scoped, r);
+  f.net.subscribe(scoped, b);  // subscribed but outside the zone
+  f.net.send(a, scoped, TrafficClass::kRepair, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rxr.received.size(), 1u);
+  EXPECT_EQ(rxb.received.size(), 0u);
+}
+
+TEST(Network, SendFromOutsideScopeGoesNowhere) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.add_duplex_link(a, b, LinkConfig{});
+  auto& z = f.net.zones();
+  const ZoneId root = z.add_root();
+  const ZoneId child = z.add_zone(root);
+  z.assign(a, root);   // a outside child
+  z.assign(b, child);
+  const ChannelId scoped = f.net.create_channel(child);
+  Collector rxb;
+  rxb.simu = &f.simu;
+  f.net.attach(b, &rxb);
+  f.net.subscribe(scoped, b);
+  f.net.send(a, scoped, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rxb.received.size(), 0u);
+}
+
+TEST(Network, LossyLinkDropsAtConfiguredRate) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig cfg;
+  cfg.loss_rate = 0.25;
+  cfg.bandwidth_bps = 1e9;
+  f.net.add_duplex_link(a, b, cfg);
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  rx.simu = &f.simu;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    f.net.send(a, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  }
+  f.simu.run();
+  const double rate = 1.0 - rx.received.size() / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Network, LosslessFlagBypassesLoss) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig cfg;
+  cfg.loss_rate = 0.9;
+  f.net.add_duplex_link(a, b, cfg);
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  rx.simu = &f.simu;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+  for (int i = 0; i < 100; ++i) {
+    f.net.send(a, ch, TrafficClass::kSession, 64, std::make_shared<Probe>(),
+               /*lossless=*/true);
+  }
+  f.simu.run();
+  EXPECT_EQ(rx.received.size(), 100u);
+}
+
+TEST(Network, QueueLimitDropsExcess) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e3;  // 1000 bytes -> 1 s serialization
+  cfg.queue_limit_pkts = 2;
+  f.net.add_duplex_link(a, b, cfg);
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  rx.simu = &f.simu;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+  for (int i = 0; i < 10; ++i) {
+    f.net.send(a, ch, TrafficClass::kData, 1000, std::make_shared<Probe>());
+  }
+  f.simu.run();
+  EXPECT_EQ(rx.received.size(), 2u);
+}
+
+TEST(Network, PathQueriesMatchTopology) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId m = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig l1;
+  l1.delay = 0.010;
+  l1.loss_rate = 0.1;
+  LinkConfig l2;
+  l2.delay = 0.020;
+  l2.loss_rate = 0.2;
+  f.net.add_duplex_link(a, m, l1);
+  f.net.add_duplex_link(m, b, l2);
+  EXPECT_NEAR(f.net.path_delay(a, b), 0.030, 1e-9);
+  EXPECT_NEAR(f.net.path_loss(a, b), 1.0 - 0.9 * 0.8, 1e-9);
+  EXPECT_EQ(f.net.path(a, b), (std::vector<NodeId>{a, m, b}));
+  EXPECT_DOUBLE_EQ(f.net.path_delay(a, a), 0.0);
+}
+
+TEST(Network, ShortestPathPreferred) {
+  Net2 f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  const NodeId c = f.net.add_node();
+  LinkConfig slow;
+  slow.delay = 0.100;
+  LinkConfig fast;
+  fast.delay = 0.010;
+  f.net.add_duplex_link(a, b, slow);           // direct but slow
+  f.net.add_duplex_link(a, c, fast);
+  f.net.add_duplex_link(c, b, fast);           // via c: 20 ms
+  EXPECT_NEAR(f.net.path_delay(a, b), 0.020, 1e-9);
+  EXPECT_EQ(f.net.path(a, b).size(), 3u);
+}
+
+TEST(Network, MembershipChangeRebuildsForwarding) {
+  Net2 f;
+  const NodeId src = f.net.add_node();
+  const NodeId a = f.net.add_node();
+  f.net.add_duplex_link(src, a, LinkConfig{});
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  rx.simu = &f.simu;
+  f.net.attach(a, &rx);
+  f.net.send(src, ch, TrafficClass::kData, 64, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rx.received.size(), 0u);  // not subscribed yet
+  f.net.subscribe(ch, a);
+  f.net.send(src, ch, TrafficClass::kData, 64, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rx.received.size(), 1u);
+  f.net.unsubscribe(ch, a);
+  f.net.send(src, ch, TrafficClass::kData, 64, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST(GilbertElliott, MeanRateMatchesStationary) {
+  GilbertElliottLoss ge(0.1, 0.3, 0.01, 0.5);
+  // pi_bad = 0.1/0.4 = 0.25 -> mean = 0.75*0.01 + 0.25*0.5 = 0.1325
+  EXPECT_NEAR(ge.mean_loss_rate(), 0.1325, 1e-12);
+  sim::Rng rng(5);
+  int drops = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) drops += ge.drop_next(rng) ? 1 : 0;
+  EXPECT_NEAR(drops / static_cast<double>(n), 0.1325, 0.01);
+}
+
+}  // namespace
+}  // namespace sharq::net

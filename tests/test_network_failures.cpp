@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/traffic_recorder.hpp"
+
+namespace sharq::net {
+namespace {
+
+struct Probe final : MessageBase {};
+
+class Collector final : public Agent {
+ public:
+  int count = 0;
+  void on_receive(const Packet&) override { ++count; }
+};
+
+struct Fixture {
+  sim::Simulator simu{101};
+  net::Network net{simu};
+};
+
+TEST(LinkFailure, DownLinkDropsTraffic) {
+  Fixture f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.add_duplex_link(a, b, LinkConfig{});
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+
+  f.net.set_link_up(f.net.find_link(a, b), false);
+  f.net.send(a, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rx.count, 0);
+
+  f.net.set_link_up(f.net.find_link(a, b), true);
+  f.net.send(a, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rx.count, 1);
+}
+
+TEST(LinkFailure, InFlightPacketsDieWithLink) {
+  Fixture f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  LinkConfig slow;
+  slow.bandwidth_bps = 8e4;  // 1000 B -> 100 ms serialization
+  slow.delay = 0.5;
+  f.net.add_duplex_link(a, b, slow);
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+  f.net.send(a, ch, TrafficClass::kData, 1000, std::make_shared<Probe>());
+  // Kill the link while the packet is still serializing.
+  f.simu.after(0.05, [&] { f.net.set_link_up(f.net.find_link(a, b), false); });
+  f.simu.run();
+  EXPECT_EQ(rx.count, 0);
+}
+
+TEST(LinkFailure, ReroutesAroundFailure) {
+  Fixture f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  const NodeId c = f.net.add_node();
+  LinkConfig fast;
+  fast.delay = 0.010;
+  LinkConfig slow;
+  slow.delay = 0.050;
+  f.net.add_duplex_link(a, b, fast);   // direct
+  f.net.add_duplex_link(a, c, slow);
+  f.net.add_duplex_link(c, b, slow);   // detour: 100 ms
+  EXPECT_NEAR(f.net.path_delay(a, b), 0.010, 1e-9);
+  f.net.set_link_up(f.net.find_link(a, b), false);
+  EXPECT_NEAR(f.net.path_delay(a, b), 0.100, 1e-9);
+  // Traffic follows the detour.
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  f.net.attach(b, &rx);
+  f.net.subscribe(ch, b);
+  f.net.send(a, ch, TrafficClass::kData, 100, std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(rx.count, 1);
+  EXPECT_GT(f.simu.now(), 0.099);
+}
+
+TEST(LinkFailure, PartitionIsUnreachable) {
+  Fixture f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  f.net.add_duplex_link(a, b, LinkConfig{});
+  f.net.set_link_up(f.net.find_link(a, b), false);
+  f.net.set_link_up(f.net.find_link(b, a), false);
+  EXPECT_EQ(f.net.path_delay(a, b), sim::kTimeInfinity);
+  EXPECT_TRUE(f.net.path(a, b).empty());
+  EXPECT_FALSE(f.net.link_up(f.net.find_link(a, b)));
+}
+
+TEST(TrafficRecorderLinks, WatchedLinkSeries) {
+  Fixture f;
+  const NodeId a = f.net.add_node();
+  const NodeId b = f.net.add_node();
+  const NodeId c = f.net.add_node();
+  f.net.add_duplex_link(a, b, LinkConfig{});
+  f.net.add_duplex_link(b, c, LinkConfig{});
+  stats::TrafficRecorder rec(f.net.node_count(), 0.1);
+  rec.watch_links({f.net.find_link(a, b)});
+  f.net.set_sink(&rec);
+  const ChannelId ch = f.net.create_channel();
+  Collector rx;
+  f.net.attach(c, &rx);
+  f.net.subscribe(ch, c);
+  for (int i = 0; i < 5; ++i) {
+    f.net.send(a, ch, TrafficClass::kRepair, 100, std::make_shared<Probe>());
+  }
+  f.simu.run();
+  // The a->b link carried 5 repairs; b->c is unwatched.
+  EXPECT_DOUBLE_EQ(rec.link_series(TrafficClass::kRepair).total(), 5.0);
+  EXPECT_DOUBLE_EQ(rec.link_series(TrafficClass::kData).total(), 0.0);
+  EXPECT_EQ(rec.link_transmissions(), 10u);  // both hops counted globally
+}
+
+}  // namespace
+}  // namespace sharq::net

@@ -1,0 +1,239 @@
+// Model-based / property tests: each test drives a component with random
+// operation sequences and checks it against a trivially-correct reference
+// model or an algebraic invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "fec/reed_solomon.hpp"
+#include "net/network.hpp"
+#include "net/zone.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq {
+namespace {
+
+// --- EventQueue vs a reference multimap model --------------------------------
+
+class EventQueueModel : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EventQueueModel, MatchesReferenceUnderRandomOps) {
+  std::mt19937 rng(GetParam());
+  sim::EventQueue q;
+  // Reference: ordered (time, seq) -> id; mirrors what must pop.
+  struct Ref {
+    double at;
+    std::uint64_t order;
+    int payload;
+  };
+  std::map<std::pair<double, std::uint64_t>, int> model;
+  std::vector<std::pair<sim::EventId, std::pair<double, std::uint64_t>>> live;
+  std::vector<int> popped_q, popped_model;
+  std::uint64_t order = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 55) {  // schedule
+      const double at = static_cast<double>(rng() % 1000) / 10.0;
+      const int payload = static_cast<int>(rng());
+      const auto key = std::make_pair(at, order++);
+      sim::EventId id = q.schedule(at, [payload, &popped_q] {
+        popped_q.push_back(payload);
+      });
+      model[key] = payload;
+      live.emplace_back(id, key);
+    } else if (op < 75 && !live.empty()) {  // cancel random live event
+      const std::size_t pick = rng() % live.size();
+      const auto [id, key] = live[pick];
+      const bool in_model = model.erase(key) > 0;
+      const bool cancelled = q.cancel(id);
+      EXPECT_EQ(cancelled, in_model);
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else if (!q.empty()) {  // pop
+      ASSERT_FALSE(model.empty());
+      auto fired = q.pop();
+      fired.fn();
+      popped_model.push_back(model.begin()->second);
+      model.erase(model.begin());
+    }
+    EXPECT_EQ(q.size(), model.size());
+    if (!model.empty()) {
+      EXPECT_DOUBLE_EQ(q.next_time(), model.begin()->first.first);
+    }
+  }
+  while (!q.empty()) {
+    ASSERT_FALSE(model.empty());
+    q.pop().fn();
+    popped_model.push_back(model.begin()->second);
+    model.erase(model.begin());
+  }
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(popped_q, popped_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModel,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- Reed-Solomon: random erasure patterns over random parameters -----------
+
+class RsRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RsRandom, RandomSubsetsAlwaysDecode) {
+  std::mt19937 rng(GetParam() * 7919);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int k = 1 + static_cast<int>(rng() % 24);
+    const int parity = 1 + static_cast<int>(rng() % 24);
+    fec::ReedSolomon rs(k, parity);
+    const int size = 1 + static_cast<int>(rng() % 300);
+    std::vector<std::vector<std::uint8_t>> data(k);
+    for (auto& s : data) {
+      s.resize(size);
+      for (auto& b : s) b = rng() & 0xff;
+    }
+    // Pick a random set of exactly k shard ids out of k+parity.
+    std::vector<int> ids(k + parity);
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    ids.resize(k);
+    std::vector<fec::ReedSolomon::Shard> got;
+    for (int id : ids) {
+      got.push_back({id, id < k ? data[id] : rs.encode_parity(id, data)});
+    }
+    auto out = rs.decode(got);
+    ASSERT_TRUE(out.has_value()) << "k=" << k << " parity=" << parity;
+    EXPECT_EQ(*out, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(RsProperty, ParityIsLinear) {
+  // encode(a XOR b) == encode(a) XOR encode(b): the code is linear over
+  // GF(256), which is what lets any combination of shards decode.
+  std::mt19937 rng(404);
+  fec::ReedSolomon rs(6, 6);
+  auto mk = [&] {
+    std::vector<std::vector<std::uint8_t>> d(6);
+    for (auto& s : d) {
+      s.resize(64);
+      for (auto& b : s) b = rng() & 0xff;
+    }
+    return d;
+  };
+  auto a = mk(), b = mk(), x = a;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 64; ++j) x[i][j] ^= b[i][j];
+  }
+  for (int p = 6; p < 12; ++p) {
+    auto ea = rs.encode_parity(p, a);
+    auto eb = rs.encode_parity(p, b);
+    auto ex = rs.encode_parity(p, x);
+    for (int j = 0; j < 64; ++j) {
+      EXPECT_EQ(ex[j], ea[j] ^ eb[j]);
+    }
+  }
+}
+
+// --- Zone hierarchy: random trees keep nesting invariants --------------------
+
+class ZoneRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZoneRandom, NestingInvariantsHold) {
+  std::mt19937 rng(GetParam() * 31);
+  net::ZoneHierarchy z;
+  std::vector<net::ZoneId> zones{z.add_root()};
+  for (int i = 0; i < 30; ++i) {
+    zones.push_back(z.add_zone(zones[rng() % zones.size()]));
+  }
+  const int nodes = 60;
+  for (net::NodeId n = 0; n < nodes; ++n) {
+    z.assign(n, zones[rng() % zones.size()]);
+  }
+  for (net::NodeId n = 0; n < nodes; ++n) {
+    const auto chain = z.chain(n);
+    ASSERT_FALSE(chain.empty());
+    EXPECT_EQ(chain.back(), z.root());
+    EXPECT_EQ(chain.front(), z.smallest_zone(n));
+    // Chain levels strictly decrease toward the root.
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_EQ(z.parent(chain[i - 1]), chain[i]);
+      EXPECT_EQ(z.level(chain[i]) + 1, z.level(chain[i - 1]));
+    }
+    // Membership holds exactly on the chain.
+    for (net::ZoneId zn : zones) {
+      const bool on_chain =
+          std::find(chain.begin(), chain.end(), zn) != chain.end();
+      EXPECT_EQ(z.contains(zn, n), on_chain);
+    }
+  }
+  // common_zone is symmetric and lies on both chains.
+  for (int t = 0; t < 100; ++t) {
+    const net::NodeId a = rng() % nodes, b = rng() % nodes;
+    const net::ZoneId c = z.common_zone(a, b);
+    EXPECT_EQ(c, z.common_zone(b, a));
+    EXPECT_TRUE(z.contains(c, a));
+    EXPECT_TRUE(z.contains(c, b));
+    // No deeper zone contains both.
+    for (net::ZoneId child : z.children(c)) {
+      EXPECT_FALSE(z.contains(child, a) && z.contains(child, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneRandom, ::testing::Values(1u, 2u, 3u));
+
+// --- Routing invariants on random connected graphs ----------------------------
+
+class RoutingRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RoutingRandom, ShortestPathInvariants) {
+  std::mt19937 rng(GetParam() * 101);
+  sim::Simulator simu(GetParam());
+  net::Network net(simu);
+  const int n = 24;
+  net.add_nodes(n);
+  // Random spanning tree + extra chords keeps the graph connected.
+  for (int v = 1; v < n; ++v) {
+    net::LinkConfig cfg;
+    cfg.delay = 0.001 * (1 + rng() % 40);
+    net.add_duplex_link(v, static_cast<net::NodeId>(rng() % v), cfg);
+  }
+  for (int e = 0; e < 12; ++e) {
+    const net::NodeId a = rng() % n, b = rng() % n;
+    if (a == b || net.find_link(a, b) != net::kNoLink) continue;
+    net::LinkConfig cfg;
+    cfg.delay = 0.001 * (1 + rng() % 40);
+    net.add_duplex_link(a, b, cfg);
+  }
+  for (int t = 0; t < 50; ++t) {
+    const net::NodeId a = rng() % n, b = rng() % n;
+    const double dab = net.path_delay(a, b);
+    // Symmetric (all links are duplex with equal delays).
+    EXPECT_NEAR(dab, net.path_delay(b, a), 1e-9);
+    // Triangle inequality through any intermediate node.
+    const net::NodeId c = rng() % n;
+    EXPECT_LE(dab, net.path_delay(a, c) + net.path_delay(c, b) + 1e-9);
+    // The reported path is consistent with the reported delay.
+    const auto path = net.path(a, b);
+    if (a == b) continue;
+    ASSERT_GE(path.size(), 2u);
+    double sum = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const net::LinkId l = net.find_link(path[i - 1], path[i]);
+      ASSERT_NE(l, net::kNoLink);
+      sum += net.path_delay(path[i - 1], path[i]);
+    }
+    EXPECT_NEAR(sum, dab, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingRandom, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace sharq

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "topo/figure10.hpp"
+#include "topo/shapes.hpp"
+
+namespace sharq::sfq {
+namespace {
+
+struct TreeFixture {
+  sim::Simulator simu{4242};
+  net::Network net{simu};
+  topo::BalancedTree tree;
+  std::vector<net::NodeId> receivers;
+
+  explicit TreeFixture(double loss, int depth = 2, int fanout = 3) {
+    net::LinkConfig link;
+    link.loss_rate = loss;
+    tree = topo::make_balanced_tree(net, depth, fanout, link);
+    receivers.assign(tree.all.begin() + 1, tree.all.end());
+    // Two-level zone overlay: one zone per first-level subtree (for a
+    // depth-1 tree everyone shares the root zone).
+    auto& z = net.zones();
+    const net::ZoneId root = z.add_root();
+    z.assign(tree.root, root);
+    for (std::size_t i = 0; i < tree.levels[1].size(); ++i) {
+      if (tree.levels.size() <= 2) {
+        z.assign(tree.levels[1][i], root);
+        continue;
+      }
+      const net::ZoneId sub = z.add_zone(root);
+      z.assign(tree.levels[1][i], sub);
+      for (int leaf = 0; leaf < fanout; ++leaf) {
+        z.assign(tree.levels[2][i * fanout + leaf], sub);
+      }
+    }
+  }
+};
+
+Config variant(bool scoping, bool injection, bool sender_only) {
+  Config cfg;
+  cfg.scoping = scoping;
+  cfg.injection = injection;
+  cfg.sender_only = sender_only;
+  return cfg;
+}
+
+TEST(SharqFecE2E, LosslessDeliversAllGroupsNoNacks) {
+  TreeFixture f(0.0);
+  rm::DeliveryLog log;
+  Session s(f.net, f.tree.root, f.receivers, variant(true, true, false), &log);
+  s.start();
+  s.send_stream(8, 6.0);
+  f.simu.run_until(30.0);
+  for (net::NodeId r : f.receivers) {
+    EXPECT_TRUE(log.complete(r, 8)) << "receiver " << r;
+  }
+  std::uint64_t nacks = 0;
+  for (auto& a : s.agents()) nacks += a->transfer().nacks_sent();
+  EXPECT_EQ(nacks, 0u);
+}
+
+class VariantMatrix
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(VariantMatrix, RecoversFromLoss) {
+  const auto [scoping, injection, sender_only] = GetParam();
+  TreeFixture f(0.08);
+  rm::DeliveryLog log;
+  Session s(f.net, f.tree.root, f.receivers,
+            variant(scoping, injection, sender_only), &log);
+  s.start();
+  s.send_stream(12, 6.0);
+  f.simu.run_until(120.0);
+  for (net::NodeId r : f.receivers) {
+    EXPECT_TRUE(log.complete(r, 12))
+        << "receiver " << r << " scoping=" << scoping
+        << " injection=" << injection << " so=" << sender_only
+        << " completed=" << log.completed_count(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantMatrix,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(SharqFecE2E, Figure10FullProtocolDelivers) {
+  sim::Simulator simu{99};
+  net::Network net{simu};
+  topo::Figure10 t = topo::make_figure10(net);
+  rm::DeliveryLog log;
+  Session s(net, t.source, t.receivers, variant(true, true, false), &log);
+  s.start();
+  s.send_stream(16, 6.0);  // 256 packets
+  simu.run_until(120.0);
+  int incomplete = 0;
+  for (net::NodeId r : t.receivers) {
+    if (!log.complete(r, 16)) ++incomplete;
+  }
+  EXPECT_EQ(incomplete, 0);
+}
+
+TEST(SharqFecE2E, RealPayloadRoundTrips) {
+  TreeFixture f(0.10, 1, 4);
+  rm::DeliveryLog log;
+  Config cfg = variant(true, true, false);
+  cfg.real_payload = true;
+  cfg.group_size = 4;
+  cfg.shard_size_bytes = 64;
+  Session s(f.net, f.tree.root, f.receivers, cfg, &log);
+  s.start();
+  std::vector<std::uint8_t> payload(3 * 4 * 64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  s.send_stream(3, 6.0, payload);
+  f.simu.run_until(60.0);
+  for (net::NodeId r : f.receivers) {
+    ASSERT_TRUE(log.complete(r, 3)) << "receiver " << r;
+    std::vector<std::uint8_t> got;
+    for (std::uint32_t g = 0; g < 3; ++g) {
+      auto part = s.agent_for(r).transfer().reconstructed(g);
+      got.insert(got.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(got, payload) << "receiver " << r;
+  }
+}
+
+TEST(SharqFecE2E, InjectionReducesNacks) {
+  // With preemptive injection the steady-state NACK volume should drop
+  // (paper Figure 19).
+  std::uint64_t nacks_with = 0, nacks_without = 0;
+  for (bool injection : {true, false}) {
+    sim::Simulator simu{31337};
+    net::Network net{simu};
+    net::LinkConfig link;
+    link.loss_rate = 0.08;
+    topo::BalancedTree t = topo::make_balanced_tree(net, 2, 3, link);
+    std::vector<net::NodeId> receivers(t.all.begin() + 1, t.all.end());
+    auto& z = net.zones();
+    const net::ZoneId root = z.add_root();
+    z.assign(t.root, root);
+    for (std::size_t i = 0; i < t.levels[1].size(); ++i) {
+      const net::ZoneId sub = z.add_zone(root);
+      z.assign(t.levels[1][i], sub);
+      for (int leaf = 0; leaf < 3; ++leaf) {
+        z.assign(t.levels[2][i * 3 + leaf], sub);
+      }
+    }
+    rm::DeliveryLog log;
+    Session s(net, t.root, receivers, variant(true, injection, false), &log);
+    s.start();
+    s.send_stream(32, 6.0);
+    simu.run_until(120.0);
+    std::uint64_t nacks = 0;
+    for (auto& a : s.agents()) nacks += a->transfer().nacks_sent();
+    (injection ? nacks_with : nacks_without) = nacks;
+  }
+  EXPECT_LT(nacks_with, nacks_without);
+}
+
+}  // namespace
+}  // namespace sharq::sfq

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "topo/shapes.hpp"
+
+namespace sharq::sfq {
+namespace {
+
+/// source -- cache -- {a, b}; zone = {cache, a, b}. The cache is the
+/// provider-installed static ZCR (paper §5.2).
+struct StaticFixture {
+  sim::Simulator simu{911};
+  net::Network net{simu};
+  net::NodeId source, cache, a, b;
+  net::ZoneId root, zone;
+
+  StaticFixture() {
+    source = net.add_node();
+    cache = net.add_node();
+    a = net.add_node();
+    b = net.add_node();
+    net::LinkConfig up;
+    up.delay = 0.020;
+    net.add_duplex_link(source, cache, up);
+    net::LinkConfig down;
+    down.delay = 0.010;
+    net.add_duplex_link(cache, a, down);
+    net.add_duplex_link(cache, b, down);
+    root = net.zones().add_root();
+    zone = net.zones().add_zone(root);
+    net.zones().assign(source, root);
+    for (net::NodeId n : {cache, a, b}) net.zones().assign(n, zone);
+  }
+
+  Config cfg_with_static() {
+    Config cfg;
+    cfg.static_zcrs[zone] = cache;
+    return cfg;
+  }
+};
+
+TEST(StaticZcr, KnownFromTheFirstInstant) {
+  StaticFixture f;
+  Session s(f.net, f.source, {f.cache, f.a, f.b}, f.cfg_with_static());
+  // Even before any session traffic, everyone already knows the ZCR.
+  EXPECT_EQ(s.agent_for(f.a).session().zcr_of(f.zone), f.cache);
+  EXPECT_EQ(s.agent_for(f.b).session().zcr_of(f.zone), f.cache);
+  EXPECT_TRUE(s.agent_for(f.cache).session().is_zcr(f.zone));
+}
+
+TEST(StaticZcr, NoBootstrapElectionChurn) {
+  StaticFixture f;
+  Session s(f.net, f.source, {f.cache, f.a, f.b}, f.cfg_with_static());
+  s.start();
+  f.simu.run_until(30.0);
+  // The configured ZCR holds; nobody issued a takeover against it.
+  EXPECT_EQ(s.agent_for(f.a).session().zcr_of(f.zone), f.cache);
+  std::uint64_t takeovers = 0;
+  for (auto& agent : s.agents()) {
+    takeovers += agent->session().takeovers_sent();
+  }
+  EXPECT_EQ(takeovers, 0u);
+}
+
+TEST(StaticZcr, TransferUsesConfiguredCache) {
+  StaticFixture f;
+  rm::DeliveryLog log;
+  Config cfg = f.cfg_with_static();
+  Session s(f.net, f.source, {f.cache, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(16, 6.0);
+  f.simu.run_until(60.0);
+  for (net::NodeId r : {f.cache, f.a, f.b}) {
+    EXPECT_TRUE(log.complete(r, 16)) << "receiver " << r;
+  }
+}
+
+TEST(StaticZcr, FailoverWhenStaticCacheDies) {
+  StaticFixture f;
+  Session s(f.net, f.source, {f.cache, f.a, f.b}, f.cfg_with_static());
+  s.start();
+  f.simu.run_until(10.0);
+  s.agent_for(f.cache).stop();
+  f.net.detach(f.cache, &s.agent_for(f.cache));
+  f.simu.run_until(120.0);
+  const net::NodeId replacement = s.agent_for(f.a).session().zcr_of(f.zone);
+  EXPECT_NE(replacement, f.cache);
+  EXPECT_NE(replacement, net::kNoNode);
+  EXPECT_EQ(replacement, s.agent_for(f.b).session().zcr_of(f.zone));
+}
+
+}  // namespace
+}  // namespace sharq::sfq

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/report.hpp"
+#include "stats/time_series.hpp"
+#include "stats/traffic_recorder.hpp"
+
+namespace sharq::stats {
+namespace {
+
+TEST(BinnedSeries, BinsByWidth) {
+  BinnedSeries s(0.1);
+  s.add(0.05);
+  s.add(0.09);
+  s.add(0.10);
+  s.add(0.25, 2.0);
+  EXPECT_EQ(s.bin_count(), 3);
+  EXPECT_DOUBLE_EQ(s.bin(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.bin(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.bin(2), 2.0);
+  EXPECT_DOUBLE_EQ(s.total(), 5.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 2.0);
+  EXPECT_DOUBLE_EQ(s.bin(99), 0.0);
+  EXPECT_DOUBLE_EQ(s.bin_start(2), 0.2);
+}
+
+TEST(BinnedSeries, NegativeTimeClamps) {
+  BinnedSeries s(1.0);
+  s.add(-5.0);
+  EXPECT_DOUBLE_EQ(s.bin(0), 1.0);
+}
+
+TEST(Summary, QuantilesAndMoments) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(TrafficRecorder, RecordsPerNodeAndClass) {
+  TrafficRecorder rec(3, 0.1);
+  net::Packet p;
+  p.cls = net::TrafficClass::kData;
+  p.size_bytes = 100;
+  rec.on_deliver(0.05, 1, p);
+  rec.on_deliver(0.15, 1, p);
+  p.cls = net::TrafficClass::kNack;
+  rec.on_deliver(0.05, 2, p);
+  EXPECT_DOUBLE_EQ(rec.node_total(1, net::TrafficClass::kData), 2.0);
+  EXPECT_DOUBLE_EQ(rec.node_total(2, net::TrafficClass::kNack), 1.0);
+  EXPECT_DOUBLE_EQ(rec.node_total(1, net::TrafficClass::kNack), 0.0);
+  EXPECT_DOUBLE_EQ(rec.total_series(net::TrafficClass::kData).total(), 2.0);
+  EXPECT_EQ(rec.bytes_delivered(), 300u);
+}
+
+TEST(TrafficRecorder, MeanOverNodes) {
+  TrafficRecorder rec(4, 0.1);
+  net::Packet d;
+  d.cls = net::TrafficClass::kData;
+  net::Packet r;
+  r.cls = net::TrafficClass::kRepair;
+  rec.on_deliver(0.0, 1, d);
+  rec.on_deliver(0.0, 1, r);
+  rec.on_deliver(0.0, 2, d);
+  auto mean = rec.mean_over_nodes(
+      {1, 2}, {net::TrafficClass::kData, net::TrafficClass::kRepair});
+  ASSERT_EQ(mean.size(), 1u);
+  EXPECT_DOUBLE_EQ(mean[0], 1.5);
+}
+
+TEST(TrafficRecorder, WatchOnlyFiltersPerNode) {
+  TrafficRecorder rec(3, 0.1);
+  rec.watch_only({2});
+  net::Packet p;
+  p.cls = net::TrafficClass::kData;
+  rec.on_deliver(0.0, 1, p);
+  rec.on_deliver(0.0, 2, p);
+  EXPECT_DOUBLE_EQ(rec.node_total(1, net::TrafficClass::kData), 0.0);
+  EXPECT_DOUBLE_EQ(rec.node_total(2, net::TrafficClass::kData), 1.0);
+  EXPECT_DOUBLE_EQ(rec.total_series(net::TrafficClass::kData).total(), 2.0);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(PrintSeries, EmitsHeaderAndPairs) {
+  std::ostringstream os;
+  print_series(os, "test", {1.0, 2.0}, 0.5, 10.0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# series: test"), std::string::npos);
+  EXPECT_NE(out.find("10 1"), std::string::npos);
+  EXPECT_NE(out.find("10.5 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sharq::stats

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/figure10.hpp"
+#include "topo/national.hpp"
+#include "topo/shapes.hpp"
+
+namespace sharq::topo {
+namespace {
+
+struct Fixture {
+  sim::Simulator simu{1};
+  net::Network net{simu};
+};
+
+TEST(Shapes, ChainConnectivity) {
+  Fixture f;
+  Chain c = make_chain(f.net, 5, net::LinkConfig{});
+  EXPECT_EQ(c.nodes.size(), 5u);
+  EXPECT_NEAR(f.net.path_delay(c.nodes[0], c.nodes[4]), 0.040, 1e-9);
+}
+
+TEST(Shapes, ChainWithCustomDelays) {
+  Fixture f;
+  Chain c = make_chain(f.net, {0.010, 0.020, 0.040});
+  EXPECT_EQ(c.nodes.size(), 4u);
+  EXPECT_NEAR(f.net.path_delay(c.nodes[0], c.nodes[3]), 0.070, 1e-9);
+}
+
+TEST(Shapes, StarDelays) {
+  Fixture f;
+  Star s = make_star(f.net, {0.010, 0.030});
+  EXPECT_NEAR(f.net.path_delay(s.leaves[0], s.leaves[1]), 0.040, 1e-9);
+}
+
+TEST(Shapes, BalancedTreeSizes) {
+  Fixture f;
+  BalancedTree t = make_balanced_tree(f.net, 3, 2, net::LinkConfig{});
+  EXPECT_EQ(t.levels.size(), 4u);
+  EXPECT_EQ(t.leaves.size(), 8u);
+  EXPECT_EQ(t.all.size(), 15u);
+  EXPECT_NEAR(f.net.path_delay(t.root, t.leaves[0]), 0.030, 1e-9);
+}
+
+TEST(Figure1Tree, ReproducesPaperNumbers) {
+  Fixture f;
+  ExampleTree t = make_figure1_tree(f.net);
+  // P(all receivers get a packet) = product over all links of (1 - loss).
+  double p_all = 1.0;
+  for (net::NodeId r : t.receivers) {
+    p_all *= 1.0 - f.net.path_loss(t.source, r);
+  }
+  // Dividing out shared relay links double-counts; compute over links
+  // directly instead.
+  p_all = 1.0;
+  for (net::LinkId l = 0; l < f.net.link_count(); ++l) {
+    if (f.net.link_from(l) < f.net.link_to(l)) {  // one direction only
+      p_all *= 1.0 - f.net.link_loss_rate(l);
+    }
+  }
+  EXPECT_NEAR(p_all, 0.270, 0.001);  // paper: 27.0%
+
+  const double worst = f.net.path_loss(t.source, t.worst_receiver);
+  EXPECT_NEAR(worst, 0.0973, 0.0005);  // paper: 9.73%
+  for (net::NodeId r : t.receivers) {
+    EXPECT_LE(f.net.path_loss(t.source, r), worst + 1e-12);
+  }
+}
+
+TEST(Figure10, StructureMatchesPaperNumbering) {
+  Fixture f;
+  Figure10 t = make_figure10(f.net);
+  EXPECT_EQ(t.source, 0);
+  EXPECT_EQ(f.net.node_count(), 113);
+  EXPECT_EQ(t.mesh.front(), 1);
+  EXPECT_EQ(t.mesh.back(), 7);
+  EXPECT_EQ(t.middles.front(), 8);
+  EXPECT_EQ(t.middles.back(), 28);
+  EXPECT_EQ(t.leaves.front(), 29);
+  EXPECT_EQ(t.leaves.back(), 112);
+  EXPECT_EQ(t.receivers.size(), 112u);
+}
+
+TEST(Figure10, LossEndpointsMatchPaper) {
+  Fixture f;
+  Figure10 t = make_figure10(f.net);
+  // Paper: leaves under mesh node 3 see ~28.3% compounded loss; leaves
+  // 89-100 (mesh node 6) see ~13.4%.
+  const double worst = f.net.path_loss(t.source, 53);
+  EXPECT_NEAR(worst, 0.283, 0.002);
+  const double best = f.net.path_loss(t.source, 89);
+  EXPECT_NEAR(best, 0.134, 0.002);
+  // Every receiver sees nonzero loss; the two quoted are the extremes
+  // among leaves.
+  for (net::NodeId leaf : t.leaves) {
+    const double loss = f.net.path_loss(t.source, leaf);
+    EXPECT_GT(loss, 0.0);
+    EXPECT_LE(loss, worst + 1e-9);
+    EXPECT_GE(loss, best - 1e-9);
+  }
+}
+
+TEST(Figure10, ZoneOverlayIsThreeLevels) {
+  Fixture f;
+  Figure10 t = make_figure10(f.net);
+  auto& z = f.net.zones();
+  EXPECT_EQ(t.tree_zones.size(), 7u);
+  EXPECT_EQ(t.leaf_zones.size(), 21u);
+  EXPECT_EQ(z.level(t.z_root), 0);
+  EXPECT_EQ(z.level(t.tree_zones[0]), 1);
+  EXPECT_EQ(z.level(t.leaf_zones[0]), 2);
+  // Leaf 29 belongs to middle 8's zone, tree zone 0, and the root.
+  EXPECT_EQ(z.chain(29),
+            (std::vector<net::ZoneId>{t.leaf_zones[0], t.tree_zones[0],
+                                      t.z_root}));
+  // The source belongs only to the root.
+  EXPECT_EQ(z.chain(0), (std::vector<net::ZoneId>{t.z_root}));
+  // Mesh node m is the natural ZCR of its tree zone: it is in the tree
+  // zone and closest to the source.
+  EXPECT_TRUE(z.contains(t.tree_zones[2], 3));
+  EXPECT_EQ(z.smallest_zone(3), t.tree_zones[2]);
+}
+
+TEST(Figure10, MiddlesAndLeavesHelpers) {
+  Fixture f;
+  Figure10 t = make_figure10(f.net);
+  EXPECT_EQ(t.middles_of(0), (std::vector<net::NodeId>{8, 9, 10}));
+  EXPECT_EQ(t.middles_of(6), (std::vector<net::NodeId>{26, 27, 28}));
+  EXPECT_EQ(t.leaves_of(0), (std::vector<net::NodeId>{29, 30, 31, 32}));
+  EXPECT_EQ(t.leaves_of(20), (std::vector<net::NodeId>{109, 110, 111, 112}));
+}
+
+TEST(National, AnalyticsMatchPaperTable) {
+  NationalParams p;  // paper defaults: 10 x 20 x 100 x 500
+  NationalAnalytics a = analyze_national(p);
+  ASSERT_EQ(a.levels.size(), 4u);
+  EXPECT_EQ(a.total_receivers, 10000210);
+  // Paper Figure 8 row "RTTs maintained / receiver": 10 / 30 / 130 / 630.
+  EXPECT_EQ(a.levels[0].rtts_per_receiver, 10);
+  EXPECT_EQ(a.levels[1].rtts_per_receiver, 30);
+  EXPECT_EQ(a.levels[2].rtts_per_receiver, 130);
+  EXPECT_EQ(a.levels[3].rtts_per_receiver, 630);
+  // State ratio: 630 RTTs vs 10,000,210 peers -> 63 / 1,000,021.
+  EXPECT_NEAR(a.levels[3].scoped_state_ratio * 1000021.0, 63.0, 0.01);
+  // Scoped traffic is many orders of magnitude below non-scoped.
+  for (const auto& l : a.levels) {
+    EXPECT_LT(l.scoped_traffic / l.nonscoped_traffic, 1e-7);
+  }
+}
+
+TEST(National, SmallBuildIsConsistent) {
+  Fixture f;
+  NationalParams p;
+  p.regions = 2;
+  p.cities_per_region = 2;
+  p.suburbs_per_city = 2;
+  p.subscribers_per_suburb = 3;
+  National n = make_national(f.net, p);
+  EXPECT_EQ(n.region_caches.size(), 2u);
+  EXPECT_EQ(n.city_caches.size(), 4u);
+  EXPECT_EQ(n.suburb_hubs.size(), 8u);
+  EXPECT_EQ(n.subscribers.size(), 24u);
+  EXPECT_EQ(f.net.node_count(), 1 + 2 + 4 + 8 + 24);
+  // Every subscriber reaches the source.
+  for (net::NodeId s : n.subscribers) {
+    EXPECT_LT(f.net.path_delay(n.source, s), 1.0);
+  }
+  // Zone nesting: subscriber's chain has 4 levels.
+  EXPECT_EQ(f.net.zones().chain(n.subscribers[0]).size(), 4u);
+}
+
+}  // namespace
+}  // namespace sharq::topo

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/trace_writer.hpp"
+#include "stats/traffic_recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::stats {
+namespace {
+
+struct Probe final : net::MessageBase {};
+
+struct Fixture {
+  sim::Simulator simu{7};
+  net::Network net{simu};
+  net::NodeId a, b;
+  net::ChannelId ch;
+
+  Fixture() {
+    a = net.add_node();
+    b = net.add_node();
+    net.add_duplex_link(a, b, net::LinkConfig{});
+    ch = net.create_channel();
+    net.subscribe(ch, b);
+  }
+};
+
+TEST(TraceWriter, EmitsHopAndReceiveLines) {
+  Fixture f;
+  std::ostringstream os;
+  TraceWriter tw(os, &f.net);
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, net::TrafficClass::kData, 100,
+             std::make_shared<Probe>());
+  f.simu.run();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("h 0 0 1 data 100"), std::string::npos) << out;
+  EXPECT_NE(out.find("\nr 0.01008 1 - data 100"), std::string::npos) << out;
+  EXPECT_EQ(tw.lines_written(), 2u);
+}
+
+TEST(TraceWriter, DropLinesOnLoss) {
+  Fixture f;
+  f.net.set_loss_model(f.net.find_link(f.a, f.b),
+                       std::make_unique<net::BernoulliLoss>(1.0));
+  std::ostringstream os;
+  TraceWriter tw(os, &f.net);
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, net::TrafficClass::kRepair, 50,
+             std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_NE(os.str().find("\nd "), std::string::npos) << os.str();
+  EXPECT_EQ(os.str().find("\nr "), std::string::npos) << os.str();
+}
+
+TEST(TraceWriter, ClassFilterSuppressesLines) {
+  Fixture f;
+  std::ostringstream os;
+  TraceWriter tw(os, &f.net);
+  tw.enable_class(net::TrafficClass::kSession, false);
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, net::TrafficClass::kSession, 64,
+             std::make_shared<Probe>(), /*lossless=*/true);
+  f.simu.run();
+  EXPECT_EQ(tw.lines_written(), 0u);
+}
+
+TEST(TraceWriter, ChainsToNextSink) {
+  Fixture f;
+  std::ostringstream os;
+  TrafficRecorder rec(f.net.node_count(), 0.1);
+  TraceWriter tw(os, &f.net, &rec);
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, net::TrafficClass::kData, 100,
+             std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_EQ(tw.lines_written(), 2u);
+  EXPECT_DOUBLE_EQ(rec.node_total(f.b, net::TrafficClass::kData), 1.0);
+  EXPECT_EQ(rec.link_transmissions(), 1u);
+}
+
+TEST(TraceWriter, WithoutNetworkPrintsLinkId) {
+  Fixture f;
+  std::ostringstream os;
+  TraceWriter tw(os, nullptr);
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, net::TrafficClass::kData, 100,
+             std::make_shared<Probe>());
+  f.simu.run();
+  EXPECT_NE(os.str().find("h 0 0 - data"), std::string::npos) << os.str();
+}
+
+}  // namespace
+}  // namespace sharq::stats

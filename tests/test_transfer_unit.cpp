@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "topo/figure10.hpp"
+#include "topo/shapes.hpp"
+
+namespace sharq::sfq {
+namespace {
+
+/// A two-zone fixture small enough to reason about exactly:
+/// source -- relay -- {a, b}; zone = {relay, a, b}.
+struct TwoZone {
+  sim::Simulator simu{11};
+  net::Network net{simu};
+  net::NodeId source, relay, a, b;
+  net::ZoneId root, zone;
+
+  explicit TwoZone(double upstream_loss = 0.0, double leaf_loss = 0.0) {
+    source = net.add_node();
+    relay = net.add_node();
+    a = net.add_node();
+    b = net.add_node();
+    net::LinkConfig up;
+    up.delay = 0.020;
+    up.loss_rate = upstream_loss;
+    net.add_duplex_link(source, relay, up);
+    net::LinkConfig down;
+    down.delay = 0.010;
+    down.loss_rate = leaf_loss;
+    net.add_duplex_link(relay, a, down);
+    net.add_duplex_link(relay, b, down);
+    root = net.zones().add_root();
+    zone = net.zones().add_zone(root);
+    net.zones().assign(source, root);
+    net.zones().assign(relay, zone);
+    net.zones().assign(a, zone);
+    net.zones().assign(b, zone);
+  }
+};
+
+TEST(TransferUnit, LosslessStreamNeverNacksOrRepairs) {
+  TwoZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(6, 6.0);
+  f.simu.run_until(25.0);
+  for (auto& agent : s.agents()) {
+    EXPECT_EQ(agent->transfer().nacks_sent(), 0u);
+    EXPECT_EQ(agent->transfer().repairs_sent(), 0u);
+  }
+  EXPECT_TRUE(s.all_complete(6));
+}
+
+TEST(TransferUnit, GroupsCompletedCount) {
+  TwoZone f;
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(5, 6.0);
+  f.simu.run_until(25.0);
+  EXPECT_EQ(s.agent_for(f.a).transfer().groups_completed(), 5u);
+  EXPECT_EQ(s.agent_for(f.a).transfer().max_group_seen(), 4u);
+  EXPECT_TRUE(s.agent_for(f.a).transfer().seen_any_data());
+}
+
+TEST(TransferUnit, ZlcPredictorLearnsSteadyLoss) {
+  // 20% upstream loss shared by the whole zone: the source's root-level
+  // ZLC prediction must converge to roughly 20% of a group.
+  TwoZone f(0.20, 0.0);
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(40, 6.0);
+  f.simu.run_until(90.0);
+  const double pred =
+      s.source_agent().transfer().predicted_zlc(f.root);
+  // ~0.2 * (16 + h): expect somewhere in [1.5, 7].
+  EXPECT_GT(pred, 1.0);
+  EXPECT_LT(pred, 8.0);
+  EXPECT_TRUE(s.all_complete(40));
+}
+
+TEST(TransferUnit, PreemptiveShardsAppearOnceLearned) {
+  TwoZone f(0.20, 0.0);
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(40, 6.0);
+  f.simu.run_until(90.0);
+  EXPECT_GT(s.source_agent().transfer().preemptive_repairs_sent(), 10u);
+}
+
+TEST(TransferUnit, InjectionDisabledSendsNoPreemptive) {
+  TwoZone f(0.20, 0.0);
+  Config cfg;
+  cfg.injection = false;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(20, 6.0);
+  f.simu.run_until(60.0);
+  for (auto& agent : s.agents()) {
+    EXPECT_EQ(agent->transfer().preemptive_repairs_sent(), 0u);
+  }
+  EXPECT_TRUE(s.all_complete(20));
+}
+
+TEST(TransferUnit, SenderOnlyMeansNoPeerRepairs) {
+  TwoZone f(0.0, 0.15);
+  Config cfg;
+  cfg.sender_only = true;
+  cfg.injection = false;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(20, 6.0);
+  f.simu.run_until(60.0);
+  for (std::size_t i = 1; i < s.agents().size(); ++i) {
+    EXPECT_EQ(s.agents()[i]->transfer().repairs_sent(), 0u)
+        << "receiver " << s.agents()[i]->node();
+  }
+  EXPECT_GT(s.source_agent().transfer().repairs_sent(), 0u);
+  EXPECT_TRUE(s.all_complete(20));
+}
+
+TEST(TransferUnit, ZoneLocalLossRepairedInZone) {
+  // Loss only on the relay->a link: repairs should come from the zone
+  // (relay or b), never the source.
+  TwoZone f(0.0, 0.0);
+  // Make only the relay->a direction lossy.
+  const net::LinkId la = f.net.find_link(f.relay, f.a);
+  f.net.set_loss_model(la, std::make_unique<net::BernoulliLoss>(0.2));
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(20, 6.0);
+  f.simu.run_until(60.0);
+  const std::uint64_t src_repairs = s.source_agent().transfer().repairs_sent();
+  const std::uint64_t zone_repairs =
+      s.agent_for(f.relay).transfer().repairs_sent() +
+      s.agent_for(f.b).transfer().repairs_sent();
+  EXPECT_GT(zone_repairs, 0u);
+  // Stall probes may occasionally escalate to the root, but the zone must
+  // serve the overwhelming majority of repairs for purely local loss.
+  EXPECT_LT(src_repairs, zone_repairs / 2 + 1);
+  EXPECT_TRUE(s.all_complete(20));
+}
+
+TEST(TransferUnit, WholeTrancheLossRecovered) {
+  // Brutal: 60% upstream loss for a short stream — whole-group losses and
+  // tail losses are likely; session-message progress advertisements and
+  // LDP timers must still recover everything.
+  TwoZone f(0.60, 0.0);
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(6, 6.0);
+  f.simu.run_until(120.0);
+  EXPECT_TRUE(s.all_complete(6));
+}
+
+TEST(TransferUnit, EscalationReachesSourceWhenZoneCannotRepair) {
+  // All upstream loss: no zone member ever has shards its peers miss, so
+  // recovery must escalate to the root and be served by the source.
+  TwoZone f(0.25, 0.0);
+  Config cfg;
+  cfg.injection = false;  // force the ARQ path
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(12, 6.0);
+  f.simu.run_until(90.0);
+  EXPECT_GT(s.source_agent().transfer().repairs_sent(), 0u);
+  EXPECT_TRUE(s.all_complete(12));
+}
+
+TEST(TransferUnit, NacksAreCountsNotPacketIds) {
+  // Two receivers lose different shards of the same group; a single
+  // FEC repair can serve both, so total repairs should be well under
+  // one-per-lost-packet. Statistical, but with margin.
+  TwoZone f(0.0, 0.10);
+  Config cfg;
+  cfg.injection = false;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(30, 6.0);
+  f.simu.run_until(90.0);
+  std::uint64_t repairs = 0;
+  for (auto& agent : s.agents()) repairs += agent->transfer().repairs_sent();
+  // ~30 groups * 19 shards * 10% * 2 receivers ~= 100+ individual losses,
+  // but per-group max deficit is what must be repaired (~2/group).
+  EXPECT_LT(repairs, 100u);
+  EXPECT_TRUE(s.all_complete(30));
+}
+
+TEST(TransferUnit, RealPayloadSurvivesHeavyLoss) {
+  TwoZone f(0.15, 0.15);
+  Config cfg;
+  cfg.real_payload = true;
+  cfg.group_size = 8;
+  cfg.shard_size_bytes = 128;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  std::vector<std::uint8_t> payload(4 * 8 * 128);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i ^ (i >> 7));
+  }
+  s.send_stream(4, 6.0, payload);
+  f.simu.run_until(90.0);
+  for (net::NodeId r : {f.relay, f.a, f.b}) {
+    std::vector<std::uint8_t> got;
+    for (std::uint32_t g = 0; g < 4; ++g) {
+      auto part = s.agent_for(r).transfer().reconstructed(g);
+      got.insert(got.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(got, payload) << "receiver " << r;
+  }
+}
+
+TEST(TransferUnit, Figure10GroupSizeSweep) {
+  for (int k : {4, 8, 32}) {
+    sim::Simulator simu{17};
+    net::Network net{simu};
+    topo::Figure10 t = topo::make_figure10(net);
+    rm::DeliveryLog log;
+    Config cfg;
+    cfg.group_size = k;
+    Session s(net, t.source, t.receivers, cfg, &log);
+    s.start();
+    s.send_stream(128 / k, 6.0);  // 128 packets regardless of k
+    simu.run_until(90.0);
+    int incomplete = 0;
+    for (net::NodeId r : t.receivers) {
+      if (!log.complete(r, 128 / k)) ++incomplete;
+    }
+    EXPECT_EQ(incomplete, 0) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace sharq::sfq

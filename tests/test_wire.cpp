@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sharqfec/wire.hpp"
+
+namespace sharq::sfq::wire {
+namespace {
+
+TEST(Wire, DataRoundTrip) {
+  DataMsg m;
+  m.group = 42;
+  m.index = 7;
+  m.k = 16;
+  m.initial_shards = 19;
+  m.groups_total = 64;
+  m.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 2, 3, 255});
+  auto buf = encode(m);
+  auto any = decode(buf);
+  ASSERT_TRUE(any.has_value());
+  auto* d = std::get_if<DataMsg>(&*any);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->group, 42u);
+  EXPECT_EQ(d->index, 7);
+  EXPECT_EQ(d->k, 16);
+  EXPECT_EQ(d->initial_shards, 19);
+  EXPECT_EQ(d->groups_total, 64u);
+  ASSERT_NE(d->bytes, nullptr);
+  EXPECT_EQ(*d->bytes, (std::vector<std::uint8_t>{1, 2, 3, 255}));
+}
+
+TEST(Wire, DataNullPayloadPreserved) {
+  DataMsg m;
+  m.bytes = nullptr;
+  auto any = decode(encode(m));
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(std::get<DataMsg>(*any).bytes, nullptr);
+
+  m.bytes = std::make_shared<const std::vector<std::uint8_t>>();
+  any = decode(encode(m));
+  ASSERT_TRUE(any.has_value());
+  ASSERT_NE(std::get<DataMsg>(*any).bytes, nullptr);
+  EXPECT_TRUE(std::get<DataMsg>(*any).bytes->empty());
+}
+
+TEST(Wire, NackRoundTripWithHints) {
+  NackMsg m;
+  m.group = 9;
+  m.zone = 3;
+  m.llc = 4;
+  m.needed = 2;
+  m.max_id_seen = 21;
+  m.sender = 57;
+  m.hints = {{1, 8, 0.0205}, {0, 0, 0.0817}};
+  auto any = decode(encode(m));
+  ASSERT_TRUE(any.has_value());
+  auto& n = std::get<NackMsg>(*any);
+  EXPECT_EQ(n.zone, 3);
+  EXPECT_EQ(n.llc, 4);
+  EXPECT_EQ(n.needed, 2);
+  EXPECT_EQ(n.max_id_seen, 21);
+  ASSERT_EQ(n.hints.size(), 2u);
+  EXPECT_EQ(n.hints[0].zcr, 8);
+  EXPECT_DOUBLE_EQ(n.hints[1].dist, 0.0817);
+}
+
+TEST(Wire, RepairRoundTrip) {
+  RepairMsg m;
+  m.group = 5;
+  m.index = 30;
+  m.k = 16;
+  m.new_max_id = 31;
+  m.repairer = 14;
+  m.zone = 6;
+  m.preemptive = true;
+  m.hints = {{6, 14, 0.02}};
+  m.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(1000, 0xAB));
+  auto any = decode(encode(m));
+  ASSERT_TRUE(any.has_value());
+  auto& r = std::get<RepairMsg>(*any);
+  EXPECT_TRUE(r.preemptive);
+  EXPECT_EQ(r.index, 30);
+  EXPECT_EQ(r.bytes->size(), 1000u);
+  EXPECT_EQ((*r.bytes)[999], 0xAB);
+}
+
+TEST(Wire, SessionRoundTrip) {
+  SessionMsg m;
+  m.sender = 11;
+  m.zone = 2;
+  m.ts = 12.3456789;
+  m.zcr = 5;
+  m.zcr_parent_dist = 0.042;
+  m.max_group_seen = 63;
+  m.seen_any_data = true;
+  m.entries = {{12, 10.5, 0.25, 0.041}, {13, 11.0, 0.1, -1.0}};
+  auto any = decode(encode(m));
+  ASSERT_TRUE(any.has_value());
+  auto& s = std::get<SessionMsg>(*any);
+  EXPECT_DOUBLE_EQ(s.ts, 12.3456789);
+  EXPECT_EQ(s.zcr, 5);
+  EXPECT_TRUE(s.seen_any_data);
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.entries[1].rtt_est, -1.0);
+}
+
+TEST(Wire, ElectionMessagesRoundTrip) {
+  {
+    ZcrChallengeMsg m;
+    m.challenger = 3;
+    m.zone = 1;
+    m.challenge_id = 0xDEADBEEFCAFEull;
+    auto any = decode(encode(m));
+    ASSERT_TRUE(any.has_value());
+    EXPECT_EQ(std::get<ZcrChallengeMsg>(*any).challenge_id,
+              0xDEADBEEFCAFEull);
+  }
+  {
+    ZcrResponseMsg m;
+    m.responder = 0;
+    m.zone = 1;
+    m.challenge_id = 99;
+    m.processing_delay = 0.001;
+    auto any = decode(encode(m));
+    ASSERT_TRUE(any.has_value());
+    EXPECT_DOUBLE_EQ(std::get<ZcrResponseMsg>(*any).processing_delay, 0.001);
+  }
+  {
+    ZcrTakeoverMsg m;
+    m.new_zcr = 2;
+    m.zone = 1;
+    m.dist_to_parent = 0.0101;
+    auto any = decode(encode(m));
+    ASSERT_TRUE(any.has_value());
+    EXPECT_DOUBLE_EQ(std::get<ZcrTakeoverMsg>(*any).dist_to_parent, 0.0101);
+  }
+}
+
+TEST(Wire, PeekType) {
+  NackMsg m;
+  auto buf = encode(m);
+  EXPECT_EQ(peek_type(buf.data(), buf.size()), MsgType::kNack);
+  EXPECT_EQ(peek_type(buf.data(), 1), std::nullopt);
+  buf[0] = 99;
+  EXPECT_EQ(peek_type(buf.data(), buf.size()), std::nullopt);
+}
+
+TEST(Wire, TruncationAlwaysRejected) {
+  RepairMsg m;
+  m.hints = {{1, 2, 3.0}, {4, 5, 6.0}};
+  m.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(64, 7));
+  auto buf = encode(m);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_EQ(decode(buf.data(), cut), std::nullopt) << "cut=" << cut;
+  }
+  EXPECT_TRUE(decode(buf).has_value());
+}
+
+TEST(Wire, BadVersionRejected) {
+  DataMsg m;
+  auto buf = encode(m);
+  buf[1] = kWireVersion + 1;
+  EXPECT_EQ(decode(buf), std::nullopt);
+}
+
+TEST(Wire, FuzzNeverCrashes) {
+  std::mt19937 rng(1234);
+  // Random garbage.
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> buf(rng() % 200);
+    for (auto& b : buf) b = rng() & 0xff;
+    (void)decode(buf);  // must not crash or overrun
+  }
+  // Mutated valid messages.
+  SessionMsg m;
+  m.entries.resize(5);
+  auto base = encode(m);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto buf = base;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      buf[rng() % buf.size()] = rng() & 0xff;
+    }
+    (void)decode(buf);
+  }
+  SUCCEED();
+}
+
+TEST(Wire, HintCountOverflowRejected) {
+  NackMsg m;
+  auto buf = encode(m);
+  // Patch the hint count (last 2 bytes of an empty-hints NACK) to a huge
+  // value with no data behind it.
+  buf[buf.size() - 2] = 0xff;
+  buf[buf.size() - 1] = 0xff;
+  EXPECT_EQ(decode(buf), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sharq::sfq::wire
