@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burstloss.dir/ablation_burstloss.cpp.o"
+  "CMakeFiles/ablation_burstloss.dir/ablation_burstloss.cpp.o.d"
+  "ablation_burstloss"
+  "ablation_burstloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burstloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_timers.cpp" "bench/CMakeFiles/ablation_timers.dir/ablation_timers.cpp.o" "gcc" "bench/CMakeFiles/ablation_timers.dir/ablation_timers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sharq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharqfec/CMakeFiles/sharq_sharqfec.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/sharq_srm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sharq_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sharq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/sharq_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/sharq_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sharq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sharq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timers.dir/ablation_timers.cpp.o"
+  "CMakeFiles/ablation_timers.dir/ablation_timers.cpp.o.d"
+  "ablation_timers"
+  "ablation_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_nonscoped_fec.dir/fig01_nonscoped_fec.cpp.o"
+  "CMakeFiles/fig01_nonscoped_fec.dir/fig01_nonscoped_fec.cpp.o.d"
+  "fig01_nonscoped_fec"
+  "fig01_nonscoped_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_nonscoped_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

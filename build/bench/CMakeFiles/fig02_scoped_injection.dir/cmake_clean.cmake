@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_scoped_injection.dir/fig02_scoped_injection.cpp.o"
+  "CMakeFiles/fig02_scoped_injection.dir/fig02_scoped_injection.cpp.o.d"
+  "fig02_scoped_injection"
+  "fig02_scoped_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_scoped_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

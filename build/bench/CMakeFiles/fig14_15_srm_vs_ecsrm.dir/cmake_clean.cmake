@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_srm_vs_ecsrm.dir/fig14_15_srm_vs_ecsrm.cpp.o"
+  "CMakeFiles/fig14_15_srm_vs_ecsrm.dir/fig14_15_srm_vs_ecsrm.cpp.o.d"
+  "fig14_15_srm_vs_ecsrm"
+  "fig14_15_srm_vs_ecsrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_srm_vs_ecsrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

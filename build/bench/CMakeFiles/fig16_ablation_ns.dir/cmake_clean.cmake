@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ablation_ns.dir/fig16_ablation_ns.cpp.o"
+  "CMakeFiles/fig16_ablation_ns.dir/fig16_ablation_ns.cpp.o.d"
+  "fig16_ablation_ns"
+  "fig16_ablation_ns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ablation_ns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_scoping.dir/fig17_scoping.cpp.o"
+  "CMakeFiles/fig17_scoping.dir/fig17_scoping.cpp.o.d"
+  "fig17_scoping"
+  "fig17_scoping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_scoping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

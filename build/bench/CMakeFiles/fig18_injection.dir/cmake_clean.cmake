@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_injection.dir/fig18_injection.cpp.o"
+  "CMakeFiles/fig18_injection.dir/fig18_injection.cpp.o.d"
+  "fig18_injection"
+  "fig18_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_nack_suppression.dir/fig19_nack_suppression.cpp.o"
+  "CMakeFiles/fig19_nack_suppression.dir/fig19_nack_suppression.cpp.o.d"
+  "fig19_nack_suppression"
+  "fig19_nack_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_nack_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_21_source_traffic.dir/fig20_21_source_traffic.cpp.o"
+  "CMakeFiles/fig20_21_source_traffic.dir/fig20_21_source_traffic.cpp.o.d"
+  "fig20_21_source_traffic"
+  "fig20_21_source_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_21_source_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_21_source_traffic.
+# This may be replaced when dependencies are built.

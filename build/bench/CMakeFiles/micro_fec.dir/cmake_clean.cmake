@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fec.dir/micro_fec.cpp.o"
+  "CMakeFiles/micro_fec.dir/micro_fec.cpp.o.d"
+  "micro_fec"
+  "micro_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

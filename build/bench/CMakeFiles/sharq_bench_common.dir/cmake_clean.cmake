@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_bench_common.dir/fig_common.cpp.o"
+  "CMakeFiles/sharq_bench_common.dir/fig_common.cpp.o.d"
+  "libsharq_bench_common.a"
+  "libsharq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

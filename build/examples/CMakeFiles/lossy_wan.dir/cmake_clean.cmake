@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_wan.dir/lossy_wan.cpp.o"
+  "CMakeFiles/lossy_wan.dir/lossy_wan.cpp.o.d"
+  "lossy_wan"
+  "lossy_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

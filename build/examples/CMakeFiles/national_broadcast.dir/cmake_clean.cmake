@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/national_broadcast.dir/national_broadcast.cpp.o"
+  "CMakeFiles/national_broadcast.dir/national_broadcast.cpp.o.d"
+  "national_broadcast"
+  "national_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/national_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

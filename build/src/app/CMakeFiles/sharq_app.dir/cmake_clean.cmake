@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_app.dir/file_transfer.cpp.o"
+  "CMakeFiles/sharq_app.dir/file_transfer.cpp.o.d"
+  "libsharq_app.a"
+  "libsharq_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/gf256.cpp" "src/fec/CMakeFiles/sharq_fec.dir/gf256.cpp.o" "gcc" "src/fec/CMakeFiles/sharq_fec.dir/gf256.cpp.o.d"
+  "/root/repo/src/fec/group_codec.cpp" "src/fec/CMakeFiles/sharq_fec.dir/group_codec.cpp.o" "gcc" "src/fec/CMakeFiles/sharq_fec.dir/group_codec.cpp.o.d"
+  "/root/repo/src/fec/matrix.cpp" "src/fec/CMakeFiles/sharq_fec.dir/matrix.cpp.o" "gcc" "src/fec/CMakeFiles/sharq_fec.dir/matrix.cpp.o.d"
+  "/root/repo/src/fec/reed_solomon.cpp" "src/fec/CMakeFiles/sharq_fec.dir/reed_solomon.cpp.o" "gcc" "src/fec/CMakeFiles/sharq_fec.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_fec.dir/gf256.cpp.o"
+  "CMakeFiles/sharq_fec.dir/gf256.cpp.o.d"
+  "CMakeFiles/sharq_fec.dir/group_codec.cpp.o"
+  "CMakeFiles/sharq_fec.dir/group_codec.cpp.o.d"
+  "CMakeFiles/sharq_fec.dir/matrix.cpp.o"
+  "CMakeFiles/sharq_fec.dir/matrix.cpp.o.d"
+  "CMakeFiles/sharq_fec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/sharq_fec.dir/reed_solomon.cpp.o.d"
+  "libsharq_fec.a"
+  "libsharq_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_net.dir/loss.cpp.o"
+  "CMakeFiles/sharq_net.dir/loss.cpp.o.d"
+  "CMakeFiles/sharq_net.dir/network.cpp.o"
+  "CMakeFiles/sharq_net.dir/network.cpp.o.d"
+  "CMakeFiles/sharq_net.dir/zone.cpp.o"
+  "CMakeFiles/sharq_net.dir/zone.cpp.o.d"
+  "libsharq_net.a"
+  "libsharq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_rm.dir/delivery_log.cpp.o"
+  "CMakeFiles/sharq_rm.dir/delivery_log.cpp.o.d"
+  "libsharq_rm.a"
+  "libsharq_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

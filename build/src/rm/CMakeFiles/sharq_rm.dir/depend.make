@@ -1,0 +1,2 @@
+# Empty dependencies file for sharq_rm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharqfec/agent.cpp" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/agent.cpp.o" "gcc" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/agent.cpp.o.d"
+  "/root/repo/src/sharqfec/hierarchy.cpp" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/hierarchy.cpp.o" "gcc" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sharqfec/protocol.cpp" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/protocol.cpp.o" "gcc" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/protocol.cpp.o.d"
+  "/root/repo/src/sharqfec/session_manager.cpp" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/session_manager.cpp.o" "gcc" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/session_manager.cpp.o.d"
+  "/root/repo/src/sharqfec/transfer.cpp" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/transfer.cpp.o" "gcc" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/transfer.cpp.o.d"
+  "/root/repo/src/sharqfec/wire.cpp" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/wire.cpp.o" "gcc" "src/sharqfec/CMakeFiles/sharq_sharqfec.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rm/CMakeFiles/sharq_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/sharq_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sharq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sharq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

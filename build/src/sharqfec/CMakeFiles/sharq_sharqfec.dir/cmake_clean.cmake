@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_sharqfec.dir/agent.cpp.o"
+  "CMakeFiles/sharq_sharqfec.dir/agent.cpp.o.d"
+  "CMakeFiles/sharq_sharqfec.dir/hierarchy.cpp.o"
+  "CMakeFiles/sharq_sharqfec.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/sharq_sharqfec.dir/protocol.cpp.o"
+  "CMakeFiles/sharq_sharqfec.dir/protocol.cpp.o.d"
+  "CMakeFiles/sharq_sharqfec.dir/session_manager.cpp.o"
+  "CMakeFiles/sharq_sharqfec.dir/session_manager.cpp.o.d"
+  "CMakeFiles/sharq_sharqfec.dir/transfer.cpp.o"
+  "CMakeFiles/sharq_sharqfec.dir/transfer.cpp.o.d"
+  "CMakeFiles/sharq_sharqfec.dir/wire.cpp.o"
+  "CMakeFiles/sharq_sharqfec.dir/wire.cpp.o.d"
+  "libsharq_sharqfec.a"
+  "libsharq_sharqfec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_sharqfec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

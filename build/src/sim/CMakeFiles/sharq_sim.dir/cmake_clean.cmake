@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sharq_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sharq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sharq_sim.dir/simulator.cpp.o.d"
+  "libsharq_sim.a"
+  "libsharq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

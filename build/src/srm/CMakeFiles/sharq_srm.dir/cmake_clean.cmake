@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_srm.dir/agent.cpp.o"
+  "CMakeFiles/sharq_srm.dir/agent.cpp.o.d"
+  "CMakeFiles/sharq_srm.dir/session.cpp.o"
+  "CMakeFiles/sharq_srm.dir/session.cpp.o.d"
+  "libsharq_srm.a"
+  "libsharq_srm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_srm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/report.cpp" "src/stats/CMakeFiles/sharq_stats.dir/report.cpp.o" "gcc" "src/stats/CMakeFiles/sharq_stats.dir/report.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/stats/CMakeFiles/sharq_stats.dir/time_series.cpp.o" "gcc" "src/stats/CMakeFiles/sharq_stats.dir/time_series.cpp.o.d"
+  "/root/repo/src/stats/trace_writer.cpp" "src/stats/CMakeFiles/sharq_stats.dir/trace_writer.cpp.o" "gcc" "src/stats/CMakeFiles/sharq_stats.dir/trace_writer.cpp.o.d"
+  "/root/repo/src/stats/traffic_recorder.cpp" "src/stats/CMakeFiles/sharq_stats.dir/traffic_recorder.cpp.o" "gcc" "src/stats/CMakeFiles/sharq_stats.dir/traffic_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sharq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sharq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_stats.dir/report.cpp.o"
+  "CMakeFiles/sharq_stats.dir/report.cpp.o.d"
+  "CMakeFiles/sharq_stats.dir/time_series.cpp.o"
+  "CMakeFiles/sharq_stats.dir/time_series.cpp.o.d"
+  "CMakeFiles/sharq_stats.dir/trace_writer.cpp.o"
+  "CMakeFiles/sharq_stats.dir/trace_writer.cpp.o.d"
+  "CMakeFiles/sharq_stats.dir/traffic_recorder.cpp.o"
+  "CMakeFiles/sharq_stats.dir/traffic_recorder.cpp.o.d"
+  "libsharq_stats.a"
+  "libsharq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/figure10.cpp" "src/topo/CMakeFiles/sharq_topo.dir/figure10.cpp.o" "gcc" "src/topo/CMakeFiles/sharq_topo.dir/figure10.cpp.o.d"
+  "/root/repo/src/topo/national.cpp" "src/topo/CMakeFiles/sharq_topo.dir/national.cpp.o" "gcc" "src/topo/CMakeFiles/sharq_topo.dir/national.cpp.o.d"
+  "/root/repo/src/topo/shapes.cpp" "src/topo/CMakeFiles/sharq_topo.dir/shapes.cpp.o" "gcc" "src/topo/CMakeFiles/sharq_topo.dir/shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sharq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sharq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharq_topo.dir/figure10.cpp.o"
+  "CMakeFiles/sharq_topo.dir/figure10.cpp.o.d"
+  "CMakeFiles/sharq_topo.dir/national.cpp.o"
+  "CMakeFiles/sharq_topo.dir/national.cpp.o.d"
+  "CMakeFiles/sharq_topo.dir/shapes.cpp.o"
+  "CMakeFiles/sharq_topo.dir/shapes.cpp.o.d"
+  "libsharq_topo.a"
+  "libsharq_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharq_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/sharq_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharqfec/CMakeFiles/sharq_sharqfec.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/sharq_srm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sharq_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sharq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/sharq_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/sharq_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sharq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sharq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_late_join.dir/test_late_join.cpp.o"
+  "CMakeFiles/test_late_join.dir/test_late_join.cpp.o.d"
+  "test_late_join"
+  "test_late_join.pdb"
+  "test_late_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_late_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

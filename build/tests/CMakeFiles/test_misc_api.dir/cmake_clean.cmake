@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc_api.dir/test_misc_api.cpp.o"
+  "CMakeFiles/test_misc_api.dir/test_misc_api.cpp.o.d"
+  "test_misc_api"
+  "test_misc_api.pdb"
+  "test_misc_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_manager.dir/test_session_manager.cpp.o"
+  "CMakeFiles/test_session_manager.dir/test_session_manager.cpp.o.d"
+  "test_session_manager"
+  "test_session_manager.pdb"
+  "test_session_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srm.dir/test_srm.cpp.o"
+  "CMakeFiles/test_srm.dir/test_srm.cpp.o.d"
+  "test_srm"
+  "test_srm.pdb"
+  "test_srm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

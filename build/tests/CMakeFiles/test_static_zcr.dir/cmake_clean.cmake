@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_zcr.dir/test_static_zcr.cpp.o"
+  "CMakeFiles/test_static_zcr.dir/test_static_zcr.cpp.o.d"
+  "test_static_zcr"
+  "test_static_zcr.pdb"
+  "test_static_zcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_zcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

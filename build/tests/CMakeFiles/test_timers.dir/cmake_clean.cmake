@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timers.dir/test_timers.cpp.o"
+  "CMakeFiles/test_timers.dir/test_timers.cpp.o.d"
+  "test_timers"
+  "test_timers.pdb"
+  "test_timers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

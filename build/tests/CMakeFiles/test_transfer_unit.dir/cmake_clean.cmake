@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_unit.dir/test_transfer_unit.cpp.o"
+  "CMakeFiles/test_transfer_unit.dir/test_transfer_unit.cpp.o.d"
+  "test_transfer_unit"
+  "test_transfer_unit.pdb"
+  "test_transfer_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

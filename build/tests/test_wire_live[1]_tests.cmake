@@ -1,0 +1,3 @@
+add_test([=[WireLive.EveryLiveMessageRoundTrips]=]  /root/repo/build/tests/test_wire_live [==[--gtest_filter=WireLive.EveryLiveMessageRoundTrips]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[WireLive.EveryLiveMessageRoundTrips]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_wire_live_TESTS WireLive.EveryLiveMessageRoundTrips)

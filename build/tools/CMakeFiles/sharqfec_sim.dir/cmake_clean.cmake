@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharqfec_sim.dir/sharqfec_sim.cpp.o"
+  "CMakeFiles/sharqfec_sim.dir/sharqfec_sim.cpp.o.d"
+  "sharqfec_sim"
+  "sharqfec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharqfec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
