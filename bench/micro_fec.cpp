@@ -1,15 +1,32 @@
-// Micro-benchmarks for the FEC substrate (google-benchmark): GF(256)
-// multiply-accumulate, Reed-Solomon parity generation, and worst-case
-// decode (all data shards erased). Also sweeps group size k, the knob
-// DESIGN.md flags as ablation #2.
+// Micro-benchmarks for the FEC substrate.
+//
+// Two layers:
+//   1. A self-timed per-kernel sweep (scalar vs every SIMD kernel the host
+//      supports) over GF(256) mul_add / scale / mul_add_rows and
+//      Reed-Solomon encode, written to BENCH_fec.json (path overridable via
+//      SHARQFEC_BENCH_JSON) and summarized on stdout. This is the FEC
+//      performance baseline tracked in CHANGES.md.
+//   2. The google-benchmark suite for RS parity generation, worst-case
+//      decode (all data shards erased), and the group round trip, sweeping
+//      group size k (DESIGN.md ablation #2).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <random>
+#include <string>
+#include <vector>
 
+#include "fec/cpu_features.hpp"
+#include "fec/gf256_simd.hpp"
 #include "fec/group_codec.hpp"
 #include "fec/reed_solomon.hpp"
 
 namespace {
+
+using sharq::fec::cpu::Kernel;
 
 std::vector<std::vector<std::uint8_t>> make_shards(int k, int size) {
   std::mt19937 rng(1234);
@@ -21,6 +38,155 @@ std::vector<std::vector<std::uint8_t>> make_shards(int k, int size) {
   return out;
 }
 
+// --- self-timed kernel sweep ----------------------------------------------------
+
+/// Wall-clock MB/s of `fn`, where one call processes `bytes` bytes. Runs
+/// until at least 50 ms have elapsed so the figure is stable on a busy host.
+template <typename Fn>
+double throughput_mbps(std::size_t bytes, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  // Warm up (touches tables, resolves dispatch).
+  fn();
+  std::size_t iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 16; ++i) fn();
+    iters += 16;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < 0.05);
+  const double total = static_cast<double>(bytes) * iters;
+  return total / elapsed / 1e6;
+}
+
+struct SweepResult {
+  // op -> kernel name -> size -> MB/s
+  std::map<std::string, std::map<std::string, std::map<int, double>>> mbps;
+};
+
+SweepResult run_sweep(const std::vector<int>& sizes) {
+  namespace simd = sharq::fec::simd;
+  namespace cpu = sharq::fec::cpu;
+  SweepResult res;
+  const int kRows = 16;  // paper-default group size for the row kernel
+  for (Kernel k : cpu::supported_kernels()) {
+    const std::string name = cpu::kernel_name(k);
+    for (int size : sizes) {
+      std::vector<std::uint8_t> dst(size, 0x55), src(size, 0xAA);
+      res.mbps["mul_add"][name][size] = throughput_mbps(size, [&] {
+        simd::mul_add(k, dst.data(), src.data(), 0xC3, size);
+      });
+      res.mbps["scale"][name][size] = throughput_mbps(
+          size, [&] { simd::scale(k, dst.data(), 0xC3, size); });
+      auto rows = make_shards(kRows, size);
+      std::vector<const std::uint8_t*> ptrs;
+      std::vector<std::uint8_t> coeffs;
+      for (int r = 0; r < kRows; ++r) {
+        ptrs.push_back(rows[r].data());
+        coeffs.push_back(static_cast<std::uint8_t>(r + 3));
+      }
+      // Row kernel throughput counts all source bytes streamed per pass.
+      res.mbps["mul_add_rows_k16"][name][size] =
+          throughput_mbps(static_cast<std::size_t>(size) * kRows, [&] {
+            simd::mul_add_rows(k, dst.data(), ptrs.data(), coeffs.data(),
+                               kRows, size);
+          });
+    }
+  }
+  return res;
+}
+
+/// RS encode throughput (k data bytes consumed per parity shard) under the
+/// process-wide dispatched kernel.
+double rs_encode_mbps(int k, int size) {
+  sharq::fec::ReedSolomon rs(k, k);
+  auto data = make_shards(k, size);
+  std::vector<const std::uint8_t*> ptrs;
+  for (const auto& d : data) ptrs.push_back(d.data());
+  std::vector<std::uint8_t> out(size);
+  return throughput_mbps(static_cast<std::size_t>(size) * k, [&] {
+    rs.encode_parity_into(k, ptrs.data(), size, out.data());
+  });
+}
+
+void json_escape_free_write(std::FILE* f, const SweepResult& res,
+                            double rs_mbps, double speedup_1k) {
+  namespace cpu = sharq::fec::cpu;
+  const auto& feat = cpu::features();
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"host\": {\"ssse3\": %s, \"avx2\": %s, \"neon\": %s, "
+               "\"active_kernel\": \"%s\"},\n",
+               feat.ssse3 ? "true" : "false", feat.avx2 ? "true" : "false",
+               feat.neon ? "true" : "false",
+               cpu::kernel_name(cpu::active_kernel()));
+  std::fprintf(f, "  \"units\": \"MB/s\",\n");
+  for (const auto& [op, by_kernel] : res.mbps) {
+    std::fprintf(f, "  \"%s\": {\n", op.c_str());
+    std::size_t ki = 0;
+    for (const auto& [kname, by_size] : by_kernel) {
+      std::fprintf(f, "    \"%s\": {", kname.c_str());
+      std::size_t si = 0;
+      for (const auto& [size, mbps] : by_size) {
+        std::fprintf(f, "\"%d\": %.1f%s", size, mbps,
+                     ++si < by_size.size() ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", ++ki < by_kernel.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"rs_encode_parity_k16_1024B\": %.1f,\n", rs_mbps);
+  std::fprintf(f, "  \"speedup_mul_add_1KiB_best_vs_scalar\": %.2f\n",
+               speedup_1k);
+  std::fprintf(f, "}\n");
+}
+
+void kernel_sweep_and_report() {
+  namespace cpu = sharq::fec::cpu;
+  const std::vector<int> sizes{1024, 16384};
+  const SweepResult res = run_sweep(sizes);
+
+  const auto& mul_add = res.mbps.at("mul_add");
+  const double scalar_1k = mul_add.at("scalar").at(1024);
+  double best_1k = scalar_1k;
+  std::string best_name = "scalar";
+  for (const auto& [kname, by_size] : mul_add) {
+    if (by_size.at(1024) > best_1k) {
+      best_1k = by_size.at(1024);
+      best_name = kname;
+    }
+  }
+  const double speedup = best_1k / scalar_1k;
+  const double rs_mbps = rs_encode_mbps(16, 1024);
+
+  std::printf("GF(256) kernel sweep (MB/s):\n");
+  for (const auto& [op, by_kernel] : res.mbps) {
+    for (const auto& [kname, by_size] : by_kernel) {
+      std::printf("  %-18s %-7s", op.c_str(), kname.c_str());
+      for (const auto& [size, mbps] : by_size) {
+        std::printf("  %6d B: %9.1f", size, mbps);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("rs_encode_parity (k=16, 1024 B shards): %.1f MB/s\n", rs_mbps);
+  std::printf("mul_add 1 KiB: best kernel %s = %.2fx scalar\n",
+              best_name.c_str(), speedup);
+  std::printf("active kernel: %s\n", cpu::kernel_name(cpu::active_kernel()));
+
+  const char* path = std::getenv("SHARQFEC_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_fec.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    json_escape_free_write(f, res, rs_mbps, speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n\n", path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+}
+
+// --- google-benchmark suite -----------------------------------------------------
+
 void BM_Gf256MulAdd(benchmark::State& state) {
   const std::size_t n = state.range(0);
   std::vector<std::uint8_t> dst(n, 0x55), src(n, 0xAA);
@@ -31,6 +197,17 @@ void BM_Gf256MulAdd(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_Gf256MulAdd)->Arg(1000)->Arg(16000);
+
+void BM_Gf256MulAddScalar(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<std::uint8_t> dst(n, 0x55), src(n, 0xAA);
+  for (auto _ : state) {
+    sharq::fec::GF256::mul_add_scalar(dst.data(), src.data(), 0xC3, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Gf256MulAddScalar)->Arg(1000)->Arg(16000);
 
 void BM_RsEncodeParity(benchmark::State& state) {
   const int k = state.range(0);
@@ -80,4 +257,11 @@ BENCHMARK(BM_GroupRoundTrip)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  kernel_sweep_and_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Documentation lint: fails (exit 1) on
+#   1. dead relative markdown links in the tracked docs,
+#   2. backticked source-tree file references that no longer exist,
+#   3. protocol messages declared in src/sharqfec/messages.hpp that
+#      PROTOCOL.md does not document.
+# Run from anywhere; operates on the repo containing this script.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+DOCS="README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md CHANGES.md ROADMAP.md docs/ARCHITECTURE.md"
+fail=0
+
+note_fail() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+# --- 1. relative markdown links --------------------------------------------------
+for doc in $DOCS; do
+  [ -f "$doc" ] || { note_fail "missing doc: $doc"; continue; }
+  dir=$(dirname "$doc")
+  # Extract (target) of every [text](target); keep relative file targets.
+  grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"        # drop in-page anchors
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "check_docs: dead link in $doc: ($target)" >&2
+      echo FAIL >> .check_docs_failed
+    fi
+  done
+done
+
+# --- 2. backticked file references ----------------------------------------------
+for doc in $DOCS; do
+  [ -f "$doc" ] || continue
+  grep -oE '`(src|docs|scripts|tests|bench|examples|tools)/[A-Za-z0-9_./-]+`' "$doc" |
+  tr -d '\`' | sort -u |
+  while IFS= read -r ref; do
+    # Only judge concrete files (with a recognizable extension) and
+    # directories (trailing slash); skip binary/target mentions and
+    # brace-glob shorthand like gf256_simd.{hpp,cpp}.
+    case "$ref" in
+      *.) continue ;;
+      */) [ -d "$ref" ] || { echo "check_docs: stale dir reference in $doc: $ref" >&2; echo FAIL >> .check_docs_failed; }; continue ;;
+      *.cpp|*.hpp|*.c|*.h|*.md|*.sh|*.py|*.txt|*.json|*.yml)
+        if [ ! -e "$ref" ]; then
+          # `name.*` shorthand for a .hpp/.cpp pair is fine if either exists.
+          stem="${ref%.*}"
+          if [ ! -e "$stem.hpp" ] && [ ! -e "$stem.cpp" ]; then
+            echo "check_docs: stale file reference in $doc: $ref" >&2
+            echo FAIL >> .check_docs_failed
+          fi
+        fi ;;
+    esac
+  done
+done
+
+# --- 3. PROTOCOL.md covers every protocol message -------------------------------
+for msg in $(grep -oE 'struct [A-Za-z0-9]+Msg' src/sharqfec/messages.hpp |
+             awk '{print $2}' | sort -u); do
+  grep -q "$msg" PROTOCOL.md ||
+    note_fail "PROTOCOL.md does not document $msg (declared in src/sharqfec/messages.hpp)"
+done
+
+# Subshell pipelines above cannot set $fail directly; they drop a marker.
+if [ -f .check_docs_failed ]; then
+  rm -f .check_docs_failed
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK"
+fi
+exit "$fail"

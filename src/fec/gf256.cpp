@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "fec/gf256_simd.hpp"
+
 namespace sharq::fec {
 
 GF256::Tables::Tables() {
@@ -49,7 +51,7 @@ GF256::Elem GF256::pow(Elem a, unsigned n) {
   return exp_[e];
 }
 
-void GF256::mul_add(Elem* dst, const Elem* src, Elem c, std::size_t n) {
+void GF256::mul_add_scalar(Elem* dst, const Elem* src, Elem c, std::size_t n) {
   if (c == 0) return;
   if (c == 1) {
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
@@ -59,7 +61,7 @@ void GF256::mul_add(Elem* dst, const Elem* src, Elem c, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
 }
 
-void GF256::scale(Elem* dst, Elem c, std::size_t n) {
+void GF256::scale_scalar(Elem* dst, Elem c, std::size_t n) {
   if (c == 1) return;
   if (c == 0) {
     for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
@@ -67,6 +69,14 @@ void GF256::scale(Elem* dst, Elem c, std::size_t n) {
   }
   const auto& row = tables_.mul_row[c];
   for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+void GF256::mul_add(Elem* dst, const Elem* src, Elem c, std::size_t n) {
+  simd::mul_add(dst, src, c, n);
+}
+
+void GF256::scale(Elem* dst, Elem c, std::size_t n) {
+  simd::scale(dst, c, n);
 }
 
 }  // namespace sharq::fec

@@ -41,11 +41,21 @@ class GF256 {
   static Elem alpha_pow(unsigned n) { return exp_[n % 255]; }
 
   /// Multiply-accumulate over a buffer: dst[i] ^= c * src[i].
-  /// This is the hot loop of erasure encode/decode.
+  /// This is the hot loop of erasure encode/decode; it dispatches to the
+  /// best SIMD kernel the host supports (see fec/gf256_simd.hpp). Set
+  /// SHARQFEC_FORCE_SCALAR=1 to pin the scalar path for reproducible runs.
   static void mul_add(Elem* dst, const Elem* src, Elem c, std::size_t n);
 
-  /// Scale a buffer in place: dst[i] = c * dst[i].
+  /// Scale a buffer in place: dst[i] = c * dst[i]. SIMD-dispatched like
+  /// mul_add.
   static void scale(Elem* dst, Elem c, std::size_t n);
+
+  /// Portable table-driven kernels: the reference implementation every
+  /// SIMD kernel is cross-checked against, and the fallback for hosts
+  /// (or vector tails) without shuffle units.
+  static void mul_add_scalar(Elem* dst, const Elem* src, Elem c,
+                             std::size_t n);
+  static void scale_scalar(Elem* dst, Elem c, std::size_t n);
 
   /// Discrete log / antilog access for tests.
   static Elem exp_table(unsigned i) { return exp_[i % 510]; }

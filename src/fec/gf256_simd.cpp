@@ -1,0 +1,430 @@
+#include "fec/gf256_simd.hpp"
+
+#include <cassert>
+
+#include "fec/gf256.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SHARQ_FEC_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define SHARQ_FEC_NEON 1
+#endif
+
+namespace sharq::fec::simd {
+
+namespace {
+
+// --- split-nibble tables --------------------------------------------------------
+//
+// Built with carry-less peasant multiplication so this translation unit has
+// no static-initialization-order dependency on GF256's log/exp tables.
+
+std::uint8_t gf_mul_slow(std::uint8_t a, std::uint8_t b) {
+  unsigned r = 0;
+  unsigned aa = a;
+  for (unsigned bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) r ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= GF256::kPolynomial;
+  }
+  return static_cast<std::uint8_t>(r);
+}
+
+struct NibbleTables {
+  // Row c is the 16-entry shuffle table for multiplier c; rows are 16-byte
+  // aligned so the vector loads below can be aligned loads.
+  alignas(64) std::uint8_t lo[256][16];
+  alignas(64) std::uint8_t hi[256][16];
+
+  NibbleTables() {
+    for (int c = 0; c < 256; ++c) {
+      for (int x = 0; x < 16; ++x) {
+        lo[c][x] = gf_mul_slow(static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(x));
+        hi[c][x] = gf_mul_slow(static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(x << 4));
+      }
+    }
+  }
+};
+
+const NibbleTables& nib() {
+  static const NibbleTables t;
+  return t;
+}
+
+// --- scalar reference -----------------------------------------------------------
+
+void mul_add_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t n) {
+  GF256::mul_add_scalar(dst, src, c, n);
+}
+
+void scale_scalar(std::uint8_t* dst, std::uint8_t c, std::size_t n) {
+  GF256::scale_scalar(dst, c, n);
+}
+
+void mul_add_rows_scalar(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                         const std::uint8_t* coeffs, int rows, std::size_t n) {
+  for (int r = 0; r < rows; ++r) {
+    GF256::mul_add_scalar(dst, srcs[r], coeffs[r], n);
+  }
+}
+
+// --- x86: SSSE3 (PSHUFB, 16 bytes/op) -------------------------------------------
+
+#ifdef SHARQ_FEC_X86
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(std::uint8_t* dst,
+                                                    const std::uint8_t* src,
+                                                    std::uint8_t c,
+                                                    std::size_t n) {
+  const NibbleTables& t = nib();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    d = _mm_xor_si128(d, _mm_xor_si128(pl, ph));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < n) mul_add_scalar(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("ssse3"))) void scale_ssse3(std::uint8_t* dst,
+                                                  std::uint8_t c,
+                                                  std::size_t n) {
+  const NibbleTables& t = nib();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(d, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(pl, ph));
+  }
+  if (i < n) scale_scalar(dst + i, c, n - i);
+}
+
+__attribute__((target("ssse3"))) void mul_add_rows_ssse3(
+    std::uint8_t* dst, const std::uint8_t* const* srcs,
+    const std::uint8_t* coeffs, int rows, std::size_t n) {
+  const NibbleTables& t = nib();
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  // 32-byte blocks: the two accumulators stay in registers while every
+  // source row streams through, so dst traffic is once per block, not once
+  // per row.
+  for (; i + 32 <= n; i += 32) {
+    __m128i acc0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i acc1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    for (int r = 0; r < rows; ++r) {
+      const std::uint8_t c = coeffs[r];
+      if (c == 0) continue;
+      const __m128i lo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+      const __m128i hi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+      const std::uint8_t* src = srcs[r] + i;
+      const __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+      const __m128i s1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 16));
+      acc0 = _mm_xor_si128(
+          acc0, _mm_xor_si128(
+                    _mm_shuffle_epi8(lo, _mm_and_si128(s0, mask)),
+                    _mm_shuffle_epi8(
+                        hi, _mm_and_si128(_mm_srli_epi64(s0, 4), mask))));
+      acc1 = _mm_xor_si128(
+          acc1, _mm_xor_si128(
+                    _mm_shuffle_epi8(lo, _mm_and_si128(s1, mask)),
+                    _mm_shuffle_epi8(
+                        hi, _mm_and_si128(_mm_srli_epi64(s1, 4), mask))));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), acc1);
+  }
+  if (i < n) {
+    for (int r = 0; r < rows; ++r) {
+      mul_add_ssse3(dst + i, srcs[r] + i, coeffs[r], n - i);
+    }
+  }
+}
+
+// --- x86: AVX2 (VPSHUFB, 32 bytes/op) -------------------------------------------
+
+__attribute__((target("avx2"))) void mul_add_avx2(std::uint8_t* dst,
+                                                  const std::uint8_t* src,
+                                                  std::uint8_t c,
+                                                  std::size_t n) {
+  const NibbleTables& t = nib();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    d = _mm256_xor_si256(d, _mm256_xor_si256(pl, ph));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < n) mul_add_ssse3(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("avx2"))) void scale_avx2(std::uint8_t* dst,
+                                                std::uint8_t c,
+                                                std::size_t n) {
+  const NibbleTables& t = nib();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(d, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(d, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(pl, ph));
+  }
+  if (i < n) scale_ssse3(dst + i, c, n - i);
+}
+
+__attribute__((target("avx2"))) void mul_add_rows_avx2(
+    std::uint8_t* dst, const std::uint8_t* const* srcs,
+    const std::uint8_t* coeffs, int rows, std::size_t n) {
+  const NibbleTables& t = nib();
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i acc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i acc1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    for (int r = 0; r < rows; ++r) {
+      const std::uint8_t c = coeffs[r];
+      if (c == 0) continue;
+      const __m256i lo = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+      const __m256i hi = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+      const std::uint8_t* src = srcs[r] + i;
+      const __m256i s0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+      const __m256i s1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32));
+      acc0 = _mm256_xor_si256(
+          acc0,
+          _mm256_xor_si256(
+              _mm256_shuffle_epi8(lo, _mm256_and_si256(s0, mask)),
+              _mm256_shuffle_epi8(
+                  hi, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask))));
+      acc1 = _mm256_xor_si256(
+          acc1,
+          _mm256_xor_si256(
+              _mm256_shuffle_epi8(lo, _mm256_and_si256(s1, mask)),
+              _mm256_shuffle_epi8(
+                  hi, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask))));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), acc1);
+  }
+  if (i < n) {
+    for (int r = 0; r < rows; ++r) {
+      mul_add_avx2(dst + i, srcs[r] + i, coeffs[r], n - i);
+    }
+  }
+}
+
+#endif  // SHARQ_FEC_X86
+
+// --- AArch64: NEON (TBL, 16 bytes/op) -------------------------------------------
+
+#ifdef SHARQ_FEC_NEON
+
+void mul_add_neon(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t n) {
+  const NibbleTables& t = nib();
+  const uint8x16_t lo = vld1q_u8(t.lo[c]);
+  const uint8x16_t hi = vld1q_u8(t.hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    uint8x16_t d = vld1q_u8(dst + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(s, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(s, 4));
+    d = veorq_u8(d, veorq_u8(pl, ph));
+    vst1q_u8(dst + i, d);
+  }
+  if (i < n) mul_add_scalar(dst + i, src + i, c, n - i);
+}
+
+void scale_neon(std::uint8_t* dst, std::uint8_t c, std::size_t n) {
+  const NibbleTables& t = nib();
+  const uint8x16_t lo = vld1q_u8(t.lo[c]);
+  const uint8x16_t hi = vld1q_u8(t.hi[c]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t d = vld1q_u8(dst + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(d, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(d, 4));
+    vst1q_u8(dst + i, veorq_u8(pl, ph));
+  }
+  if (i < n) scale_scalar(dst + i, c, n - i);
+}
+
+void mul_add_rows_neon(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                       const std::uint8_t* coeffs, int rows, std::size_t n) {
+  const NibbleTables& t = nib();
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    uint8x16_t acc0 = vld1q_u8(dst + i);
+    uint8x16_t acc1 = vld1q_u8(dst + i + 16);
+    for (int r = 0; r < rows; ++r) {
+      const std::uint8_t c = coeffs[r];
+      if (c == 0) continue;
+      const uint8x16_t lo = vld1q_u8(t.lo[c]);
+      const uint8x16_t hi = vld1q_u8(t.hi[c]);
+      const uint8x16_t s0 = vld1q_u8(srcs[r] + i);
+      const uint8x16_t s1 = vld1q_u8(srcs[r] + i + 16);
+      acc0 = veorq_u8(acc0, veorq_u8(vqtbl1q_u8(lo, vandq_u8(s0, mask)),
+                                     vqtbl1q_u8(hi, vshrq_n_u8(s0, 4))));
+      acc1 = veorq_u8(acc1, veorq_u8(vqtbl1q_u8(lo, vandq_u8(s1, mask)),
+                                     vqtbl1q_u8(hi, vshrq_n_u8(s1, 4))));
+    }
+    vst1q_u8(dst + i, acc0);
+    vst1q_u8(dst + i + 16, acc1);
+  }
+  if (i < n) {
+    for (int r = 0; r < rows; ++r) {
+      mul_add_neon(dst + i, srcs[r] + i, coeffs[r], n - i);
+    }
+  }
+}
+
+#endif  // SHARQ_FEC_NEON
+
+// --- dispatch -------------------------------------------------------------------
+
+using MulAddFn = void (*)(std::uint8_t*, const std::uint8_t*, std::uint8_t,
+                          std::size_t);
+using ScaleFn = void (*)(std::uint8_t*, std::uint8_t, std::size_t);
+using MulAddRowsFn = void (*)(std::uint8_t*, const std::uint8_t* const*,
+                              const std::uint8_t*, int, std::size_t);
+
+MulAddFn mul_add_fn(Kernel k) {
+  switch (k) {
+#ifdef SHARQ_FEC_X86
+    case Kernel::kSsse3: return mul_add_ssse3;
+    case Kernel::kAvx2: return mul_add_avx2;
+#endif
+#ifdef SHARQ_FEC_NEON
+    case Kernel::kNeon: return mul_add_neon;
+#endif
+    default: return mul_add_scalar;
+  }
+}
+
+ScaleFn scale_fn(Kernel k) {
+  switch (k) {
+#ifdef SHARQ_FEC_X86
+    case Kernel::kSsse3: return scale_ssse3;
+    case Kernel::kAvx2: return scale_avx2;
+#endif
+#ifdef SHARQ_FEC_NEON
+    case Kernel::kNeon: return scale_neon;
+#endif
+    default: return scale_scalar;
+  }
+}
+
+MulAddRowsFn mul_add_rows_fn(Kernel k) {
+  switch (k) {
+#ifdef SHARQ_FEC_X86
+    case Kernel::kSsse3: return mul_add_rows_ssse3;
+    case Kernel::kAvx2: return mul_add_rows_avx2;
+#endif
+#ifdef SHARQ_FEC_NEON
+    case Kernel::kNeon: return mul_add_rows_neon;
+#endif
+    default: return mul_add_rows_scalar;
+  }
+}
+
+struct ActiveFns {
+  MulAddFn mul_add;
+  ScaleFn scale;
+  MulAddRowsFn mul_add_rows;
+};
+
+const ActiveFns& active() {
+  static const ActiveFns fns = [] {
+    const Kernel k = cpu::active_kernel();
+    return ActiveFns{mul_add_fn(k), scale_fn(k), mul_add_rows_fn(k)};
+  }();
+  return fns;
+}
+
+}  // namespace
+
+void mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+             std::size_t n) {
+  if (c == 0 || n == 0) return;
+  active().mul_add(dst, src, c, n);
+}
+
+void mul_add(Kernel k, std::uint8_t* dst, const std::uint8_t* src,
+             std::uint8_t c, std::size_t n) {
+  if (c == 0 || n == 0) return;
+  mul_add_fn(k)(dst, src, c, n);
+}
+
+void scale(std::uint8_t* dst, std::uint8_t c, std::size_t n) {
+  if (c == 1 || n == 0) return;
+  active().scale(dst, c, n);
+}
+
+void scale(Kernel k, std::uint8_t* dst, std::uint8_t c, std::size_t n) {
+  if (c == 1 || n == 0) return;
+  scale_fn(k)(dst, c, n);
+}
+
+void mul_add_rows(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                  const std::uint8_t* coeffs, int rows, std::size_t n) {
+  if (rows <= 0 || n == 0) return;
+  active().mul_add_rows(dst, srcs, coeffs, rows, n);
+}
+
+void mul_add_rows(Kernel k, std::uint8_t* dst, const std::uint8_t* const* srcs,
+                  const std::uint8_t* coeffs, int rows, std::size_t n) {
+  if (rows <= 0 || n == 0) return;
+  mul_add_rows_fn(k)(dst, srcs, coeffs, rows, n);
+}
+
+}  // namespace sharq::fec::simd

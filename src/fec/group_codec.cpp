@@ -11,6 +11,8 @@ GroupEncoder::GroupEncoder(std::shared_ptr<const ReedSolomon> codec,
   if (static_cast<int>(data_.size()) != codec_->k()) {
     throw std::invalid_argument("GroupEncoder: need exactly k data packets");
   }
+  data_ptrs_.reserve(data_.size());
+  for (const auto& d : data_) data_ptrs_.push_back(d.data());
 }
 
 std::vector<std::uint8_t> GroupEncoder::shard(int index) const {
@@ -18,7 +20,24 @@ std::vector<std::uint8_t> GroupEncoder::shard(int index) const {
     throw std::out_of_range("GroupEncoder::shard index");
   }
   if (index < k()) return data_[index];
-  return codec_->encode_parity(index, data_);
+  std::vector<std::uint8_t> out(data_.front().size());
+  codec_->encode_parity_into(index, data_ptrs_.data(), out.size(), out.data());
+  return out;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> GroupEncoder::shard_shared(
+    int index) const {
+  if (index < 0 || index >= max_shards()) {
+    throw std::out_of_range("GroupEncoder::shard index");
+  }
+  if (index < k()) {
+    return std::make_shared<const std::vector<std::uint8_t>>(data_[index]);
+  }
+  auto out =
+      std::make_shared<std::vector<std::uint8_t>>(data_.front().size());
+  codec_->encode_parity_into(index, data_ptrs_.data(), out->size(),
+                             out->data());
+  return out;
 }
 
 GroupDecoder::GroupDecoder(std::shared_ptr<const ReedSolomon> codec)

@@ -28,9 +28,16 @@ class GroupEncoder {
   /// Shard `index`: data packet for index < k, parity otherwise.
   std::vector<std::uint8_t> shard(int index) const;
 
+  /// Like shard(), but returns a ref-counted buffer ready to attach to a
+  /// message, generating parity directly into the final allocation (no
+  /// intermediate copy on the repair path).
+  std::shared_ptr<const std::vector<std::uint8_t>> shard_shared(
+      int index) const;
+
  private:
   std::shared_ptr<const ReedSolomon> codec_;
   std::vector<std::vector<std::uint8_t>> data_;
+  std::vector<const std::uint8_t*> data_ptrs_;  // codec-ready view of data_
 };
 
 /// Receiver-side view of one FEC packet group.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "fec/gf256_simd.hpp"
+
 namespace sharq::fec {
 
 Matrix Matrix::identity(int n) {
@@ -24,12 +26,12 @@ Matrix Matrix::vandermonde(int rows, int cols) {
 Matrix Matrix::multiply(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
+  std::vector<const Elem*> rhs(cols_);
+  for (int k = 0; k < cols_; ++k) rhs[k] = other.row(k);
   for (int r = 0; r < rows_; ++r) {
-    for (int k = 0; k < cols_; ++k) {
-      const Elem a = at(r, k);
-      if (a == 0) continue;
-      GF256::mul_add(out.row(r), other.row(k), a, other.cols_);
-    }
+    // One pass per output row: row r of this is the coefficient vector
+    // applied across all rows of `other`.
+    simd::mul_add_rows(out.row(r), rhs.data(), row(r), cols_, other.cols_);
   }
   return out;
 }

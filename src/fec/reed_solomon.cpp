@@ -1,8 +1,11 @@
 #include "fec/reed_solomon.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "fec/gf256_simd.hpp"
 
 namespace sharq::fec {
 
@@ -36,14 +39,26 @@ std::vector<std::uint8_t> ReedSolomon::encode_parity(
     throw std::invalid_argument("encode_parity: need exactly k data shards");
   }
   const std::size_t size = data.front().size();
-  std::vector<std::uint8_t> out(size, 0);
+  std::vector<const std::uint8_t*> ptrs(k_);
   for (int c = 0; c < k_; ++c) {
     if (data[c].size() != size) {
       throw std::invalid_argument("encode_parity: shard sizes differ");
     }
-    GF256::mul_add(out.data(), data[c].data(), gen_.at(index, c), size);
+    ptrs[c] = data[c].data();
   }
+  std::vector<std::uint8_t> out(size, 0);
+  encode_parity_into(index, ptrs.data(), size, out.data());
   return out;
+}
+
+void ReedSolomon::encode_parity_into(int index, const std::uint8_t* const* data,
+                                     std::size_t size,
+                                     std::uint8_t* out) const {
+  if (index < k_ || index >= max_shards()) {
+    throw std::out_of_range("encode_parity_into: index must be a parity index");
+  }
+  std::fill(out, out + size, 0);
+  simd::mul_add_rows(out, data, gen_.row(index), k_, size);
 }
 
 std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
@@ -86,12 +101,11 @@ std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
   Matrix sub = gen_.select_rows(rows);
   if (!sub.invert()) return std::nullopt;  // cannot happen for Vandermonde
 
+  std::vector<const std::uint8_t*> srcs(k_);
+  for (int j = 0; j < k_; ++j) srcs[j] = picked[j]->bytes.data();
   for (int d = 0; d < k_; ++d) {
     out[d].assign(size, 0);
-    for (int j = 0; j < k_; ++j) {
-      GF256::mul_add(out[d].data(), picked[j]->bytes.data(), sub.at(d, j),
-                     size);
-    }
+    simd::mul_add_rows(out[d].data(), srcs.data(), sub.row(d), k_, size);
   }
   return out;
 }

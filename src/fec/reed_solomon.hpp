@@ -33,6 +33,14 @@ class ReedSolomon {
   std::vector<std::uint8_t> encode_parity(
       int index, const std::vector<std::vector<std::uint8_t>>& data) const;
 
+  /// Batched form: write parity shard `index` into `out` (size bytes,
+  /// caller-zeroed allocation not required). `data` holds k pointers to
+  /// equal-sized shard buffers. Applies the whole generator row in one
+  /// SIMD pass (fec/gf256_simd.hpp) instead of k separate scans — this is
+  /// the path every repair and ZCR injection funnels through.
+  void encode_parity_into(int index, const std::uint8_t* const* data,
+                          std::size_t size, std::uint8_t* out) const;
+
   /// One shard as received: its global index plus payload bytes.
   struct Shard {
     int index = 0;

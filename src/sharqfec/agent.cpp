@@ -1,6 +1,12 @@
 #include "sharqfec/agent.hpp"
 
+#include "fec/cpu_features.hpp"
+
 namespace sharq::sfq {
+
+const char* Agent::fec_kernel_name() {
+  return fec::cpu::kernel_name(fec::cpu::active_kernel());
+}
 
 Agent::Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
              net::NodeId node, bool is_source, rm::DeliveryLog* log)

@@ -40,6 +40,11 @@ class Agent final : public net::Agent {
   const TransferEngine& transfer() const { return *transfer_; }
   bool is_source() const { return is_source_; }
 
+  /// Name of the GF(256) kernel every agent's FEC work dispatches to
+  /// ("scalar", "ssse3", "avx2", "neon"); fixed for the process lifetime.
+  /// See README "Debugging aids" for the SHARQFEC_FORCE_SCALAR contract.
+  static const char* fec_kernel_name();
+
  private:
   bool is_source_;
   std::unique_ptr<SessionManager> session_;

@@ -159,8 +159,9 @@ std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
       return nullptr;
     }
   }
-  return std::make_shared<const std::vector<std::uint8_t>>(
-      grp.encoder->shard(index));
+  // Parity is encoded straight into the shared buffer the message will
+  // carry (one SIMD row-pass in the codec, no intermediate copy).
+  return grp.encoder->shard_shared(index);
 }
 
 void TransferEngine::source_send_next() {

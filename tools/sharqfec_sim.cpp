@@ -228,6 +228,7 @@ int main(int argc, char** argv) {
   for (net::NodeId r : b.receivers) {
     if (!log.complete(r, units)) ++incomplete;
   }
+  std::printf("fec kernel: %s\n", sfq::Agent::fec_kernel_name());
   stats::Table t({"protocol", "topo", "receivers", "nacks", "repairs",
                   "incomplete", "events", "drops"});
   t.add_row({o.protocol, o.topo, std::to_string(b.receivers.size()),
