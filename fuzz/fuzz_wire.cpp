@@ -1,0 +1,213 @@
+// Fuzz harness for the SHARQFEC wire codec (src/sharqfec/wire.cpp).
+//
+// Contract under test: decode() never aborts, never reads out of bounds,
+// and never returns a message that re-encodes into something undecodable.
+// Hostile bytes must yield std::nullopt — nothing else.
+//
+// The harness is dual-mode so it works with the whole toolchain matrix:
+//
+//   * Clang with -fsanitize=fuzzer (SHARQFEC_FUZZ=ON + Clang): a real
+//     libFuzzer target; run `fuzz_wire fuzz/corpus -max_total_time=60`.
+//   * Any other compiler (GCC): a replay driver. With file arguments it
+//     replays each file through the same TestOneInput (triage mode); with
+//     no arguments it replays the built-in seed corpus plus a deterministic
+//     mutation sweep (CI smoke mode, also registered as a ctest).
+//
+// Write the built-in seeds out as corpus files with `fuzz_wire --write-corpus
+// <dir>` to bootstrap a libFuzzer run.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sharqfec/wire.hpp"
+
+using namespace sharq;
+
+namespace {
+
+/// The property checked on every input, fuzz-generated or replayed.
+void check_one(const std::uint8_t* data, std::size_t size) {
+  const auto decoded = sfq::wire::decode(data, size);
+  // peek_type must agree with decode about whether the tag is plausible:
+  // decoding can only succeed on buffers whose type byte peeks cleanly.
+  const auto peeked = sfq::wire::peek_type(data, size);
+  if (decoded && !peeked) std::abort();
+  if (!decoded) return;
+
+  // Round-trip: whatever decode accepted must re-encode into a buffer that
+  // decodes again to the same wire type. A decoder that "repairs" hostile
+  // input into an unencodable message corrupts downstream state silently.
+  const std::vector<std::uint8_t> out = std::visit(
+      [](const auto& m) { return sfq::wire::encode(m); }, *decoded);
+  const auto again = sfq::wire::decode(out.data(), out.size());
+  if (!again) std::abort();
+  if (again->index() != decoded->index()) std::abort();
+}
+
+std::vector<std::vector<std::uint8_t>> builtin_seeds() {
+  std::vector<std::vector<std::uint8_t>> seeds;
+
+  sfq::DataMsg d;
+  d.group = 3;
+  d.index = 7;
+  d.k = 16;
+  d.initial_shards = 18;
+  d.groups_total = 20;
+  d.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 2, 3, 4});
+  seeds.push_back(sfq::wire::encode(d));
+
+  sfq::RepairMsg r;
+  r.group = 3;
+  r.index = 21;
+  r.k = 16;
+  r.new_max_id = 24;
+  r.repairer = 5;
+  r.zone = 2;
+  r.preemptive = true;
+  r.hints.push_back({1, 4, 0.02});
+  r.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(64, 0xAB));
+  seeds.push_back(sfq::wire::encode(r));
+
+  sfq::NackMsg n;
+  n.group = 9;
+  n.zone = 1;
+  n.llc = 4;
+  n.needed = 4;
+  n.max_id_seen = 17;
+  n.sender = 12;
+  n.hints.push_back({1, 4, 0.015});
+  n.hints.push_back({0, 2, 0.044});
+  seeds.push_back(sfq::wire::encode(n));
+
+  sfq::SessionMsg s;
+  s.sender = 4;
+  s.zone = 1;
+  s.ts = 12.5;
+  s.zcr = 2;
+  s.zcr_parent_dist = 0.03;
+  s.max_group_seen = 19;
+  s.seen_any_data = true;
+  s.entries.push_back({7, 11.9, 0.4, 0.06});
+  s.entries.push_back({8, 12.1, 0.2, -1.0});
+  seeds.push_back(sfq::wire::encode(s));
+
+  sfq::ZcrChallengeMsg c;
+  c.challenger = 6;
+  c.zone = 2;
+  c.challenge_id = 0x0600000001ull;
+  seeds.push_back(sfq::wire::encode(c));
+
+  sfq::ZcrResponseMsg resp;
+  resp.responder = 2;
+  resp.zone = 2;
+  resp.challenge_id = 0x0600000001ull;
+  resp.processing_delay = 0.001;
+  seeds.push_back(sfq::wire::encode(resp));
+
+  sfq::ZcrTakeoverMsg t;
+  t.new_zcr = 9;
+  t.zone = 2;
+  t.dist_to_parent = 0.02;
+  seeds.push_back(sfq::wire::encode(t));
+
+  return seeds;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  check_one(data, size);
+  return 0;
+}
+
+#ifndef SHARQFEC_FUZZ_LIBFUZZER
+// Replay driver (GCC / no libFuzzer): files as args, or the built-in sweep.
+namespace {
+
+int replay_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "fuzz_wire: cannot open %s\n", path);
+    return 1;
+  }
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+  check_one(buf.data(), buf.size());
+  std::printf("fuzz_wire: %s ok (%zu bytes)\n", path, buf.size());
+  return 0;
+}
+
+int write_corpus(const char* dir) {
+  const auto seeds = builtin_seeds();
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    char path[512];
+    std::snprintf(path, sizeof path, "%s/seed-%02zu.bin", dir, i);
+    std::FILE* f = std::fopen(path, "wb");
+    if (!f) {
+      std::fprintf(stderr, "fuzz_wire: cannot write %s\n", path);
+      return 1;
+    }
+    std::fwrite(seeds[i].data(), 1, seeds[i].size(), f);
+    std::fclose(f);
+    std::printf("fuzz_wire: wrote %s (%zu bytes)\n", path, seeds[i].size());
+  }
+  return 0;
+}
+
+/// Deterministic mutation sweep over the seeds: truncations at every
+/// length, single-byte flips at every offset, and length-field stress via
+/// 0x00/0xFF overwrites. A few thousand inputs; runs in milliseconds.
+void smoke_sweep() {
+  std::uint64_t inputs = 0;
+  for (const auto& seed : builtin_seeds()) {
+    for (std::size_t len = 0; len <= seed.size(); ++len) {
+      check_one(seed.data(), len);
+      ++inputs;
+    }
+    std::vector<std::uint8_t> mut = seed;
+    for (std::size_t i = 0; i < mut.size(); ++i) {
+      const std::uint8_t orig = mut[i];
+      for (std::uint8_t delta : {0x01, 0x80, 0xFF}) {
+        mut[i] = static_cast<std::uint8_t>(orig ^ delta);
+        check_one(mut.data(), mut.size());
+        ++inputs;
+      }
+      mut[i] = 0x00;
+      check_one(mut.data(), mut.size());
+      mut[i] = 0xFF;
+      check_one(mut.data(), mut.size());
+      mut[i] = orig;
+      inputs += 2;
+    }
+  }
+  std::printf("fuzz_wire: smoke sweep ok (%llu inputs)\n",
+              static_cast<unsigned long long>(inputs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--write-corpus") == 0) {
+    return write_corpus(argv[2]);
+  }
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      if (replay_file(argv[i]) != 0) return 1;
+    }
+    return 0;
+  }
+  smoke_sweep();
+  return 0;
+}
+#endif  // SHARQFEC_FUZZ_LIBFUZZER

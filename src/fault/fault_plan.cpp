@@ -1,0 +1,145 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sharq::fault {
+
+const char* to_keyword(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLinkDown: return "link-down";
+    case EventKind::kLinkUp: return "link-up";
+    case EventKind::kLossRate: return "loss";
+    case EventKind::kCorruptRate: return "corrupt";
+    case EventKind::kDuplicateRate: return "duplicate";
+    case EventKind::kReorderRate: return "reorder";
+    case EventKind::kNodeKill: return "kill";
+    case EventKind::kNodeRestart: return "restart";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream os;
+  os << "plan " << name << "\n";
+  char num[64];
+  auto fmt = [&](double v) -> std::string {
+    // %.17g round-trips doubles exactly, so parse(to_spec()) == *this.
+    std::snprintf(num, sizeof num, "%.17g", v);
+    return num;
+  };
+  for (const FaultEvent& e : events) {
+    os << "at " << fmt(e.at) << ' ' << to_keyword(e.kind);
+    switch (e.kind) {
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp:
+      case EventKind::kPartition:
+      case EventKind::kHeal:
+        os << ' ' << e.from << ' ' << e.to;
+        break;
+      case EventKind::kLossRate:
+      case EventKind::kCorruptRate:
+        os << ' ' << e.from << ' ' << e.to << ' ' << fmt(e.rate);
+        break;
+      case EventKind::kDuplicateRate:
+        os << ' ' << e.from << ' ' << e.to << ' ' << fmt(e.rate) << ' '
+           << e.copies;
+        break;
+      case EventKind::kReorderRate:
+        os << ' ' << e.from << ' ' << e.to << ' ' << fmt(e.rate) << ' '
+           << fmt(e.jitter);
+        break;
+      case EventKind::kNodeKill:
+      case EventKind::kNodeRestart:
+        os << ' ' << e.from;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) -> std::optional<FaultPlan> {
+    if (error) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only line
+    if (word == "plan") {
+      if (!(ls >> plan.name)) return fail("plan needs a name");
+      continue;
+    }
+    if (word != "at") return fail("expected 'at' or 'plan', got '" + word + "'");
+    FaultEvent e;
+    std::string verb;
+    if (!(ls >> e.at >> verb)) return fail("expected '<time> <verb>'");
+    if (e.at < 0.0) return fail("negative event time");
+    auto need_nodes = [&](int n) {
+      if (n >= 1 && !(ls >> e.from)) return false;
+      if (n >= 2 && !(ls >> e.to)) return false;
+      return true;
+    };
+    if (verb == "link-down" || verb == "link-up" || verb == "partition" ||
+        verb == "heal") {
+      e.kind = verb == "link-down"  ? EventKind::kLinkDown
+               : verb == "link-up"  ? EventKind::kLinkUp
+               : verb == "partition" ? EventKind::kPartition
+                                     : EventKind::kHeal;
+      if (!need_nodes(2)) return fail(verb + " needs <from> <to>");
+    } else if (verb == "loss" || verb == "corrupt") {
+      e.kind = verb == "loss" ? EventKind::kLossRate : EventKind::kCorruptRate;
+      if (!need_nodes(2) || !(ls >> e.rate)) {
+        return fail(verb + " needs <from> <to> <rate>");
+      }
+    } else if (verb == "duplicate") {
+      e.kind = EventKind::kDuplicateRate;
+      if (!need_nodes(2) || !(ls >> e.rate)) {
+        return fail("duplicate needs <from> <to> <rate> [copies]");
+      }
+      if (!(ls >> e.copies)) e.copies = 1;
+      if (e.copies < 1) return fail("duplicate copies must be >= 1");
+    } else if (verb == "reorder") {
+      e.kind = EventKind::kReorderRate;
+      if (!need_nodes(2) || !(ls >> e.rate >> e.jitter)) {
+        return fail("reorder needs <from> <to> <rate> <max-jitter>");
+      }
+      if (e.jitter < 0.0) return fail("negative reorder jitter");
+    } else if (verb == "kill" || verb == "restart") {
+      e.kind = verb == "kill" ? EventKind::kNodeKill : EventKind::kNodeRestart;
+      if (!need_nodes(1)) return fail(verb + " needs <node>");
+    } else {
+      return fail("unknown verb '" + verb + "'");
+    }
+    if (e.rate < 0.0 || e.rate > 1.0) return fail("rate outside [0,1]");
+    std::string extra;
+    if (ls >> extra) return fail("trailing garbage '" + extra + "'");
+    plan.events.push_back(e);
+  }
+  plan.sort();
+  return plan;
+}
+
+}  // namespace sharq::fault

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace sharq::fault {
+
+/// What a single timed fault event does.
+///
+/// Link-shaped events identify the link by its endpoints (from -> to), not
+/// by LinkId: plans are written against a topology's node numbering, which
+/// is stable across runs, while link ids are an internal allocation order.
+/// kPartition / kHeal act on BOTH simplex directions between the endpoints
+/// (cutting a duplex edge partitions a tree topology).
+enum class EventKind {
+  kLinkDown,      ///< take the simplex link from->to down
+  kLinkUp,        ///< bring it back
+  kLossRate,      ///< set the link's Bernoulli loss rate (ramps = several)
+  kCorruptRate,   ///< set the link's payload-corruption rate
+  kDuplicateRate, ///< set the link's duplication rate (`copies` extras)
+  kReorderRate,   ///< set the link's reorder rate and max jitter
+  kNodeKill,      ///< crash a node (protocol + network teardown)
+  kNodeRestart,   ///< restart a crashed node (network up + protocol rejoin)
+  kPartition,     ///< cut both directions between the endpoints
+  kHeal,          ///< restore both directions
+};
+
+/// Keyword form of an EventKind (the spec grammar's verb).
+const char* to_keyword(EventKind kind);
+
+/// One timed event of a fault plan.
+struct FaultEvent {
+  sim::Time at = 0.0;
+  EventKind kind = EventKind::kLinkDown;
+  net::NodeId from = net::kNoNode;  ///< link/partition endpoint, or the node
+  net::NodeId to = net::kNoNode;    ///< link/partition endpoint (kNoNode for
+                                    ///< node events)
+  double rate = 0.0;                ///< loss/corrupt/duplicate/reorder rate
+  double jitter = 0.0;              ///< reorder max extra delay, seconds
+  int copies = 1;                   ///< duplicate extras per firing
+};
+
+/// A named, ordered schedule of fault events driven off the simulator
+/// clock. Plans are value types: benches, tests, and the chaos runner
+/// share scenarios by passing the same plan (or the same spec text).
+struct FaultPlan {
+  std::string name = "plan";
+  std::vector<FaultEvent> events;
+
+  /// Events sorted by time (stable, so same-time events keep spec order).
+  void sort();
+
+  /// Serialize to the text spec `parse` accepts (round-trips exactly).
+  std::string to_spec() const;
+
+  /// Parse the text spec. Grammar, one statement per line ('#' comments):
+  ///
+  ///   plan <name>
+  ///   at <t> link-down <from> <to>
+  ///   at <t> link-up <from> <to>
+  ///   at <t> loss <from> <to> <rate>
+  ///   at <t> corrupt <from> <to> <rate>
+  ///   at <t> duplicate <from> <to> <rate> [copies]
+  ///   at <t> reorder <from> <to> <rate> <max-jitter>
+  ///   at <t> kill <node>
+  ///   at <t> restart <node>
+  ///   at <t> partition <a> <b>
+  ///   at <t> heal <a> <b>
+  ///
+  /// Returns nullopt (with a message in *error if given) on any malformed
+  /// statement; a fault plan that silently half-parses would make chaos
+  /// results lie.
+  static std::optional<FaultPlan> parse(const std::string& text,
+                                        std::string* error = nullptr);
+};
+
+}  // namespace sharq::fault

@@ -1,0 +1,89 @@
+#include "fault/injector.hpp"
+
+#include <memory>
+
+#include "net/loss.hpp"
+
+namespace sharq::fault {
+
+void Injector::schedule(const FaultPlan& plan) {
+  sim::Simulator& simu = net_.simulator();
+  for (const FaultEvent& e : plan.events) {
+    simu.at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void Injector::on_link(net::NodeId from, net::NodeId to,
+                       const std::function<void(net::LinkId)>& fn) {
+  const net::LinkId l = net_.find_link(from, to);
+  if (l == net::kNoLink) {
+    ++skipped_;
+    return;
+  }
+  fn(l);
+  ++applied_;
+}
+
+void Injector::apply(const FaultEvent& e) {
+  auto valid_node = [this](net::NodeId n) {
+    return n >= 0 && n < net_.node_count();
+  };
+  switch (e.kind) {
+    case EventKind::kLinkDown:
+      on_link(e.from, e.to, [this](net::LinkId l) { net_.set_link_up(l, false); });
+      break;
+    case EventKind::kLinkUp:
+      on_link(e.from, e.to, [this](net::LinkId l) { net_.set_link_up(l, true); });
+      break;
+    case EventKind::kLossRate:
+      on_link(e.from, e.to, [this, &e](net::LinkId l) {
+        net_.conditioner(l).set_loss(
+            e.rate > 0.0 ? std::make_unique<net::BernoulliLoss>(e.rate)
+                         : nullptr);
+      });
+      break;
+    case EventKind::kCorruptRate:
+      on_link(e.from, e.to, [this, &e](net::LinkId l) {
+        net_.conditioner(l).set_corrupt_rate(e.rate);
+      });
+      break;
+    case EventKind::kDuplicateRate:
+      on_link(e.from, e.to, [this, &e](net::LinkId l) {
+        net_.conditioner(l).set_duplicate(e.rate, e.copies);
+      });
+      break;
+    case EventKind::kReorderRate:
+      on_link(e.from, e.to, [this, &e](net::LinkId l) {
+        net_.conditioner(l).set_reorder(e.rate, e.jitter);
+      });
+      break;
+    case EventKind::kNodeKill:
+      if (!valid_node(e.from) || !net_.node_up(e.from)) {
+        ++skipped_;
+        break;
+      }
+      if (hooks_.kill) hooks_.kill(e.from);
+      net_.set_node_up(e.from, false);
+      ++applied_;
+      break;
+    case EventKind::kNodeRestart:
+      if (!valid_node(e.from) || net_.node_up(e.from)) {
+        ++skipped_;
+        break;
+      }
+      net_.set_node_up(e.from, true);
+      if (hooks_.restart) hooks_.restart(e.from);
+      ++applied_;
+      break;
+    case EventKind::kPartition:
+      on_link(e.from, e.to, [this](net::LinkId l) { net_.set_link_up(l, false); });
+      on_link(e.to, e.from, [this](net::LinkId l) { net_.set_link_up(l, false); });
+      break;
+    case EventKind::kHeal:
+      on_link(e.from, e.to, [this](net::LinkId l) { net_.set_link_up(l, true); });
+      on_link(e.to, e.from, [this](net::LinkId l) { net_.set_link_up(l, true); });
+      break;
+  }
+}
+
+}  // namespace sharq::fault

@@ -1,0 +1,91 @@
+#include "fault/random_plan.hpp"
+
+namespace sharq::fault {
+
+namespace {
+
+/// A [start, end) window that opens early enough to bite and always closes
+/// with margin before the horizon.
+std::pair<sim::Time, sim::Time> draw_window(sim::Rng& rng, sim::Time horizon) {
+  const sim::Time start = rng.uniform(0.05 * horizon, 0.60 * horizon);
+  const sim::Time end = rng.uniform(start + 0.02 * horizon, 0.90 * horizon);
+  return {start, end};
+}
+
+}  // namespace
+
+FaultPlan make_random_plan(sim::Rng& rng, const PlanShape& shape,
+                           const std::string& name) {
+  FaultPlan plan;
+  plan.name = name;
+
+  auto pick_edge = [&]() -> const FaultyEdge& {
+    return shape.edges[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(shape.edges.size()) - 1))];
+  };
+
+  if (!shape.edges.empty()) {
+    for (int i = 0; i < shape.partitions; ++i) {
+      const FaultyEdge& e = pick_edge();
+      const auto [t0, t1] = draw_window(rng, shape.horizon);
+      plan.events.push_back(
+          {t0, EventKind::kPartition, e.a, e.b, 0.0, 0.0, 1});
+      plan.events.push_back({t1, EventKind::kHeal, e.a, e.b, 0.0, 0.0, 1});
+    }
+    for (int i = 0; i < shape.degrade_windows; ++i) {
+      const FaultyEdge& e = pick_edge();
+      const auto [t0, t1] = draw_window(rng, shape.horizon);
+      // Degrade the a->b simplex direction (callers order edges so that is
+      // the data-bearing downstream direction).
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          plan.events.push_back({t0, EventKind::kLossRate, e.a, e.b,
+                                 rng.uniform(0.05, shape.max_loss), 0.0, 1});
+          plan.events.push_back({t1, EventKind::kLossRate, e.a, e.b,
+                                 e.baseline_loss, 0.0, 1});
+          break;
+        case 1:
+          plan.events.push_back({t0, EventKind::kCorruptRate, e.a, e.b,
+                                 rng.uniform(0.005, shape.max_corrupt), 0.0,
+                                 1});
+          plan.events.push_back(
+              {t1, EventKind::kCorruptRate, e.a, e.b, 0.0, 0.0, 1});
+          break;
+        case 2:
+          plan.events.push_back(
+              {t0, EventKind::kDuplicateRate, e.a, e.b,
+               rng.uniform(0.01, shape.max_duplicate), 0.0,
+               static_cast<int>(rng.uniform_int(1, 2))});
+          plan.events.push_back(
+              {t1, EventKind::kDuplicateRate, e.a, e.b, 0.0, 0.0, 1});
+          break;
+        default:
+          plan.events.push_back(
+              {t0, EventKind::kReorderRate, e.a, e.b,
+               rng.uniform(0.02, shape.max_reorder),
+               rng.uniform(0.001, shape.max_reorder_jitter), 1});
+          plan.events.push_back(
+              {t1, EventKind::kReorderRate, e.a, e.b, 0.0, 0.0, 1});
+          break;
+      }
+    }
+  }
+
+  if (!shape.killable.empty()) {
+    for (int i = 0; i < shape.node_churns; ++i) {
+      const net::NodeId victim = shape.killable[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(shape.killable.size()) - 1))];
+      const auto [t0, t1] = draw_window(rng, shape.horizon);
+      plan.events.push_back(
+          {t0, EventKind::kNodeKill, victim, net::kNoNode, 0.0, 0.0, 1});
+      plan.events.push_back(
+          {t1, EventKind::kNodeRestart, victim, net::kNoNode, 0.0, 0.0, 1});
+    }
+  }
+
+  plan.sort();
+  return plan;
+}
+
+}  // namespace sharq::fault

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/random.hpp"
+
+namespace sharq::fault {
+
+/// A duplex edge the generator may fault, with the loss rate to restore
+/// when a loss window closes (fault plans must hand the topology back in
+/// its configured state, not a pristine one).
+struct FaultyEdge {
+  net::NodeId a = net::kNoNode;
+  net::NodeId b = net::kNoNode;
+  double baseline_loss = 0.0;
+};
+
+/// Bounds for a generated plan. Every fault a random plan opens, it also
+/// closes before `horizon` (partitions heal, crashed nodes restart, rates
+/// return to baseline) so a soak can demand full delivery afterwards.
+struct PlanShape {
+  sim::Time horizon = 60.0;  ///< all recovery events land before this
+  int partitions = 1;        ///< paired partition/heal windows
+  int degrade_windows = 2;   ///< loss/corrupt/duplicate/reorder windows
+  int node_churns = 1;       ///< paired kill/restart windows
+  double max_loss = 0.30;    ///< peak loss rate inside a window
+  double max_corrupt = 0.05;
+  double max_duplicate = 0.10;
+  double max_reorder = 0.20;
+  double max_reorder_jitter = 0.050;  ///< seconds
+  std::vector<FaultyEdge> edges;      ///< candidate edges for link faults
+  std::vector<net::NodeId> killable;  ///< candidate crash victims (no source)
+};
+
+/// Generate a seeded random plan inside `shape`'s bounds. Deterministic:
+/// the same rng state and shape always yield the same plan. Fault windows
+/// open in the first ~60% of the horizon and always recover by ~90% of it.
+FaultPlan make_random_plan(sim::Rng& rng, const PlanShape& shape,
+                           const std::string& name = "random");
+
+}  // namespace sharq::fault

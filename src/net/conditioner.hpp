@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace sharq::net {
+
+/// The fate a link's conditioner pipeline assigns one packet at the moment
+/// its serialization completes (wire order, same instant the old loss
+/// models were consulted).
+struct PacketFate {
+  bool drop = false;        ///< packet is discarded by the link
+  bool corrupt = false;     ///< payload bytes arrive damaged (checksum fails)
+  int duplicates = 0;       ///< extra copies delivered beyond the original
+  sim::Time extra_delay = 0.0;  ///< jitter added to propagation (reordering)
+};
+
+/// One composable stage of a link's conditioning pipeline.
+///
+/// Stages run in pipeline order and may set any field of the fate; a stage
+/// must not *clear* a field an earlier stage set (faults compound). Stages
+/// are stateful (burst models, periodic patterns) and are consulted once
+/// per packet in transmission order.
+class ConditionerStage {
+ public:
+  virtual ~ConditionerStage() = default;
+
+  /// Decide this stage's contribution to the packet's fate.
+  virtual void condition(PacketFate& fate, sim::Rng& rng,
+                         const Packet& packet) = 0;
+
+  /// Long-run probability that this stage alone discards a packet
+  /// (only dropping stages report a nonzero rate).
+  virtual double mean_drop_rate() const { return 0.0; }
+
+  /// Deep copy (pipelines are cloned when topologies are duplicated).
+  virtual std::unique_ptr<ConditionerStage> clone() const = 0;
+};
+
+/// Adversarial link conditioning: the generalization of the per-link loss
+/// model into a pipeline that can also corrupt payload bytes (delivered
+/// with `Packet::corrupted` set — the simulator's model of a failed
+/// checksum over bit-flipped bytes), duplicate packets, and add delay
+/// jitter so packets resequence in flight.
+///
+/// The built-in stages run in a fixed order — loss, corrupt, duplicate,
+/// reorder — followed by any appended custom stages. All built-in fault
+/// rates default to zero and, because `Rng::bernoulli` consumes no
+/// randomness for p <= 0, a default-constructed conditioner is
+/// byte-identical in behaviour (and RNG stream) to the bare loss model it
+/// wraps.
+///
+/// Loss honours `Packet::lossless` (the paper exempts session messages and
+/// NACKs from loss, §6.2); corruption, duplication, and reordering apply to
+/// every packet — they model pathologies, not policy.
+class LinkConditioner {
+ public:
+  LinkConditioner() : loss_(std::make_unique<NoLoss>()) {}
+
+  LinkConditioner(LinkConditioner&&) = default;
+  LinkConditioner& operator=(LinkConditioner&&) = default;
+
+  /// Decide the fate of the next packet, in transmission order.
+  PacketFate next(sim::Rng& rng, const Packet& packet);
+
+  // --- built-in stages ------------------------------------------------------
+
+  /// Replace the loss process (never null; pass NoLoss to disable).
+  void set_loss(std::unique_ptr<LossModel> model);
+  const LossModel& loss() const { return *loss_; }
+
+  /// Probability a packet's payload is corrupted in flight.
+  void set_corrupt_rate(double rate) { corrupt_rate_ = rate; }
+  double corrupt_rate() const { return corrupt_rate_; }
+
+  /// Probability a packet is duplicated (`copies` extras when it fires).
+  void set_duplicate(double rate, int copies = 1);
+  double duplicate_rate() const { return dup_rate_; }
+
+  /// Probability a packet picks up extra delay, uniform in [0, max_jitter]
+  /// — packets behind it can overtake, i.e. delay-jitter resequencing.
+  void set_reorder(double rate, sim::Time max_jitter);
+  double reorder_rate() const { return reorder_rate_; }
+  sim::Time reorder_jitter() const { return reorder_jitter_; }
+
+  /// Append a custom stage; custom stages run after the built-ins.
+  void append(std::unique_ptr<ConditionerStage> stage);
+
+  // --- analytics ------------------------------------------------------------
+
+  /// Long-run probability a (loss-eligible) packet is discarded on the
+  /// wire. Matches the old LossModel::mean_loss_rate() contract, so
+  /// routing analytics (`Network::path_loss`) are unchanged by default.
+  double mean_drop_rate() const;
+
+  /// Long-run probability a packet fails to *usefully* arrive: dropped, or
+  /// delivered corrupted (a hardened receiver rejects it either way).
+  double effective_loss_rate() const;
+
+  /// True when the pipeline is just a loss model (no fault stages armed).
+  bool transparent() const {
+    return corrupt_rate_ <= 0.0 && dup_rate_ <= 0.0 && reorder_rate_ <= 0.0 &&
+           extra_.empty();
+  }
+
+  /// Deep copy (links are cloned when topologies are duplicated).
+  LinkConditioner clone() const;
+
+ private:
+  std::unique_ptr<LossModel> loss_;
+  double corrupt_rate_ = 0.0;
+  double dup_rate_ = 0.0;
+  int dup_copies_ = 1;
+  double reorder_rate_ = 0.0;
+  sim::Time reorder_jitter_ = 0.0;
+  std::vector<std::unique_ptr<ConditionerStage>> extra_;
+};
+
+}  // namespace sharq::net

@@ -17,6 +17,16 @@ const char* to_string(TrafficClass cls) {
   return "?";
 }
 
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kQueueFull: return "queue-full";
+    case DropReason::kLoss: return "loss";
+    case DropReason::kEpochKill: return "epoch-kill";
+  }
+  return "?";
+}
+
 Network::Network(sim::Simulator& simu) : simu_(simu) {}
 
 NodeId Network::add_node() {
@@ -40,9 +50,9 @@ LinkId Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
   l.to = to;
   l.bandwidth_bps = cfg.bandwidth_bps;
   l.delay = cfg.delay;
-  l.loss = cfg.loss_rate > 0.0
-               ? std::unique_ptr<LossModel>(new BernoulliLoss(cfg.loss_rate))
-               : std::unique_ptr<LossModel>(new NoLoss);
+  if (cfg.loss_rate > 0.0) {
+    l.cond.set_loss(std::make_unique<BernoulliLoss>(cfg.loss_rate));
+  }
   l.rng = simu_.rng().fork();
   l.queue_limit_pkts = cfg.queue_limit_pkts;
   links_.push_back(std::move(l));
@@ -59,7 +69,7 @@ std::pair<LinkId, LinkId> Network::add_duplex_link(NodeId a, NodeId b,
 
 void Network::set_loss_model(LinkId link, std::unique_ptr<LossModel> model) {
   assert(link >= 0 && link < link_count());
-  links_[link].loss = std::move(model);
+  links_[link].cond.set_loss(std::move(model));
 }
 
 LinkId Network::find_link(NodeId from, NodeId to) const {
@@ -129,7 +139,7 @@ void Network::ensure_routing(NodeId src) {
     if (d > r.dist[u]) continue;
     for (LinkId lid : nodes_[u].out_links) {
       const Link& l = links_[lid];
-      if (!l.up) continue;
+      if (!l.up || !nodes_[l.from].up || !nodes_[l.to].up) continue;
       const sim::Time nd = d + l.delay + kHopEps;
       if (nd < r.dist[l.to]) {
         r.dist[l.to] = nd;
@@ -180,7 +190,7 @@ double Network::path_loss(NodeId a, NodeId b) {
   NodeId cur = b;
   while (cur != a) {
     const LinkId pl = routing_[a].pred_link[cur];
-    deliver *= 1.0 - links_[pl].loss->mean_loss_rate();
+    deliver *= 1.0 - links_[pl].cond.mean_drop_rate();
     cur = links_[pl].from;
   }
   return 1.0 - deliver;
@@ -243,6 +253,7 @@ std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
                             bool lossless) {
   assert(origin >= 0 && origin < node_count());
   assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  if (!nodes_[origin].up) return 0;  // a crashed node's NIC sends nothing
   Packet p;
   p.uid = next_uid_++;
   p.origin = origin;
@@ -269,10 +280,41 @@ void Network::set_link_up(LinkId l, bool up) {
   invalidate_routing();
 }
 
+void Network::set_node_up(NodeId node, bool up) {
+  assert(node >= 0 && node < node_count());
+  NodeRec& rec = nodes_[node];
+  if (rec.up == up) return;
+  rec.up = up;
+  if (!up) {
+    // Kill everything being serialized on an incident link, in either
+    // direction — a crashed node neither finishes its own transmissions
+    // nor terminates anyone else's.
+    for (Link& lk : links_) {
+      if (lk.from != node && lk.to != node) continue;
+      ++lk.epoch;
+      lk.busy_until = simu_.now();
+      lk.queued = 0;
+    }
+    // Multicast membership is soft state refreshed by the member; a dead
+    // node stops refreshing, so drop it everywhere. Rejoining after a
+    // restart is the protocol's responsibility.
+    for (Channel& c : channels_) {
+      if (c.subs.erase(node) > 0) ++c.version;
+    }
+  }
+  invalidate_routing();
+}
+
 void Network::transmit(LinkId link, const Packet& packet) {
   Link& l = links_[link];
-  if (!l.up || (l.queue_limit_pkts >= 0 && l.queued >= l.queue_limit_pkts)) {
-    if (sink_) sink_->on_drop(simu_.now(), link, packet);
+  if (!l.up) {
+    if (sink_) sink_->on_drop(simu_.now(), link, packet, DropReason::kLinkDown);
+    return;
+  }
+  if (l.queue_limit_pkts >= 0 && l.queued >= l.queue_limit_pkts) {
+    if (sink_) {
+      sink_->on_drop(simu_.now(), link, packet, DropReason::kQueueFull);
+    }
     return;
   }
   if (sink_) sink_->on_transmit(simu_.now(), link, packet);
@@ -282,21 +324,38 @@ void Network::transmit(LinkId link, const Packet& packet) {
   const sim::Time start = std::max(now, l.busy_until);
   l.busy_until = start + tx_time;
   ++l.queued;
-  // Loss is decided at serialization completion so stateful (bursty) loss
-  // models see packets in wire order.
+  // The packet's fate is decided at serialization completion so stateful
+  // (bursty) conditioner stages see packets in wire order.
   simu_.at(start + tx_time, [this, link, packet, epoch = l.epoch] {
     Link& lk = links_[link];
-    if (!lk.up || lk.epoch != epoch) return;  // link died mid-flight
-    --lk.queued;
-    if (!packet.lossless && lk.loss->drop_next(lk.rng)) {
-      if (sink_) sink_->on_drop(simu_.now(), link, packet);
+    if (!lk.up || lk.epoch != epoch) {  // link or endpoint died mid-flight
+      if (sink_) {
+        sink_->on_drop(simu_.now(), link, packet, DropReason::kEpochKill);
+      }
       return;
     }
-    simu_.after(lk.delay, [this, to = lk.to, packet] { arrive(to, packet); });
+    --lk.queued;
+    const PacketFate fate = lk.cond.next(lk.rng, packet);
+    if (fate.drop) {
+      if (sink_) sink_->on_drop(simu_.now(), link, packet, DropReason::kLoss);
+      return;
+    }
+    Packet out = packet;
+    if (fate.corrupt) out.corrupted = true;
+    // Duplicates are real wire copies, so each gets its own ledger entry;
+    // jitter shifts the whole burst, letting later packets overtake it.
+    for (int copy = 0; copy <= fate.duplicates; ++copy) {
+      if (copy > 0 && sink_) sink_->on_transmit(simu_.now(), link, out);
+      simu_.after(lk.delay + fate.extra_delay, [this, link, out] {
+        if (sink_) sink_->on_hop(simu_.now(), link, out);
+        arrive(links_[link].to, out);
+      });
+    }
   });
 }
 
 void Network::arrive(NodeId at, const Packet& packet) {
+  if (!nodes_[at].up) return;  // a crashed node terminates nothing
   // Copy what we need out of the cache entry first: agent callbacks may
   // send(), which can rehash fwd_cache_ and invalidate references into it.
   bool deliver_here = false;

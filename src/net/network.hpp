@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/conditioner.hpp"
 #include "net/loss.hpp"
 #include "net/packet.hpp"
 #include "net/types.hpp"
@@ -38,7 +39,24 @@ class Agent {
   Network* net_ = nullptr;
 };
 
+/// Why a link discarded a packet.
+enum class DropReason : std::uint8_t {
+  kLinkDown,   ///< offered to a link that is administratively down
+  kQueueFull,  ///< FIFO cap reached at hand-off
+  kLoss,       ///< the link's conditioner dropped it on the wire
+  kEpochKill,  ///< link (or an endpoint node) died mid-serialization
+};
+
+/// Human-readable name for a DropReason.
+const char* to_string(DropReason reason);
+
 /// Observer for traffic accounting (implemented by the stats module).
+///
+/// Per-hop conservation contract: every `on_transmit` is followed, once the
+/// event queue drains, by exactly one of `on_hop` (the hop completed) or
+/// `on_drop` with reason kLoss / kEpochKill. Drops with reason kLinkDown /
+/// kQueueFull happen at hand-off, *instead of* `on_transmit`. The chaos
+/// soak asserts this ledger balances after every plan.
 class TrafficSink {
  public:
   virtual ~TrafficSink() = default;
@@ -51,9 +69,15 @@ class TrafficSink {
     (void)t, (void)link, (void)packet;
   }
 
-  /// Packet dropped (loss model or full queue).
-  virtual void on_drop(sim::Time t, LinkId link, const Packet& packet) {
+  /// Packet completed one hop (propagation finished, about to arrive).
+  virtual void on_hop(sim::Time t, LinkId link, const Packet& packet) {
     (void)t, (void)link, (void)packet;
+  }
+
+  /// Packet dropped by a link.
+  virtual void on_drop(sim::Time t, LinkId link, const Packet& packet,
+                       DropReason reason) {
+    (void)t, (void)link, (void)packet, (void)reason;
   }
 };
 
@@ -97,8 +121,16 @@ class Network {
   std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b,
                                             const LinkConfig& cfg);
 
-  /// Replace the loss process of a link.
+  /// Replace the loss process of a link (shorthand for
+  /// `conditioner(link).set_loss(...)`).
   void set_loss_model(LinkId link, std::unique_ptr<LossModel> model);
+
+  /// Full fault-conditioning pipeline of a link (loss, corruption,
+  /// duplication, reordering). Mutable so fault plans can retune it mid-run.
+  LinkConditioner& conditioner(LinkId link) { return links_[link].cond; }
+  const LinkConditioner& conditioner(LinkId link) const {
+    return links_[link].cond;
+  }
 
   /// The simplex link from `from` to `to`, or kNoLink.
   LinkId find_link(NodeId from, NodeId to) const;
@@ -111,13 +143,20 @@ class Network {
 
   /// Mean loss rate configured on a link.
   double link_loss_rate(LinkId l) const {
-    return links_[l].loss->mean_loss_rate();
+    return links_[l].cond.mean_drop_rate();
   }
 
   /// Take a link down (packets in flight are lost; routing recomputes
   /// around it) or bring it back up. Models backbone failures.
   void set_link_up(LinkId l, bool up);
   bool link_up(LinkId l) const { return links_[l].up; }
+
+  /// Crash a node (all incident links kill in-flight packets, every channel
+  /// subscription is lost, sends from it become no-ops, and routing steers
+  /// around it) or bring it back up. Rejoining is the protocol's job: a
+  /// restarted node has no subscriptions until it re-joins its channels.
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const { return nodes_[node].up; }
 
   // --- zones & channels ----------------------------------------------------
 
@@ -177,7 +216,7 @@ class Network {
     NodeId to = kNoNode;
     double bandwidth_bps = 0.0;
     sim::Time delay = 0.0;
-    std::unique_ptr<LossModel> loss;
+    LinkConditioner cond;
     sim::Rng rng;
     int queue_limit_pkts = -1;
     sim::Time busy_until = 0.0;
@@ -188,6 +227,7 @@ class Network {
   struct NodeRec {
     std::vector<LinkId> out_links;
     std::vector<Agent*> agents;
+    bool up = true;
   };
   struct Channel {
     ZoneId scope = kNoZone;

@@ -43,6 +43,9 @@ struct Packet {
   TrafficClass cls = TrafficClass::kData;
   std::int32_t size_bytes = 0;     ///< wire size used for serialization time
   bool lossless = false;           ///< exempt from link loss (session/NACK)
+  bool corrupted = false;          ///< payload damaged in flight (bit flips);
+                                   ///< a checksum over the wire bytes fails,
+                                   ///< so hardened receivers must reject it
   std::shared_ptr<const MessageBase> msg;  ///< protocol payload
 
   /// Downcast helper: the body as T, or nullptr if it is another type.

@@ -24,7 +24,29 @@ Agent::Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
       [this](std::uint32_t g) { transfer_->note_remote_progress(g); });
 }
 
+bool Agent::first_sighting(std::uint64_t uid) {
+  if (!seen_uids_.insert(uid).second) return false;
+  seen_order_.push_back(uid);
+  if (seen_order_.size() > kDedupWindow) {
+    seen_uids_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
+}
+
 void Agent::on_receive(const net::Packet& packet) {
+  // Hostile-wire hardening, in checksum order: a corrupt packet's payload
+  // is untrustworthy (reject before any field is read), and a duplicated
+  // uid has already been processed (idempotence without asking every
+  // handler to re-check).
+  if (packet.corrupted) {
+    ++corrupt_rejects_;
+    return;
+  }
+  if (!first_sighting(packet.uid)) {
+    ++duplicate_rejects_;
+    return;
+  }
   if (transfer_->handle(packet)) return;
   session_->handle(packet);
 }

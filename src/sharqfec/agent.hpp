@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <unordered_set>
 
 #include "net/network.hpp"
 #include "rm/delivery_log.hpp"
@@ -22,9 +25,14 @@ class Agent final : public net::Agent {
   /// Begin session messaging and ZCR election.
   void start() { session_->start(); }
 
-  /// Model this member dying: stop transmitting session/election traffic.
-  /// Pair with Network::detach() to also stop it receiving.
-  void stop() { session_->stop(); }
+  /// Model this member dying: stop transmitting session/election traffic
+  /// AND cancel the transfer engine's timers, so a killed member leaves no
+  /// events pending and never transmits again. Pair with
+  /// Network::detach() to also stop it receiving.
+  void stop() {
+    session_->stop();
+    transfer_->stop();
+  }
 
   /// Source API: stream groups starting at `start_at`.
   void send_stream(std::uint32_t group_count, sim::Time start_at,
@@ -40,15 +48,33 @@ class Agent final : public net::Agent {
   const TransferEngine& transfer() const { return *transfer_; }
   bool is_source() const { return is_source_; }
 
+  /// Packets rejected because they arrived corrupted (the modelled wire
+  /// checksum failed). Decode never sees a corrupt packet's payload.
+  std::uint64_t corrupt_rejects() const { return corrupt_rejects_; }
+  /// Packets rejected as duplicates of an already-processed uid (link
+  /// duplication; the multicast tree itself delivers each uid once).
+  std::uint64_t duplicate_rejects() const { return duplicate_rejects_; }
+
   /// Name of the GF(256) kernel every agent's FEC work dispatches to
   /// ("scalar", "ssse3", "avx2", "neon"); fixed for the process lifetime.
   /// See README "Debugging aids" for the SHARQFEC_FORCE_SCALAR contract.
   static const char* fec_kernel_name();
 
  private:
+  /// True exactly once per uid within the sliding window; duplicated
+  /// deliveries (conditioner copies) return false. Bounded so a soak run
+  /// cannot grow it without limit.
+  bool first_sighting(std::uint64_t uid);
+
+  static constexpr std::size_t kDedupWindow = 8192;
+
   bool is_source_;
   std::unique_ptr<SessionManager> session_;
   std::unique_ptr<TransferEngine> transfer_;
+  std::unordered_set<std::uint64_t> seen_uids_;
+  std::deque<std::uint64_t> seen_order_;
+  std::uint64_t corrupt_rejects_ = 0;
+  std::uint64_t duplicate_rejects_ = 0;
 };
 
 }  // namespace sharq::sfq

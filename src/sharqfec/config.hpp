@@ -44,6 +44,15 @@ struct Config {
   /// Repair pacing: successive repairs from one repairer are spaced at
   /// this fraction of the data inter-packet interval (paper: one half).
   double repair_spacing_factor = 0.5;
+  /// Non-dedicated repairers (complete receivers that are neither the
+  /// source nor a ZCR) stretch their reply-suppression delay by this
+  /// factor, and re-randomize it between successive repairs instead of
+  /// using the dedicated pacing above. They exist for robustness when the
+  /// dedicated repairers are dead; without the deferral, one large-scope
+  /// NACK recruits every complete receiver faster than the first repair
+  /// can propagate and suppress them (~100x repair amplification under
+  /// churn).
+  double fallback_reply_defer = 3.0;
   /// NACK attempts at one scope before escalating to the parent zone
   /// (paper: "after two attempts at each zone").
   int attempts_per_scope = 2;
@@ -63,6 +72,10 @@ struct Config {
   sim::Time default_dist = 0.050;  ///< distance before estimates converge
   sim::Time zcr_challenge_period = 4.0;   ///< ZCR re-challenge cadence
   sim::Time zcr_watchdog_period = 10.0;   ///< silence before usurping
+  /// Session peers silent for this long are expired from the RTT tables
+  /// (their measurements would otherwise pollute distance estimates
+  /// forever after a crash). 0 disables expiry.
+  sim::Time peer_expiry = 30.0;
   /// First watchdog window: elections must settle within the paper's 5 s
   /// session warm-up, so the bootstrap challenge fires early.
   sim::Time zcr_bootstrap_delay = 1.0;

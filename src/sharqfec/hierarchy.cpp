@@ -97,4 +97,14 @@ void Hierarchy::join(net::NodeId n) {
   }
 }
 
+void Hierarchy::leave(net::NodeId n) {
+  net_.unsubscribe(data_channel_, n);
+  for (net::ZoneId z : chain(n)) {
+    ZoneInfo& zi = info_.at(z);
+    net_.unsubscribe(zi.repair, n);
+    net_.unsubscribe(zi.session, n);
+    zi.joined.erase(n);
+  }
+}
+
 }  // namespace sharq::sfq

@@ -50,6 +50,10 @@ class Hierarchy {
   /// channels of every zone on its chain.
   void join(net::NodeId n);
 
+  /// Undo join(): unsubscribe from every channel and drop protocol-level
+  /// membership. Used when a member crashes or leaves the session.
+  void leave(net::NodeId n);
+
   /// Members that have join()ed, per zone (protocol-level membership).
   const std::unordered_set<net::NodeId>& joined(net::ZoneId z) const {
     return info_.at(z).joined;

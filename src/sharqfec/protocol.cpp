@@ -28,6 +28,19 @@ Agent& Session::add_receiver(net::NodeId node) {
   return *agents_.back();
 }
 
+void Session::remove_receiver(net::NodeId node) {
+  for (std::size_t i = 1; i < agents_.size(); ++i) {
+    if (agents_[i]->node() != node) continue;
+    Agent& a = *agents_[i];
+    a.stop();
+    net_.detach(node, &a);
+    hier_->leave(node);
+    retired_.push_back(std::move(agents_[i]));
+    agents_.erase(agents_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+}
+
 Agent& Session::agent_for(net::NodeId node) {
   for (auto& a : agents_) {
     if (a->node() == node) return *a;

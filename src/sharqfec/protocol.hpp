@@ -22,7 +22,18 @@ class Session {
   /// Late join: add (and start) a receiver while the session runs. The
   /// joiner recovers history or starts live per Config::late_join_full_
   /// history; its zone's repair channels localize any catch-up traffic.
+  /// Also how a crashed receiver rejoins after Network::set_node_up(node,
+  /// true): the fresh agent re-subscribes and recovers like any late
+  /// joiner.
   Agent& add_receiver(net::NodeId node);
+
+  /// Crash a receiver mid-transfer: its agent stops (no timers left
+  /// pending, never transmits again), detaches from the network, and
+  /// leaves every channel. The dead agent is retired, not destroyed —
+  /// in-flight events may still reference it — so `agents()` and
+  /// `all_complete()` immediately stop counting it. No-op for unknown
+  /// nodes and for the source.
+  void remove_receiver(net::NodeId node);
 
   /// Emit `group_count` groups from the source at `start_at`.
   void send_stream(std::uint32_t group_count, sim::Time start_at,
@@ -35,6 +46,12 @@ class Session {
   Agent& agent_for(net::NodeId node);
   const std::vector<std::unique_ptr<Agent>>& agents() const { return agents_; }
 
+  /// Agents retired by remove_receiver (stopped and detached, kept alive
+  /// only so stale scheduled events fire harmlessly).
+  const std::vector<std::unique_ptr<Agent>>& retired() const {
+    return retired_;
+  }
+
   /// True if every receiver completed every group in [0, total).
   bool all_complete(std::uint32_t total) const;
 
@@ -44,6 +61,7 @@ class Session {
   rm::DeliveryLog* log_;
   std::unique_ptr<Hierarchy> hier_;
   std::vector<std::unique_ptr<Agent>> agents_;  // [0] = source
+  std::vector<std::unique_ptr<Agent>> retired_;
 };
 
 }  // namespace sharq::sfq

@@ -62,6 +62,11 @@ void SessionManager::start() {
   // watchdog (members) and, if we ever become ZCR, a challenge timer.
   for (int l = 0; l + 1 < static_cast<int>(levels_.size()); ++l) {
     schedule_watchdog(l);
+    // A statically configured ZCR (including us) skips the election, so
+    // nothing has armed its challenge rounds yet. Without them it never
+    // measures its distance to the parent ZCR, and with no measured claim
+    // it cannot reassert against a usurper after a partition heals.
+    if (levels_[l].zcr == node_) schedule_challenge(l);
   }
 }
 
@@ -231,8 +236,33 @@ void SessionManager::schedule_session() {
         ++it;
       }
     }
+    expire_silent_peers();
     schedule_session();
   });
+}
+
+void SessionManager::expire_silent_peers() {
+  if (cfg_.peer_expiry <= 0.0) return;
+  for (Level& lv : levels_) {
+    for (auto it = lv.peers.begin(); it != lv.peers.end();) {
+      if (simu_.now() - it->second.heard_at > cfg_.peer_expiry) {
+        // Crashed (or partitioned-away) peer: its RTT samples and bridge
+        // entries would otherwise feed stale distances into repair timers
+        // forever. Re-arrival simply re-measures from scratch.
+        lv.bridge_rtt.erase(it->first);
+        it = lv.peers.erase(it);
+        ++peers_expired_;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t SessionManager::tracked_peer_count() const {
+  std::size_t n = 0;
+  for (const Level& lv : levels_) n += lv.peers.size() + lv.bridge_rtt.size();
+  return n;
 }
 
 void SessionManager::send_session_messages() {
@@ -284,6 +314,20 @@ void SessionManager::handle_session(const SessionMsg& msg, int level) {
       // The node we believed to be ZCR disclaims the role: adopt its view
       // so a zone whose takeovers crossed in flight re-converges.
       adopt_zcr(level, msg.zcr, msg.zcr_parent_dist);
+    } else if (msg.zcr != lv.zcr && msg.sender == msg.zcr &&
+               msg.zcr_parent_dist >= 0.0) {
+      // Rival claimant: a ZCR that was partitioned away misses the
+      // zone's re-election (takeovers are one-shot), so after the heal
+      // both old and new ZCR advertise the role in their session
+      // messages forever. Resolve the split deterministically with the
+      // same ordering elections use: adopt the better claim, and if we
+      // hold the role with the better claim, reassert it to the rival.
+      if (claim_beats(msg.zcr_parent_dist, msg.zcr, lv.zcr_parent_dist,
+                      lv.zcr)) {
+        adopt_zcr(level, msg.zcr, msg.zcr_parent_dist);
+      } else if (lv.zcr == node_ && lv.zcr_parent_dist >= 0.0) {
+        become_zcr(level, lv.zcr_parent_dist);
+      }
     }
   }
   if (msg.sender == lv.zcr) lv.zcr_last_heard = simu_.now();
@@ -356,6 +400,7 @@ void SessionManager::schedule_watchdog(int level) {
            simu_.now() - l.zcr_last_heard > cfg_.zcr_watchdog_period)) {
         l.zcr = net::kNoNode;
         l.zcr_parent_dist = -1.0;
+        ++zcr_expiries_;
       }
       issue_challenge(level);
     }
@@ -426,8 +471,13 @@ void SessionManager::handle_response(const ZcrResponseMsg& msg) {
   if (my_dist < 0.0) my_dist = 0.0;
 
   if (lv.zcr == node_) {
-    // Refresh our own advertised distance.
-    lv.zcr_parent_dist = my_dist;
+    // Refresh our own advertised distance — but only from rounds we
+    // initiated. The observed-challenge formula is relative to the local
+    // ZCR, i.e. ourselves, so it degenerates to (elapsed - zcr_parent_dist)
+    // and shrinks our claim a little every observed round; a usurper
+    // refreshing from it becomes unbeatable by the legitimate ZCR (found
+    // by the chaos soak: post-partition re-election never converged back).
+    if (pc.mine) lv.zcr_parent_dist = my_dist;
     return;
   }
   consider_takeover(l, my_dist);

@@ -90,6 +90,13 @@ class SessionManager {
   std::uint64_t session_messages_sent() const { return session_sent_; }
   std::uint64_t takeovers_sent() const { return takeovers_sent_; }
   std::uint64_t challenges_sent() const { return challenges_sent_; }
+  /// Silent peers garbage-collected from the RTT tables (Config::
+  /// peer_expiry).
+  std::uint64_t peers_expired() const { return peers_expired_; }
+  /// Times the watchdog declared a silent ZCR dead and cleared it.
+  std::uint64_t zcr_expiries() const { return zcr_expiries_; }
+  /// Live peers currently tracked across all levels (state-growth probe).
+  std::size_t tracked_peer_count() const;
 
  private:
   struct Peer {
@@ -128,6 +135,7 @@ class SessionManager {
   void send_session_messages();
   void send_session_for_level(int level);
   void schedule_session();
+  void expire_silent_peers();
   void schedule_challenge(int level);
   void schedule_watchdog(int level);
   void issue_challenge(int level);
@@ -160,6 +168,8 @@ class SessionManager {
   std::uint64_t session_sent_ = 0;
   std::uint64_t takeovers_sent_ = 0;
   std::uint64_t challenges_sent_ = 0;
+  std::uint64_t peers_expired_ = 0;
+  std::uint64_t zcr_expiries_ = 0;
 };
 
 }  // namespace sharq::sfq

@@ -6,6 +6,15 @@
 
 namespace sharq::sfq {
 
+namespace {
+/// Sanity bound on how far ahead of the locally observed stream head a
+/// message may reference a group. Legitimate senders are at most a few
+/// groups ahead (plus session-advertised catch-up); a forged id beyond
+/// this would otherwise make the backfill loops materialize state for
+/// billions of phantom groups.
+constexpr std::uint32_t kMaxGroupJump = 4096;
+}  // namespace
+
 TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
                                SessionManager& session, const Config& cfg,
                                net::NodeId node, bool is_source,
@@ -36,6 +45,16 @@ sim::Time TransferEngine::inter_arrival_estimate() const {
   return arrival_ewma_ > 0.0 ? arrival_ewma_ : packet_interval();
 }
 
+sim::Time TransferEngine::dist_to_source() const {
+  // Before the first data packet reveals the source (e.g. a late joiner
+  // recovering pure history through its zone), the distance estimate has
+  // nothing to converge on; default_dist keeps the request window at a
+  // plausible network scale instead of collapsing to the floor and burning
+  // through every NACK scope before the zone can answer once.
+  if (source_node_ == net::kNoNode) return cfg_.default_dist;
+  return std::max(1e-3, session_.estimate_dist(source_node_));
+}
+
 int TransferEngine::deficit(const Group& grp) const {
   return std::max(0, cfg_.group_size - grp.decoder.distinct());
 }
@@ -59,9 +78,14 @@ int TransferEngine::next_parity_index(Group& grp, net::ZoneId zone) {
   const int level = hier_.level(zone);
   const int lo = slice_start(level);
   const int hi = std::min(lo + slice_width(), codec_->max_shards());
-  int idx = std::max(grp.slice_next[level], lo);
-  if (idx >= hi) idx = hi - 1;  // slice exhausted: duplicates are harmless
-  grp.slice_next[level] = idx + 1;
+  const int raw = std::max(grp.slice_next[level], lo);
+  // Slice exhausted: cycle through the slice again rather than pinning the
+  // last index. A receiver that missed the whole first pass (crash,
+  // partition) needs *distinct* shards; resending one duplicate forever
+  // livelocks the NACK/repair exchange (found by the chaos soak).
+  const int span = hi - lo;
+  const int idx = raw < hi ? raw : (span > 0 ? lo + (raw - lo) % span : hi - 1);
+  grp.slice_next[level] = raw + 1;
   return idx;
 }
 
@@ -86,6 +110,22 @@ TransferEngine::Group& TransferEngine::ensure_group(std::uint32_t g) {
   grp.measure_timer = std::make_unique<sim::Timer>(simu_);
   grp.inject_timer = std::make_unique<sim::Timer>(simu_);
   return grp;
+}
+
+bool TransferEngine::sane_group_id(std::uint32_t g) const {
+  if (groups_total_ > 0 && g < groups_total_) return true;
+  return g <= max_group_seen_ + kMaxGroupJump;
+}
+
+void TransferEngine::stop() {
+  stopped_ = true;
+  for (auto& [g, grp] : groups_) {
+    grp.ldp_timer->cancel();
+    grp.request_timer->cancel();
+    grp.reply_timer->cancel();
+    grp.measure_timer->cancel();
+    grp.inject_timer->cancel();
+  }
 }
 
 std::uint32_t TransferEngine::groups_completed() const {
@@ -165,7 +205,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
 }
 
 void TransferEngine::source_send_next() {
-  if (send_group_ >= send_total_groups_) return;
+  if (stopped_ || send_group_ >= send_total_groups_) return;
   Group& grp = ensure_group(send_group_);
   if (send_index_ == 0) {
     // Decide this group's proactive redundancy h from the EWMA-predicted
@@ -226,15 +266,39 @@ void TransferEngine::source_send_next() {
 
 bool TransferEngine::handle(const net::Packet& packet) {
   if (const auto* d = packet.as<DataMsg>()) {
+    if (stopped_) return true;
+    // Field validation before any state is touched: a hostile or decoder-
+    // mangled message must bump the reject counter, not hang the backfill
+    // loops or inflate per-group bookkeeping.
+    if (d->index < 0 || d->index >= codec_->max_shards() ||
+        d->k != cfg_.group_size || d->initial_shards > codec_->max_shards() ||
+        !sane_group_id(d->group)) {
+      ++malformed_rejects_;
+      return true;
+    }
     if (source_node_ == net::kNoNode) source_node_ = packet.origin;
     if (!is_source_) on_data(*d, packet.cls);
     return true;
   }
   if (const auto* r = packet.as<RepairMsg>()) {
+    if (stopped_) return true;
+    if (r->index < 0 || r->index >= codec_->max_shards() ||
+        r->new_max_id < 0 || r->new_max_id >= codec_->max_shards() ||
+        !sane_group_id(r->group)) {
+      ++malformed_rejects_;
+      return true;
+    }
     on_repair(*r);
     return true;
   }
   if (const auto* n = packet.as<NackMsg>()) {
+    if (stopped_) return true;
+    if (n->llc < 0 || n->llc > codec_->max_shards() || n->needed < 0 ||
+        n->needed > codec_->max_shards() || n->max_id_seen < -1 ||
+        n->max_id_seen >= codec_->max_shards() || !sane_group_id(n->group)) {
+      ++malformed_rejects_;
+      return true;
+    }
     on_nack(*n);
     return true;
   }
@@ -252,6 +316,12 @@ void TransferEngine::fix_join_point(std::uint32_t first_heard_group,
 }
 
 void TransferEngine::note_remote_progress(std::uint32_t remote_max_group) {
+  if (stopped_ || is_source_) return;
+  // Clamp rather than reject: a genuinely far-ahead stream still makes
+  // incremental progress across successive advertisements, while a forged
+  // value cannot commandeer unbounded group state in one step.
+  remote_max_group =
+      std::min(remote_max_group, max_group_seen_ + kMaxGroupJump);
   fix_join_point(remote_max_group + 1, /*at_group_start=*/true);
   if (!seen_any_) {
     // We have heard nothing at all yet; the stream exists, so group 0 and
@@ -384,7 +454,7 @@ void TransferEngine::add_shard(
 
 // --- request side ---------------------------------------------------------------
 
-int TransferEngine::nack_level(const Group& grp) const {
+int TransferEngine::base_scope_level() const {
   const auto& chain = session_.chain();
   // A zone's ZCR represents its zone upward: its own unrecovered losses
   // are, by construction, losses the whole zone shares (they happened
@@ -398,6 +468,12 @@ int TransferEngine::nack_level(const Group& grp) const {
          session_.is_zcr(chain[base])) {
     ++base;
   }
+  return base;
+}
+
+int TransferEngine::nack_level(const Group& grp) const {
+  const auto& chain = session_.chain();
+  const int base = base_scope_level();
   int level = std::min<int>(base + grp.scope_level, chain.size() - 1);
   // Paper: if the source is a member of the target partition, use the
   // largest scope instead (its repairs serve everyone anyway).
@@ -427,9 +503,7 @@ void TransferEngine::maybe_request(Group& grp) {
 }
 
 void TransferEngine::arm_request_timer(Group& grp) {
-  const double d = std::max(
-      1e-3, session_.estimate_dist(
-                source_node_ == net::kNoNode ? node_ : source_node_));
+  const double d = dist_to_source();
   rm::TimerPolicy policy = cfg_.timers;
   if (cfg_.adaptive_timers) {
     policy.c1 = c1_adapt_;
@@ -456,6 +530,7 @@ void TransferEngine::adapt_request_window(bool heard_duplicate) {
 }
 
 void TransferEngine::fire_request(std::uint32_t g) {
+  if (stopped_) return;
   auto it = groups_.find(g);
   if (it == groups_.end()) return;
   Group& grp = it->second;
@@ -585,7 +660,7 @@ void TransferEngine::on_nack(const NackMsg& msg) {
   } else {
     const double d =
         std::max(1e-3, session_.estimate_dist(msg.sender, msg.hints));
-    arm_reply_timer(grp, level, d);
+    arm_reply_timer(grp, level, d * cfg_.fallback_reply_defer);
   }
 }
 
@@ -602,6 +677,7 @@ void TransferEngine::arm_reply_timer(Group& grp, int level,
 }
 
 void TransferEngine::fire_reply(std::uint32_t g) {
+  if (stopped_) return;
   auto it = groups_.find(g);
   if (it == groups_.end()) return;
   Group& grp = it->second;
@@ -620,17 +696,26 @@ void TransferEngine::fire_reply(std::uint32_t g) {
   }
   send_one_repair(grp, level, /*preemptive=*/false);
   grp.pending_repairs[level] = std::max(0, grp.pending_repairs[level] - 1);
-  // Pace the rest of the burst at half the data inter-packet interval
-  // (paper RP rule 1).
   if (grp.pending_repairs[level] > 0 ||
       *std::max_element(grp.pending_repairs.begin(),
                         grp.pending_repairs.end()) > 0) {
-    grp.reply_timer->arm(cfg_.repair_spacing_factor * packet_interval(),
-                         [this, g] { fire_reply(g); });
+    if (is_source_ || session_.is_zcr(session_.chain()[level])) {
+      // Dedicated repairers pace the rest of the burst at half the data
+      // inter-packet interval (paper RP rule 1).
+      grp.reply_timer->arm(cfg_.repair_spacing_factor * packet_interval(),
+                           [this, g] { fire_reply(g); });
+    } else {
+      // Fallback repairers re-randomize a suppression-sized delay between
+      // repairs so a dedicated repairer's burst (or another fallback's)
+      // can drain the queue first.
+      arm_reply_timer(grp, grp.reply_level,
+                      cfg_.default_dist * cfg_.fallback_reply_defer);
+    }
   }
 }
 
 void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
+  if (stopped_) return;
   const net::ZoneId zone = session_.chain()[level];
   const int index = next_parity_index(grp, zone);
   grp.max_id_seen = std::max(grp.max_id_seen, index);
@@ -670,13 +755,32 @@ void TransferEngine::on_repair(const RepairMsg& msg) {
   grp.max_id_seen = std::max(grp.max_id_seen, msg.new_max_id);
   note_parity_seen(grp, msg.new_max_id);
   ++grp.repair_coverage;
+  const bool useful = !grp.decoder.has(msg.index);
   add_shard(grp, msg.index, msg.bytes);
 
   // A repair resets the request backoff (paper LDP rule: "any time a
-  // repair arrives, i is reset to 1").
-  grp.backoff_i = 1;
-  if (!grp.complete && grp.request_timer->pending() && deficit(grp) > 0) {
-    arm_request_timer(grp);
+  // repair arrives, i is reset to 1") — but only a repair that added
+  // information. Resetting on duplicates lets a stream of useless repairs
+  // hold a starved receiver at its fastest NACK cadence, which sustains a
+  // session-wide NACK/repair storm (found by the chaos soak).
+  if (useful && !grp.complete) {
+    grp.backoff_i = 1;
+    // De-escalate to the scope that actually served us: that zone has a
+    // live repairer with the shards, so wider NACKs are pure amplification
+    // (a root-scope NACK recruits ~every complete receiver). Without this,
+    // an outage parks the scope at the root forever — ~100x repair
+    // amplification after heal, found by the chaos soak. Scopes below the
+    // serving level stay ruled out: they already failed to answer, which
+    // is how we escalated past them in the first place.
+    const int serving =
+        std::max(level - base_scope_level(), 0);
+    if (grp.scope_level > serving) {
+      grp.scope_level = serving;
+      grp.attempts_at_scope = 0;
+    }
+    if (grp.request_timer->pending() && deficit(grp) > 0) {
+      arm_request_timer(grp);
+    }
   }
 
   // Dequeue speculative repairs for the repair's zone and every smaller
@@ -780,10 +884,7 @@ void TransferEngine::schedule_zlc_measurement(Group& grp) {
   // The relevant distance is the larger of our distance to the source and
   // the zone's farthest member's (approximated by half the max in-zone
   // RTT): that member's request timer is the last NACK we must wait for.
-  const double d_src = std::max(
-      session_.estimate_dist(source_node_ == net::kNoNode ? node_
-                                                          : source_node_),
-      max_rtt / 2.0);
+  const double d_src = std::max(dist_to_source(), max_rtt / 2.0);
   const double nack_window =
       2.0 * (cfg_.timers.c1 + cfg_.timers.c2) * std::max(d_src, 1e-3);
   const sim::Time wait =

@@ -39,6 +39,13 @@ class TransferEngine {
   /// Offer a packet; returns true if it was a transfer message.
   bool handle(const net::Packet& packet);
 
+  /// Cease all activity (models the member dying): cancels every per-group
+  /// timer and turns the remaining entry points into no-ops, so a killed
+  /// member neither transmits nor keeps events pending. Irreversible;
+  /// restart is modelled by a fresh engine.
+  void stop();
+  bool stopped() const { return stopped_; }
+
   // --- inspection ------------------------------------------------------------
   std::uint32_t groups_completed() const;
   bool group_complete(std::uint32_t g) const;
@@ -47,6 +54,12 @@ class TransferEngine {
   std::uint64_t nacks_sent() const { return nacks_sent_; }
   std::uint64_t repairs_sent() const { return repairs_sent_; }
   std::uint64_t preemptive_repairs_sent() const { return preemptive_sent_; }
+  /// Transfer messages rejected as malformed (out-of-range shard indices,
+  /// absurd group jumps, inconsistent counts). Hostile input must bump
+  /// this counter, never distort protocol state.
+  std::uint64_t malformed_rejects() const { return malformed_rejects_; }
+  /// Number of groups currently tracked (state-growth probe).
+  std::size_t tracked_group_count() const { return groups_.size(); }
   double predicted_zlc(net::ZoneId z) const;
   /// Reconstructed application bytes for a completed group (real_payload
   /// mode only; empty otherwise).
@@ -104,6 +117,7 @@ class TransferEngine {
   };
 
   Group& ensure_group(std::uint32_t g);
+  bool sane_group_id(std::uint32_t g) const;
   void fix_join_point(std::uint32_t first_heard_group, bool at_group_start);
   void source_send_next();
   void on_data(const DataMsg& msg, net::TrafficClass cls);
@@ -125,10 +139,12 @@ class TransferEngine {
   void schedule_injection(Group& grp);
   void schedule_zlc_measurement(Group& grp);
   bool eligible_repairer(const Group& grp) const;
+  int base_scope_level() const;
   int nack_level(const Group& grp) const;
   bool covered_by_zlc(const Group& grp) const;
   sim::Time packet_interval() const;
   sim::Time inter_arrival_estimate() const;
+  sim::Time dist_to_source() const;
   int deficit(const Group& grp) const;
   std::shared_ptr<const std::vector<std::uint8_t>> shard_bytes(Group& grp,
                                                                int index);
@@ -174,6 +190,8 @@ class TransferEngine {
   std::uint64_t nacks_sent_ = 0;
   std::uint64_t repairs_sent_ = 0;
   std::uint64_t preemptive_sent_ = 0;
+  std::uint64_t malformed_rejects_ = 0;
+  bool stopped_ = false;
 
   // Adaptive request-window state (Config::adaptive_timers).
   double c1_adapt_;

@@ -48,7 +48,14 @@ void TraceWriter::on_transmit(sim::Time t, net::LinkId link,
   if (next_) next_->on_transmit(t, link, p);
 }
 
-void TraceWriter::on_drop(sim::Time t, net::LinkId link, const net::Packet& p) {
+void TraceWriter::on_hop(sim::Time t, net::LinkId link, const net::Packet& p) {
+  // Hop completions are not traced (the 'h' line is emitted at hand-off,
+  // matching nam), but they are forwarded so chained sinks can account.
+  if (next_) next_->on_hop(t, link, p);
+}
+
+void TraceWriter::on_drop(sim::Time t, net::LinkId link, const net::Packet& p,
+                          net::DropReason reason) {
   if (enabled(p.cls)) {
     if (net_ != nullptr) {
       line('d', t, net_->link_from(link), net_->link_to(link), p);
@@ -56,7 +63,7 @@ void TraceWriter::on_drop(sim::Time t, net::LinkId link, const net::Packet& p) {
       line('d', t, link, -1, p);
     }
   }
-  if (next_) next_->on_drop(t, link, p);
+  if (next_) next_->on_drop(t, link, p, reason);
 }
 
 }  // namespace sharq::stats

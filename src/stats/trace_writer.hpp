@@ -30,7 +30,9 @@ class TraceWriter final : public net::TrafficSink {
 
   void on_deliver(sim::Time t, net::NodeId at, const net::Packet& p) override;
   void on_transmit(sim::Time t, net::LinkId link, const net::Packet& p) override;
-  void on_drop(sim::Time t, net::LinkId link, const net::Packet& p) override;
+  void on_hop(sim::Time t, net::LinkId link, const net::Packet& p) override;
+  void on_drop(sim::Time t, net::LinkId link, const net::Packet& p,
+               net::DropReason reason) override;
 
   std::uint64_t lines_written() const { return lines_; }
 

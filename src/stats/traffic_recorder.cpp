@@ -41,8 +41,14 @@ void TrafficRecorder::on_transmit(sim::Time t, net::LinkId link,
   }
 }
 
-void TrafficRecorder::on_drop(sim::Time, net::LinkId, const net::Packet&) {
+void TrafficRecorder::on_hop(sim::Time, net::LinkId, const net::Packet&) {
+  ++hops_;
+}
+
+void TrafficRecorder::on_drop(sim::Time, net::LinkId, const net::Packet&,
+                              net::DropReason reason) {
   ++drops_;
+  ++drops_by_reason_[static_cast<int>(reason)];
 }
 
 const BinnedSeries& TrafficRecorder::node_series(net::NodeId node,

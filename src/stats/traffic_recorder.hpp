@@ -23,7 +23,9 @@ class TrafficRecorder final : public net::TrafficSink {
 
   void on_deliver(sim::Time t, net::NodeId at, const net::Packet& p) override;
   void on_transmit(sim::Time t, net::LinkId link, const net::Packet& p) override;
-  void on_drop(sim::Time t, net::LinkId link, const net::Packet& p) override;
+  void on_hop(sim::Time t, net::LinkId link, const net::Packet& p) override;
+  void on_drop(sim::Time t, net::LinkId link, const net::Packet& p,
+               net::DropReason reason) override;
 
   /// Restrict per-node recording to these nodes (empty = all nodes).
   /// Aggregate counters still cover everything.
@@ -56,7 +58,21 @@ class TrafficRecorder final : public net::TrafficSink {
                                           classes) const;
 
   std::uint64_t link_transmissions() const { return transmissions_; }
+  std::uint64_t link_hops() const { return hops_; }
   std::uint64_t link_drops() const { return drops_; }
+
+  /// Drops broken down by cause.
+  std::uint64_t drops(net::DropReason reason) const {
+    return drops_by_reason_[static_cast<int>(reason)];
+  }
+
+  /// True when the per-hop ledger balances: every transmission either
+  /// completed its hop or was dropped on the wire (valid once the event
+  /// queue has drained).
+  bool hop_ledger_balanced() const {
+    return transmissions_ == hops_ + drops(net::DropReason::kLoss) +
+                                 drops(net::DropReason::kEpochKill);
+  }
 
   /// Total bytes delivered, all nodes and classes.
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
@@ -74,7 +90,9 @@ class TrafficRecorder final : public net::TrafficSink {
   std::unordered_set<net::LinkId> watched_links_;
   bool watch_all_ = true;
   std::uint64_t transmissions_ = 0;
+  std::uint64_t hops_ = 0;
   std::uint64_t drops_ = 0;
+  std::array<std::uint64_t, 4> drops_by_reason_{};
   std::uint64_t bytes_delivered_ = 0;
 };
 

@@ -1,0 +1,338 @@
+// Fault-injection tests: the scripted side of the chaos soak
+// (tools/chaos_sim), pinned small enough to assert exact protocol
+// behaviour. Covers the FaultPlan spec language, Injector semantics,
+// tolerance of each link pathology (duplication, corruption, reordering),
+// ZCR death -> re-election, and regression scenarios for the protocol
+// bugs the randomized soak originally caught.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharq::sfq {
+namespace {
+
+/// source -- hub -- {relay, a, b}; zone = {hub, relay, a, b}, relay is
+/// the static ZCR. The hub is a pure forwarder (no agent), so the zone
+/// stays connected when any one member — including the ZCR — dies. The
+/// hub must sit INSIDE the zone: scoped channels prune any forwarding
+/// path that leaves the scope zone, so a star zone whose center is
+/// outside would never deliver zone-local traffic at all.
+struct HubZone {
+  sim::Simulator simu{17};
+  net::Network net{simu};
+  net::NodeId source, hub, relay, a, b;
+  net::ZoneId root, zone;
+
+  HubZone() {
+    source = net.add_node();
+    hub = net.add_node();
+    relay = net.add_node();
+    a = net.add_node();
+    b = net.add_node();
+    net::LinkConfig up;
+    up.delay = 0.020;
+    net.add_duplex_link(source, hub, up);
+    net::LinkConfig down;
+    down.delay = 0.010;
+    for (net::NodeId n : {relay, a, b}) net.add_duplex_link(hub, n, down);
+    root = net.zones().add_root();
+    zone = net.zones().add_zone(root);
+    net.zones().assign(source, root);
+    for (net::NodeId n : {hub, relay, a, b}) net.zones().assign(n, zone);
+  }
+};
+
+// --- FaultPlan spec language -------------------------------------------------
+
+TEST(FaultPlan, SpecRoundTripsExactly) {
+  fault::FaultPlan p;
+  p.name = "roundtrip";
+  p.events.push_back({5.0, fault::EventKind::kLossRate, 1, 3, 0.25, 0.0, 1});
+  p.events.push_back({2.5, fault::EventKind::kPartition, 1, 4, 0.0, 0.0, 1});
+  p.events.push_back(
+      {8.0, fault::EventKind::kReorderRate, 1, 3, 0.5, 0.035, 1});
+  p.events.push_back(
+      {9.0, fault::EventKind::kDuplicateRate, 1, 3, 0.1, 0.0, 2});
+  p.events.push_back({12.0, fault::EventKind::kNodeKill, 4, net::kNoNode,
+                      0.0, 0.0, 1});
+  p.events.push_back({20.0, fault::EventKind::kNodeRestart, 4, net::kNoNode,
+                      0.0, 0.0, 1});
+  p.sort();
+  ASSERT_EQ(p.events.front().kind, fault::EventKind::kPartition);
+
+  const std::string spec = p.to_spec();
+  std::string error;
+  const auto back = fault::FaultPlan::parse(spec, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->name, "roundtrip");
+  EXPECT_EQ(back->to_spec(), spec);
+}
+
+TEST(FaultPlan, RejectsMalformedStatements) {
+  std::string error;
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1.0 melt 3 4", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  // Out-of-range rate, negative time, trailing garbage: each kills the
+  // whole plan — a half-parsed chaos scenario would lie about coverage.
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1.0 loss 3 4 1.5", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at -2 kill 3", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1.0 kill 3 extra", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("plan", &error));
+}
+
+TEST(FaultPlan, InjectorSkipsUnknownLinksAndRedundantChurn) {
+  HubZone f;
+  fault::FaultPlan p;
+  // source->a is not a link; killing an already-dead node and restarting
+  // a live one are also no-ops. All must count as skipped, not abort.
+  p.events.push_back({1.0, fault::EventKind::kLossRate, f.source, f.a, 0.5,
+                      0.0, 1});
+  p.events.push_back({1.5, fault::EventKind::kNodeRestart, f.a, net::kNoNode,
+                      0.0, 0.0, 1});
+  p.events.push_back({2.0, fault::EventKind::kNodeKill, f.a, net::kNoNode,
+                      0.0, 0.0, 1});
+  p.events.push_back({2.5, fault::EventKind::kNodeKill, f.a, net::kNoNode,
+                      0.0, 0.0, 1});
+  int kills = 0;
+  fault::Injector inject(f.net,
+                         {.kill = [&](net::NodeId) { ++kills; },
+                          .restart = [](net::NodeId) {}});
+  inject.schedule(p);
+  f.simu.run_until(5.0);
+  EXPECT_EQ(kills, 1);
+  EXPECT_EQ(inject.applied_events(), 1u);
+  EXPECT_EQ(inject.skipped_events(), 3u);
+  EXPECT_FALSE(f.net.node_up(f.a));
+}
+
+// --- link pathologies --------------------------------------------------------
+
+TEST(ChaosConditioning, DuplicateDeliveryIsIdempotent) {
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  // Every packet into the zone arrives three times.
+  const net::LinkId l = f.net.find_link(f.hub, f.a);
+  ASSERT_NE(l, net::kNoLink);
+  f.net.conditioner(l).set_duplicate(1.0, 2);
+  s.send_stream(10, 6.0);
+  f.simu.run_until(40.0);
+
+  EXPECT_TRUE(s.all_complete(10));
+  auto& agent = s.agent_for(f.a);
+  // The duplicates were detected and dropped at the agent boundary...
+  EXPECT_GT(agent.duplicate_rejects(), 100u);
+  // ...so they neither created protocol work (a lossless stream stays
+  // NACK-free) nor distorted completion accounting.
+  EXPECT_EQ(agent.transfer().nacks_sent(), 0u);
+  EXPECT_EQ(agent.transfer().groups_completed(), 10u);
+}
+
+TEST(ChaosConditioning, CorruptionIsRejectedAndRepaired) {
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  const net::LinkId l = f.net.find_link(f.hub, f.a);
+  f.net.conditioner(l).set_corrupt_rate(0.20);
+  s.send_stream(10, 6.0);
+  f.simu.run_until(60.0);
+
+  // Corrupted shards must act exactly like losses: rejected on arrival
+  // (never decoded into the group) and recovered through repairs.
+  EXPECT_TRUE(s.all_complete(10));
+  EXPECT_GT(s.agent_for(f.a).corrupt_rejects(), 10u);
+  EXPECT_EQ(s.agent_for(f.a).transfer().malformed_rejects(), 0u);
+}
+
+TEST(ChaosConditioning, ReorderingIsToleratedWithoutSpuriousNacks) {
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  // Half of all packets pick up to 30 ms of extra delay — greater than
+  // the 10 ms inter-packet interval, so arrival order scrambles freely.
+  for (net::NodeId n : {f.relay, f.a, f.b}) {
+    f.net.conditioner(f.net.find_link(f.hub, n)).set_reorder(0.5, 0.030);
+  }
+  s.send_stream(10, 6.0);
+  f.simu.run_until(60.0);
+
+  EXPECT_TRUE(s.all_complete(10));
+  // Nothing was lost, so late shards must be absorbed by the loss
+  // detection phase, not NACKed: allow only stragglers past a group
+  // boundary, never a per-group NACK storm.
+  std::uint64_t nacks = 0;
+  for (const auto& agent : s.agents()) {
+    nacks += agent->transfer().nacks_sent();
+  }
+  EXPECT_LE(nacks, 6u);
+}
+
+// --- node churn: ZCR death -> expiry -> re-election -------------------------
+
+TEST(ChaosChurn, ZcrDeathTriggersReelectionAndRecovery) {
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(20, 6.0);  // ends ~9.2 s
+
+  // Scripted chaos: the zone's dedicated repairer dies mid-transfer.
+  const auto plan = fault::FaultPlan::parse("plan zcr-death\nat 7.0 kill 2\n");
+  ASSERT_TRUE(plan.has_value());
+  fault::Injector inject(
+      f.net, {.kill = [&](net::NodeId n) { s.remove_receiver(n); },
+              .restart = [&](net::NodeId n) { s.add_receiver(n); }});
+  inject.schedule(*plan);
+  f.simu.run_until(60.0);
+
+  // The survivors finished the transfer without their ZCR...
+  EXPECT_TRUE(log.complete(f.a, 20));
+  EXPECT_TRUE(log.complete(f.b, 20));
+  // ...the watchdog replaced the dead static ZCR with a live member...
+  const net::NodeId new_zcr = s.agent_for(f.a).session().zcr_of(f.zone);
+  EXPECT_NE(new_zcr, f.relay);
+  EXPECT_TRUE(new_zcr == f.a || new_zcr == f.b) << "zcr=" << new_zcr;
+  // ...and both survivors converged on the same view.
+  EXPECT_EQ(new_zcr, s.agent_for(f.b).session().zcr_of(f.zone));
+  // The dead peer's RTT state was expired, not kept forever (it would
+  // otherwise pollute distance estimates for the rest of the session).
+  EXPECT_GT(s.agent_for(f.a).session().peers_expired() +
+                s.agent_for(f.b).session().peers_expired(),
+            0u);
+}
+
+// --- regressions for bugs found by the randomized soak ----------------------
+
+TEST(SoakRegression, StarvedReceiverCompletesAfterSliceExhaustion) {
+  // Found by chaos_sim: a receiver that missed the entire first delivery
+  // pass (outage spanning the stream) needs more distinct shards than any
+  // single repairer burst. next_parity_index used to pin at the top of an
+  // exhausted parity slice, so repairers resent one duplicate shard
+  // forever and the receiver could never finish; useless duplicates also
+  // reset its NACK backoff, sustaining the storm. With a deliberately tiny
+  // parity space this reproduced deterministically.
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  cfg.max_parity = 20;      // slice per level: 10 — less than one group
+  cfg.max_backoff_stage = 5;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(6, 6.0);
+
+  // `a` is unreachable for the whole stream and first repair exchange.
+  const auto plan = fault::FaultPlan::parse(
+      "plan outage\n"
+      "at 5.0 partition 1 3\n"
+      "at 12.0 heal 1 3\n");
+  ASSERT_TRUE(plan.has_value());
+  fault::Injector inject(f.net, {.kill = [](net::NodeId) {},
+                                 .restart = [](net::NodeId) {}});
+  inject.schedule(*plan);
+  f.simu.run_until(90.0);
+
+  EXPECT_TRUE(log.complete(f.a, 6)) << "completed only "
+                                    << log.completed_count(f.a);
+  // Bounded effort: recovery must be a handful of NACK rounds per group,
+  // not the livelocked storm the pinned cursor produced.
+  EXPECT_LT(s.agent_for(f.a).transfer().nacks_sent(), 200u);
+}
+
+TEST(SoakRegression, PostOutageRepairsStayZoneLocal) {
+  // Found by chaos_sim: scope escalation was one-way, so after an outage
+  // a receiver's NACKs stayed at root scope forever and the source served
+  // catch-up traffic the zone could supply (~100x repair amplification
+  // across a large session). Repairs must de-escalate the scope back to
+  // the level that actually served them.
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  cfg.max_backoff_stage = 5;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(20, 6.0);
+
+  const auto plan = fault::FaultPlan::parse(
+      "plan outage\n"
+      "at 5.0 partition 1 3\n"
+      "at 12.0 heal 1 3\n");
+  ASSERT_TRUE(plan.has_value());
+  fault::Injector inject(f.net, {.kill = [](net::NodeId) {},
+                                 .restart = [](net::NodeId) {}});
+  inject.schedule(*plan);
+  f.simu.run_until(90.0);
+
+  EXPECT_TRUE(log.complete(f.a, 20));
+  const std::uint64_t src = s.source_agent().transfer().repairs_sent();
+  std::uint64_t zone_repairs = 0;
+  for (net::NodeId n : {f.relay, f.b}) {
+    zone_repairs += s.agent_for(n).transfer().repairs_sent();
+  }
+  EXPECT_GT(zone_repairs, 0u);
+  EXPECT_LT(src, zone_repairs);
+}
+
+TEST(SoakRegression, UsurpedZcrReconvergesAfterPartitionHeals) {
+  // Found by chaos_sim: when the ZCR itself is partitioned away long
+  // enough for the zone to elect a replacement, the heal used to leave a
+  // permanent split-brain — takeover announcements are one-shot, so the
+  // returning ZCR never heard the election, kept advertising the role,
+  // and (with no measured parent distance, or one corrupted by refreshing
+  // from observed challenge rounds) neither claimant could ever win.
+  // Session messages now resolve rival claims with the election ordering.
+  HubZone f;
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.static_zcrs[f.zone] = f.relay;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg, &log);
+  s.start();
+  s.send_stream(20, 6.0);
+
+  // The ZCR drops off the network across the whole stream and well past
+  // the member watchdog period, so the zone must re-elect...
+  const auto plan = fault::FaultPlan::parse(
+      "plan zcr-outage\n"
+      "at 5.0 partition 1 2\n"
+      "at 40.0 heal 1 2\n");
+  ASSERT_TRUE(plan.has_value());
+  fault::Injector inject(f.net, {.kill = [](net::NodeId) {},
+                                 .restart = [](net::NodeId) {}});
+  inject.schedule(*plan);
+
+  f.simu.run_until(39.0);
+  const net::NodeId usurper = s.agent_for(f.a).session().zcr_of(f.zone);
+  ASSERT_NE(usurper, f.relay);
+  ASSERT_TRUE(usurper == f.a || usurper == f.b) << "zcr=" << usurper;
+
+  f.simu.run_until(90.0);
+  // ...and after the heal every member, including the returning static
+  // ZCR, converges back on the single deterministic winner.
+  EXPECT_EQ(s.agent_for(f.relay).session().zcr_of(f.zone), f.relay);
+  EXPECT_EQ(s.agent_for(f.a).session().zcr_of(f.zone), f.relay);
+  EXPECT_EQ(s.agent_for(f.b).session().zcr_of(f.zone), f.relay);
+  // The returning ZCR also caught up on the stream it missed entirely.
+  EXPECT_TRUE(log.complete(f.relay, 20))
+      << "completed only " << log.completed_count(f.relay);
+  EXPECT_TRUE(log.complete(f.a, 20));
+  EXPECT_TRUE(log.complete(f.b, 20));
+}
+
+}  // namespace
+}  // namespace sharq::sfq

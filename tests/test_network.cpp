@@ -371,5 +371,51 @@ TEST(GilbertElliott, MeanRateMatchesStationary) {
   EXPECT_NEAR(drops / static_cast<double>(n), 0.1325, 0.01);
 }
 
+TEST(GilbertElliott, BurstStatisticsPinned) {
+  // The chaos soak leans on the burst *shape*, not just the mean rate:
+  // pin the statistics that distinguish Gilbert-Elliott from Bernoulli.
+  GilbertElliottLoss ge(0.05, 0.25, 0.0, 1.0);  // clean good, lossy bad
+  sim::Rng rng(42);
+  const int n = 400000;
+  int drops = 0, runs = 0, paired = 0, prev = 0;
+  int run_len = 0;
+  long long run_total = 0;
+  for (int i = 0; i < n; ++i) {
+    const int d = ge.drop_next(rng) ? 1 : 0;
+    drops += d;
+    paired += (d && prev) ? 1 : 0;
+    if (d) {
+      ++run_len;
+    } else if (run_len > 0) {
+      ++runs;
+      run_total += run_len;
+      run_len = 0;
+    }
+    prev = d;
+  }
+  // Stationary drop rate: pi_bad = 0.05/0.30 = 1/6.
+  EXPECT_NEAR(drops / static_cast<double>(n), 1.0 / 6.0, 0.01);
+  // Bad-state sojourns are geometric with mean 1/p_bg = 4, and with
+  // bad_loss=1 every sojourn is one unbroken drop burst.
+  ASSERT_GT(runs, 0);
+  EXPECT_NEAR(run_total / static_cast<double>(runs), 4.0, 0.25);
+  // Burstiness proper: P(drop | previous dropped) must match the chain's
+  // 1 - p_bg = 0.75, far above the unconditional rate a Bernoulli model
+  // with the same mean would give.
+  EXPECT_NEAR(paired / static_cast<double>(drops), 0.75, 0.02);
+}
+
+TEST(GilbertElliott, SameSeedSameDecisions) {
+  // Chaos reproducibility depends on loss models consuming randomness
+  // deterministically: two instances walked with equal seeds must agree
+  // decision-for-decision, and clones must not share mutable state.
+  GilbertElliottLoss a(0.1, 0.3, 0.02, 0.6);
+  auto b = a.clone();
+  sim::Rng ra(7), rb(7);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(a.drop_next(ra), b->drop_next(rb)) << "diverged at " << i;
+  }
+}
+
 }  // namespace
 }  // namespace sharq::net

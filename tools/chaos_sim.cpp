@@ -1,0 +1,249 @@
+// chaos_sim: randomized fault-injection soak for the SHARQFEC protocol.
+//
+// Runs N seeded random fault plans (partitions, loss/corruption/duplication/
+// reordering windows, node kill/restart churn) against the paper's Figure 10
+// topology and asserts protocol invariants after every plan:
+//
+//   complete  every live receiver finished every group
+//   drained   no stuck timers: after stopping all agents and a grace
+//             period, the event queue is empty
+//   bounded   per-agent state (tracked groups, session peers) stayed
+//             within its structural bound
+//   ledger    per-hop conservation: transmissions == hops + wire drops
+//
+// Output is one JSON object per plan plus a totals line, and is
+// byte-identical for the same --seed (the acceptance bar for reproducing
+// chaos failures). Exit status 0 iff every invariant held on every plan.
+//
+//   chaos_sim --plans 20 --seed 1
+//   chaos_sim --plans 1 --seed 7 --dump-plans   # show the plan spec text
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/random_plan.hpp"
+#include "rm/delivery_log.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "stats/traffic_recorder.hpp"
+#include "topo/figure10.hpp"
+
+using namespace sharq;
+
+namespace {
+
+struct Options {
+  int plans = 20;
+  std::uint64_t seed = 1;
+  std::uint32_t groups = 20;       // 20 groups x 16 shards = 320 data packets
+  double data_start = 6.0;         // after the paper's session warm-up
+  double horizon = 40.0;           // faults all recover before this
+  double until = 90.0;             // completion deadline
+  double grace = 5.0;              // post-stop drain window
+  bool dump_plans = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --plans N       number of random fault plans (default 20)\n"
+      "  --seed S        master seed; same seed => identical output\n"
+      "  --groups N      FEC groups per transfer (default 20)\n"
+      "  --horizon T     all faults recover before T (default 40)\n"
+      "  --until T       completion deadline per plan (default 90)\n"
+      "  --grace T       post-stop drain window (default 5)\n"
+      "  --dump-plans    print each plan's spec text before running it\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--plans") o.plans = std::atoi(need(i));
+    else if (a == "--seed") o.seed = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--groups") o.groups = std::strtoul(need(i), nullptr, 10);
+    else if (a == "--horizon") o.horizon = std::atof(need(i));
+    else if (a == "--until") o.until = std::atof(need(i));
+    else if (a == "--grace") o.grace = std::atof(need(i));
+    else if (a == "--dump-plans") o.dump_plans = true;
+    else usage(argv[0]);
+  }
+  return o;
+}
+
+/// Per-plan result row; every field is derived deterministically from the
+/// plan seed so two runs of the same master seed print identical bytes.
+struct PlanResult {
+  bool complete = false;
+  bool drained = false;
+  bool bounded = false;
+  bool ledger = false;
+  std::size_t stuck_events = 0;
+  std::uint64_t applied = 0, skipped = 0;
+  std::uint64_t corrupt_rejects = 0, duplicate_rejects = 0;
+  std::uint64_t malformed_rejects = 0;
+  std::uint64_t peers_expired = 0, zcr_expiries = 0;
+  std::size_t max_tracked_groups = 0, max_tracked_peers = 0;
+  std::uint64_t drops_link_down = 0, drops_epoch_kill = 0;
+  std::uint64_t events = 0;
+  std::uint64_t nacks = 0, repairs = 0, preemptive = 0;
+
+  bool ok() const { return complete && drained && bounded && ledger; }
+};
+
+PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
+                    const std::string& plan_name, bool dump) {
+  sim::Simulator simu(plan_seed);
+  net::Network net(simu);
+  const topo::Figure10 t = topo::make_figure10(net);
+  stats::TrafficRecorder rec(net.node_count());
+  net.set_sink(&rec);
+  rm::DeliveryLog log;
+
+  sfq::Config cfg;
+  // Chaos tuning: a tighter backoff cap keeps post-heal recovery latency
+  // inside the completion deadline (the paper's cap of 10 gives worst-case
+  // 2^10 backoff factors that outlive any reasonable soak budget).
+  cfg.max_backoff_stage = 5;
+  cfg.late_join_full_history = true;  // restarted receivers recover history
+  sfq::Session session(net, t.source, t.receivers, cfg, &log);
+  session.start();
+  session.send_stream(o.groups, o.data_start);
+
+  // Candidate faults: the downstream tree edges (mesh->middle, middle->leaf)
+  // with their configured baseline loss, so loss windows restore the paper's
+  // rates. Backbone edges stay clean — cutting source->mesh with no mesh
+  // interconnect would strand a whole tree with no alternate route.
+  const topo::Figure10Options topo_defaults;
+  fault::PlanShape shape;
+  shape.horizon = o.horizon;
+  for (std::size_t m = 0; m < t.mesh.size(); ++m) {
+    for (net::NodeId mid : t.middles_of(static_cast<int>(m))) {
+      shape.edges.push_back({t.mesh[m], mid, topo_defaults.mesh_child_loss});
+    }
+  }
+  for (std::size_t c = 0; c < t.middles.size(); ++c) {
+    for (net::NodeId leaf : t.leaves_of(static_cast<int>(c))) {
+      shape.edges.push_back({t.middles[c], leaf, topo_defaults.child_leaf_loss});
+    }
+  }
+  shape.killable = t.leaves;  // churn victims; middles/ZCRs churn via tests
+  shape.partitions = 1;
+  shape.degrade_windows = 3;
+  shape.node_churns = 2;
+
+  sim::Rng plan_rng(plan_seed ^ 0xc4a05fau);
+  const fault::FaultPlan plan =
+      fault::make_random_plan(plan_rng, shape, plan_name);
+  if (dump) std::fputs(plan.to_spec().c_str(), stdout);
+
+  fault::Injector inject(
+      net, {.kill = [&](net::NodeId n) { session.remove_receiver(n); },
+            .restart = [&](net::NodeId n) { session.add_receiver(n); }});
+  inject.schedule(plan);
+
+#ifdef CHAOS_DEBUG_SERIES
+  for (double tt = 5.0; tt <= o.until; tt += 5.0) {
+    simu.run_until(tt);
+    std::fprintf(stderr, "t=%5.1f events=%llu pending=%zu\n", tt,
+                 static_cast<unsigned long long>(simu.events_executed()),
+                 simu.events_pending());
+  }
+#endif
+  simu.run_until(o.until);
+
+  PlanResult r;
+  r.complete = session.all_complete(o.groups);
+  for (const auto& a : session.agents()) {
+    r.corrupt_rejects += a->corrupt_rejects();
+    r.duplicate_rejects += a->duplicate_rejects();
+    r.malformed_rejects += a->transfer().malformed_rejects();
+    r.nacks += a->transfer().nacks_sent();
+    r.repairs += a->transfer().repairs_sent();
+    r.preemptive += a->transfer().preemptive_repairs_sent();
+    r.peers_expired += a->session().peers_expired();
+    r.zcr_expiries += a->session().zcr_expiries();
+    r.max_tracked_groups =
+        std::max(r.max_tracked_groups, a->transfer().tracked_group_count());
+    r.max_tracked_peers =
+        std::max(r.max_tracked_peers, a->session().tracked_peer_count());
+  }
+  // Structural bounds: an agent never tracks more groups than the transfer
+  // has, and never more session peers than 3 hierarchy levels times the
+  // member count (peer table + bridge RTT table per level).
+  r.bounded =
+      r.max_tracked_groups <= o.groups &&
+      r.max_tracked_peers <=
+          static_cast<std::size_t>(6 * net.node_count());
+
+  // Stuck-timer check: once every agent stops, the queue must fully drain
+  // within the grace window (in-flight packets, pacing chains, and stale
+  // scheduled lambdas all fire and no-op).
+  for (const auto& a : session.agents()) a->stop();
+  simu.run_until(o.until + o.grace);
+  r.stuck_events = simu.events_pending();
+  r.drained = r.stuck_events == 0;
+
+  r.ledger = rec.hop_ledger_balanced();
+  r.applied = inject.applied_events();
+  r.skipped = inject.skipped_events();
+  r.drops_link_down = rec.drops(net::DropReason::kLinkDown);
+  r.drops_epoch_kill = rec.drops(net::DropReason::kEpochKill);
+  r.events = simu.events_executed();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  sim::Rng master(o.seed);
+  int failed = 0;
+  for (int i = 0; i < o.plans; ++i) {
+    const std::uint64_t plan_seed = master.next_u64();
+    const PlanResult r =
+        run_plan(o, plan_seed, "chaos-" + std::to_string(i), o.dump_plans);
+    if (!r.ok()) ++failed;
+    std::printf(
+        "{\"plan\":%d,\"seed\":%llu,\"applied\":%llu,\"skipped\":%llu,"
+        "\"complete\":%s,\"drained\":%s,\"bounded\":%s,\"ledger\":%s,"
+        "\"stuck_events\":%zu,"
+        "\"corrupt_rejects\":%llu,\"duplicate_rejects\":%llu,"
+        "\"malformed_rejects\":%llu,"
+        "\"peers_expired\":%llu,\"zcr_expiries\":%llu,"
+        "\"max_tracked_groups\":%zu,\"max_tracked_peers\":%zu,"
+        "\"drops_link_down\":%llu,\"drops_epoch_kill\":%llu,"
+        "\"events\":%llu,\"nacks\":%llu,\"repairs\":%llu,"
+        "\"preemptive\":%llu,\"ok\":%s}\n",
+        i, static_cast<unsigned long long>(plan_seed),
+        static_cast<unsigned long long>(r.applied),
+        static_cast<unsigned long long>(r.skipped),
+        r.complete ? "true" : "false", r.drained ? "true" : "false",
+        r.bounded ? "true" : "false", r.ledger ? "true" : "false",
+        r.stuck_events, static_cast<unsigned long long>(r.corrupt_rejects),
+        static_cast<unsigned long long>(r.duplicate_rejects),
+        static_cast<unsigned long long>(r.malformed_rejects),
+        static_cast<unsigned long long>(r.peers_expired),
+        static_cast<unsigned long long>(r.zcr_expiries), r.max_tracked_groups,
+        r.max_tracked_peers,
+        static_cast<unsigned long long>(r.drops_link_down),
+        static_cast<unsigned long long>(r.drops_epoch_kill),
+        static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.nacks),
+        static_cast<unsigned long long>(r.repairs),
+        static_cast<unsigned long long>(r.preemptive),
+        r.ok() ? "true" : "false");
+  }
+  std::printf("{\"plans\":%d,\"failed\":%d,\"ok\":%s}\n", o.plans, failed,
+              failed == 0 ? "true" : "false");
+  return failed == 0 ? 0 : 1;
+}
