@@ -9,7 +9,7 @@ set -u
 
 cd "$(dirname "$0")/.." || exit 2
 
-DOCS="README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md CHANGES.md ROADMAP.md docs/ARCHITECTURE.md"
+DOCS="README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md CHANGES.md ROADMAP.md docs/ARCHITECTURE.md docs/OBSERVABILITY.md"
 fail=0
 
 note_fail() {
@@ -66,6 +66,23 @@ for msg in $(grep -oE 'struct [A-Za-z0-9]+Msg' src/sharqfec/messages.hpp |
              awk '{print $2}' | sort -u); do
   grep -q "$msg" PROTOCOL.md ||
     note_fail "PROTOCOL.md does not document $msg (declared in src/sharqfec/messages.hpp)"
+done
+
+# --- 4. OBSERVABILITY.md catalog matches the metrics registrations --------------
+# Registration sites keep the family name on the call line
+# (counter("name"/gauge("name"/histogram("name"), so a grep recovers the
+# registered set; the doc's catalog rows are `| `name` | type |`.
+registered=$(grep -rhoE '(counter|gauge|histogram)\("[a-z0-9_.]+"' src/ |
+             sed -E 's/^[a-z]+\("([^"]+)"/\1/' | sort -u)
+documented=$(grep -hoE '^\| `[a-z0-9_.]+` \| (counter|gauge|histogram) \|' \
+             docs/OBSERVABILITY.md | sed -E 's/^\| `([^`]+)`.*/\1/' | sort -u)
+for name in $registered; do
+  echo "$documented" | grep -qx "$name" ||
+    note_fail "docs/OBSERVABILITY.md catalog is missing registered metric $name"
+done
+for name in $documented; do
+  echo "$registered" | grep -qx "$name" ||
+    note_fail "docs/OBSERVABILITY.md documents $name but nothing in src/ registers it"
 done
 
 # Subshell pipelines above cannot set $fail directly; they drop a marker.

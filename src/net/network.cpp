@@ -4,6 +4,8 @@
 #include <cassert>
 #include <queue>
 
+#include "stats/metrics.hpp"
+
 namespace sharq::net {
 
 const char* to_string(TrafficClass cls) {
@@ -28,6 +30,31 @@ const char* to_string(DropReason reason) {
 }
 
 Network::Network(sim::Simulator& simu) : simu_(simu) {}
+
+void Network::set_metrics(stats::Metrics* metrics) {
+  metrics_ = metrics;
+  if (!metrics_) {
+    for (auto& c : sends_by_class_) c = nullptr;
+    for (auto& c : drops_by_reason_) c = nullptr;
+    corrupted_ = nullptr;
+    duplicated_ = nullptr;
+    return;
+  }
+  for (int i = 0; i < kTrafficClassCount; ++i) {
+    const stats::Labels labels{{"class", to_string(static_cast<TrafficClass>(i))}};
+    sends_by_class_[i] = &metrics_->counter("net.sends", labels);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const stats::Labels labels{{"reason", to_string(static_cast<DropReason>(i))}};
+    drops_by_reason_[i] = &metrics_->counter("net.drops", labels);
+  }
+  corrupted_ = &metrics_->counter("net.corrupted");
+  duplicated_ = &metrics_->counter("net.duplicated");
+}
+
+void Network::count_drop(DropReason reason) {
+  if (metrics_) drops_by_reason_[static_cast<int>(reason)]->inc();
+}
 
 NodeId Network::add_node() {
   nodes_.push_back(NodeRec{});
@@ -262,6 +289,12 @@ std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
   p.size_bytes = size_bytes;
   p.lossless = lossless;
   p.msg = std::move(msg);
+  // Bound-check before indexing: same forged-class hazard as
+  // TraceWriter::enabled().
+  const unsigned ci = static_cast<unsigned>(cls);
+  if (metrics_ && ci < static_cast<unsigned>(kTrafficClassCount)) {
+    sends_by_class_[ci]->inc();
+  }
   const std::vector<LinkId> outs = forwarding(ch, origin).out[origin];
   for (LinkId l : outs) transmit(l, p);
   return p.uid;
@@ -308,10 +341,12 @@ void Network::set_node_up(NodeId node, bool up) {
 void Network::transmit(LinkId link, const Packet& packet) {
   Link& l = links_[link];
   if (!l.up) {
+    count_drop(DropReason::kLinkDown);
     if (sink_) sink_->on_drop(simu_.now(), link, packet, DropReason::kLinkDown);
     return;
   }
   if (l.queue_limit_pkts >= 0 && l.queued >= l.queue_limit_pkts) {
+    count_drop(DropReason::kQueueFull);
     if (sink_) {
       sink_->on_drop(simu_.now(), link, packet, DropReason::kQueueFull);
     }
@@ -326,32 +361,48 @@ void Network::transmit(LinkId link, const Packet& packet) {
   ++l.queued;
   // The packet's fate is decided at serialization completion so stateful
   // (bursty) conditioner stages see packets in wire order.
-  simu_.at(start + tx_time, [this, link, packet, epoch = l.epoch] {
-    Link& lk = links_[link];
-    if (!lk.up || lk.epoch != epoch) {  // link or endpoint died mid-flight
-      if (sink_) {
-        sink_->on_drop(simu_.now(), link, packet, DropReason::kEpochKill);
-      }
-      return;
-    }
-    --lk.queued;
-    const PacketFate fate = lk.cond.next(lk.rng, packet);
-    if (fate.drop) {
-      if (sink_) sink_->on_drop(simu_.now(), link, packet, DropReason::kLoss);
-      return;
-    }
-    Packet out = packet;
-    if (fate.corrupt) out.corrupted = true;
-    // Duplicates are real wire copies, so each gets its own ledger entry;
-    // jitter shifts the whole burst, letting later packets overtake it.
-    for (int copy = 0; copy <= fate.duplicates; ++copy) {
-      if (copy > 0 && sink_) sink_->on_transmit(simu_.now(), link, out);
-      simu_.after(lk.delay + fate.extra_delay, [this, link, out] {
-        if (sink_) sink_->on_hop(simu_.now(), link, out);
-        arrive(links_[link].to, out);
-      });
-    }
-  });
+  simu_.at(
+      start + tx_time,
+      [this, link, packet, epoch = l.epoch] {
+        Link& lk = links_[link];
+        if (!lk.up || lk.epoch != epoch) {  // link or endpoint died mid-flight
+          count_drop(DropReason::kEpochKill);
+          if (sink_) {
+            sink_->on_drop(simu_.now(), link, packet, DropReason::kEpochKill);
+          }
+          return;
+        }
+        --lk.queued;
+        const PacketFate fate = lk.cond.next(lk.rng, packet);
+        if (fate.drop) {
+          count_drop(DropReason::kLoss);
+          if (sink_) {
+            sink_->on_drop(simu_.now(), link, packet, DropReason::kLoss);
+          }
+          return;
+        }
+        Packet out = packet;
+        if (fate.corrupt) {
+          out.corrupted = true;
+          if (corrupted_) corrupted_->inc();
+        }
+        if (fate.duplicates > 0 && duplicated_) {
+          duplicated_->inc(static_cast<std::uint64_t>(fate.duplicates));
+        }
+        // Duplicates are real wire copies, so each gets its own ledger entry;
+        // jitter shifts the whole burst, letting later packets overtake it.
+        for (int copy = 0; copy <= fate.duplicates; ++copy) {
+          if (copy > 0 && sink_) sink_->on_transmit(simu_.now(), link, out);
+          simu_.after(
+              lk.delay + fate.extra_delay,
+              [this, link, out] {
+                if (sink_) sink_->on_hop(simu_.now(), link, out);
+                arrive(links_[link].to, out);
+              },
+              "net.propagate");
+        }
+      },
+      "net.serialize");
 }
 
 void Network::arrive(NodeId at, const Packet& packet) {

@@ -14,6 +14,11 @@
 #include "net/zone.hpp"
 #include "sim/simulator.hpp"
 
+namespace sharq::stats {
+class Metrics;
+class Counter;
+}  // namespace sharq::stats
+
 namespace sharq::net {
 
 class Network;
@@ -205,6 +210,11 @@ class Network {
   // --- plumbing --------------------------------------------------------------
 
   void set_sink(TrafficSink* sink) { sink_ = sink; }
+
+  /// Attach a metrics registry: net.sends{class}, net.drops{reason},
+  /// net.corrupted, net.duplicated. Pass nullptr to detach.
+  void set_metrics(stats::Metrics* metrics);
+
   sim::Simulator& simulator() { return simu_; }
 
   /// Drop all routing/forwarding caches (topology editing mid-run).
@@ -272,7 +282,14 @@ class Network {
   ZoneHierarchy zones_;
   std::vector<Routing> routing_;  // per source node
   std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwd_cache_;
+  void count_drop(DropReason reason);
+
   TrafficSink* sink_ = nullptr;
+  stats::Metrics* metrics_ = nullptr;
+  stats::Counter* sends_by_class_[kTrafficClassCount] = {};
+  stats::Counter* drops_by_reason_[4] = {};
+  stats::Counter* corrupted_ = nullptr;
+  stats::Counter* duplicated_ = nullptr;
   std::uint64_t next_uid_ = 1;
 };
 

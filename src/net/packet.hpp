@@ -20,6 +20,10 @@ enum class TrafficClass : std::uint8_t {
   kControl,  ///< ZCR election and other control traffic
 };
 
+/// Number of TrafficClass values (for dense per-class arrays and for
+/// bound-checking class-indexed bit masks).
+inline constexpr int kTrafficClassCount = 5;
+
 /// Human-readable name for a TrafficClass.
 const char* to_string(TrafficClass cls);
 

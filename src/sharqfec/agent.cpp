@@ -1,5 +1,7 @@
 #include "sharqfec/agent.hpp"
 
+#include <string>
+
 #include "fec/cpu_features.hpp"
 
 namespace sharq::sfq {
@@ -22,6 +24,12 @@ Agent::Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
   });
   session_->set_progress_listener(
       [this](std::uint32_t g) { transfer_->note_remote_progress(g); });
+  if (cfg.metrics) {
+    const stats::Labels by_node{{"node", std::to_string(node)}};
+    m_corrupt_rejects_ = &cfg.metrics->counter("sharqfec.corrupt_rejects", by_node);
+    m_duplicate_rejects_ =
+        &cfg.metrics->counter("sharqfec.duplicate_rejects", by_node);
+  }
 }
 
 bool Agent::first_sighting(std::uint64_t uid) {
@@ -41,10 +49,12 @@ void Agent::on_receive(const net::Packet& packet) {
   // handler to re-check).
   if (packet.corrupted) {
     ++corrupt_rejects_;
+    if (m_corrupt_rejects_) m_corrupt_rejects_->inc();
     return;
   }
   if (!first_sighting(packet.uid)) {
     ++duplicate_rejects_;
+    if (m_duplicate_rejects_) m_duplicate_rejects_->inc();
     return;
   }
   if (transfer_->handle(packet)) return;

@@ -75,6 +75,8 @@ class Agent final : public net::Agent {
   std::deque<std::uint64_t> seen_order_;
   std::uint64_t corrupt_rejects_ = 0;
   std::uint64_t duplicate_rejects_ = 0;
+  stats::Counter* m_corrupt_rejects_ = nullptr;
+  stats::Counter* m_duplicate_rejects_ = nullptr;
 };
 
 }  // namespace sharq::sfq

@@ -6,6 +6,10 @@
 #include "rm/timers.hpp"
 #include "sim/time.hpp"
 
+namespace sharq::stats {
+class Metrics;
+}  // namespace sharq::stats
+
 namespace sharq::sfq {
 
 /// SHARQFEC tunables. Defaults are the values the paper simulates with;
@@ -91,6 +95,13 @@ struct Config {
   /// provide robustness in the event that the dedicated receiver ceases
   /// to function").
   std::unordered_map<net::ZoneId, net::NodeId> static_zcrs;
+
+  // --- observability ---------------------------------------------------------
+  /// Optional metrics registry (not owned; must outlive the protocol
+  /// objects). Agents register sharqfec.* counter/gauge/histogram families
+  /// here; null disables instrumentation with no hot-path cost beyond a
+  /// pointer test.
+  stats::Metrics* metrics = nullptr;
 };
 
 }  // namespace sharq::sfq

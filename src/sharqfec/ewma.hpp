@@ -1,0 +1,30 @@
+#pragma once
+
+namespace sharq::sfq {
+
+/// Shared EWMA sentinel convention for protocol estimators (inter-arrival
+/// gap, per-level RTT): a slot seeded with kEwmaUnset holds no estimate;
+/// the first accepted sample seeds it directly; later samples blend in
+/// with gain `gain`. Centralised here because transfer.cpp and
+/// session_manager.cpp previously disagreed on the predicate (`< 0.0` to
+/// write vs `> 0.0` to read), which made an estimator seeded with a
+/// legitimate 0.0 sample invisible to readers.
+inline constexpr double kEwmaUnset = -1.0;
+
+/// True once the slot holds an estimate. The complement of the update
+/// predicate, so a 0.0 first sample both seeds and reads back.
+inline bool ewma_seeded(double slot) { return slot >= 0.0; }
+
+/// Fold `sample` into `slot`. Negative samples are rejected (they would
+/// masquerade as the unset sentinel); the first accepted sample seeds the
+/// slot verbatim.
+inline void ewma_update(double& slot, double sample, double gain) {
+  if (sample < 0.0) return;
+  if (!ewma_seeded(slot)) {
+    slot = sample;
+  } else {
+    slot = (1.0 - gain) * slot + gain * sample;
+  }
+}
+
+}  // namespace sharq::sfq

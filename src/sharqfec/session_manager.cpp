@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "sharqfec/ewma.hpp"
 
 namespace sharq::sfq {
 
@@ -33,12 +36,17 @@ SessionManager::SessionManager(net::Network& net, Hierarchy& hier,
       session_timer_(net.simulator()),
       next_challenge_id_(static_cast<std::uint64_t>(node) << 32 | 1u) {
   levels_.resize(chain_.size());
+  session_timer_.set_tag("session.beacon");
   for (std::size_t l = 0; l < chain_.size(); ++l) {
     levels_[l].zone = chain_[l];
     levels_[l].challenge_timer = std::make_unique<sim::Timer>(simu_);
+    levels_[l].challenge_timer->set_tag("session.challenge");
     levels_[l].watchdog = std::make_unique<sim::Timer>(simu_);
+    levels_[l].watchdog->set_tag("session.watchdog");
     levels_[l].takeover_timer = std::make_unique<sim::Timer>(simu_);
+    levels_[l].takeover_timer->set_tag("session.takeover");
   }
+  register_metrics();
   // The source is the static ZCR of the root zone (the paper's "top ZCR").
   if (is_source_) {
     Level& root = levels_.back();
@@ -53,6 +61,23 @@ SessionManager::SessionManager(net::Network& net, Hierarchy& hier,
     if (it == cfg_.static_zcrs.end()) continue;
     lv.zcr = it->second;
     lv.zcr_last_heard = 0.0;
+  }
+}
+
+void SessionManager::register_metrics() {
+  stats::Metrics* m = cfg_.metrics;
+  if (!m) return;
+  const std::string node = std::to_string(node_);
+  const stats::Labels by_node{{"node", node}};
+  m_rtt_samples_ = &m->counter("sharqfec.rtt_samples", by_node);
+  m_challenges_ = &m->counter("sharqfec.zcr_challenges", by_node);
+  m_takeovers_ = &m->counter("sharqfec.zcr_takeovers", by_node);
+  m_zcr_expiries_ = &m->counter("sharqfec.zcr_expiries", by_node);
+  m_peers_expired_ = &m->counter("sharqfec.peers_expired", by_node);
+  m_session_msgs_.resize(chain_.size());
+  for (std::size_t l = 0; l < chain_.size(); ++l) {
+    const stats::Labels by_scope{{"node", node}, {"scope", std::to_string(l)}};
+    m_session_msgs_[l] = &m->counter("sharqfec.session_msgs", by_scope);
   }
 }
 
@@ -213,12 +238,10 @@ double SessionManager::estimate_dist(net::NodeId peer,
 }
 
 void SessionManager::ewma_rtt(double& slot, double sample) const {
-  if (sample < 0.0) return;
-  if (slot < 0.0) {
-    slot = sample;
-  } else {
-    slot = (1.0 - cfg_.rtt_gain) * slot + cfg_.rtt_gain * sample;
-  }
+  // Shared sentinel convention with the transfer engine's inter-arrival
+  // estimator (sharqfec/ewma.hpp): unset slots are negative, the first
+  // accepted sample seeds directly.
+  ewma_update(slot, sample, cfg_.rtt_gain);
 }
 
 // --- session messages -------------------------------------------------------
@@ -252,6 +275,7 @@ void SessionManager::expire_silent_peers() {
         lv.bridge_rtt.erase(it->first);
         it = lv.peers.erase(it);
         ++peers_expired_;
+        if (m_peers_expired_) m_peers_expired_->inc();
       } else {
         ++it;
       }
@@ -296,6 +320,7 @@ void SessionManager::send_session_for_level(int level) {
     msg->entries.push_back(e);
   }
   ++session_sent_;
+  if (!m_session_msgs_.empty()) m_session_msgs_[level]->inc();
   net_.send(node_, hier_.session_channel(lv.zone), net::TrafficClass::kSession,
             session_size(msg->entries.size()), msg, /*lossless=*/true);
 }
@@ -340,7 +365,10 @@ void SessionManager::handle_session(const SessionMsg& msg, int level) {
   for (const SessionMsg::Entry& e : msg.entries) {
     if (e.peer == node_ && e.peer_ts > 0.0) {
       const double rtt = simu_.now() - e.peer_ts - e.delay;
-      if (rtt > 0.0) ewma_rtt(peer.rtt, rtt);
+      if (rtt > 0.0) {
+        ewma_rtt(peer.rtt, rtt);
+        if (m_rtt_samples_) m_rtt_samples_->inc();
+      }
       break;
     }
   }
@@ -401,6 +429,7 @@ void SessionManager::schedule_watchdog(int level) {
         l.zcr = net::kNoNode;
         l.zcr_parent_dist = -1.0;
         ++zcr_expiries_;
+        if (m_zcr_expiries_) m_zcr_expiries_->inc();
       }
       issue_challenge(level);
     }
@@ -418,6 +447,7 @@ void SessionManager::issue_challenge(int level) {
   challenges_[msg->challenge_id] =
       PendingChallenge{msg->zone, node_, simu_.now(), true};
   ++challenges_sent_;
+  if (m_challenges_) m_challenges_->inc();
   net_.send(node_, hier_.session_channel(parent_zone),
             net::TrafficClass::kControl, 40, msg, /*lossless=*/true);
 }
@@ -440,10 +470,13 @@ void SessionManager::handle_challenge(const ZcrChallengeMsg& msg) {
   resp->zone = msg.zone;
   resp->challenge_id = msg.challenge_id;
   resp->processing_delay = cfg_.zcr_processing_delay;
-  simu_.after(cfg_.zcr_processing_delay, [this, resp, parent_zone] {
-    net_.send(node_, hier_.session_channel(parent_zone),
-              net::TrafficClass::kControl, 40, resp, /*lossless=*/true);
-  });
+  simu_.after(
+      cfg_.zcr_processing_delay,
+      [this, resp, parent_zone] {
+        net_.send(node_, hier_.session_channel(parent_zone),
+                  net::TrafficClass::kControl, 40, resp, /*lossless=*/true);
+      },
+      "session.response");
 }
 
 void SessionManager::handle_response(const ZcrResponseMsg& msg) {
@@ -515,6 +548,7 @@ void SessionManager::become_zcr(int level, double dist_to_parent) {
     msg->zone = lv.zone;
     msg->dist_to_parent = dist_to_parent;
     ++takeovers_sent_;
+    if (m_takeovers_) m_takeovers_->inc();
     net_.send(node_, hier_.session_channel(zone), net::TrafficClass::kControl,
               32, msg, /*lossless=*/true);
   };

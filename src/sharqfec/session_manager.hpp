@@ -11,6 +11,7 @@
 #include "sharqfec/hierarchy.hpp"
 #include "sharqfec/messages.hpp"
 #include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
 
 namespace sharq::sfq {
 
@@ -149,6 +150,7 @@ class SessionManager {
   void become_zcr(int level, double dist_to_parent);
   void adopt_zcr(int level, net::NodeId who, double dist);
   void ewma_rtt(double& slot, double sample) const;
+  void register_metrics();
 
   net::Network& net_;
   sim::Simulator& simu_;
@@ -170,6 +172,15 @@ class SessionManager {
   std::uint64_t challenges_sent_ = 0;
   std::uint64_t peers_expired_ = 0;
   std::uint64_t zcr_expiries_ = 0;
+
+  // Metrics registry children, cached at construction (null when
+  // cfg_.metrics is null). m_session_msgs_ is per chain level ("scope").
+  std::vector<stats::Counter*> m_session_msgs_;
+  stats::Counter* m_rtt_samples_ = nullptr;
+  stats::Counter* m_challenges_ = nullptr;
+  stats::Counter* m_takeovers_ = nullptr;
+  stats::Counter* m_zcr_expiries_ = nullptr;
+  stats::Counter* m_peers_expired_ = nullptr;
 };
 
 }  // namespace sharq::sfq

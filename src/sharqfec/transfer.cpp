@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "sharqfec/ewma.hpp"
 
 namespace sharq::sfq {
 
@@ -35,6 +38,30 @@ TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
   c1_adapt_ = cfg_.timers.c1;
   c2_adapt_ = cfg_.timers.c2;
   if (is_source_) source_node_ = node_;
+  register_metrics();
+}
+
+void TransferEngine::register_metrics() {
+  stats::Metrics* m = cfg_.metrics;
+  if (!m) return;
+  const std::string node = std::to_string(node_);
+  const stats::Labels by_node{{"node", node}};
+  m_nacks_sent_ = &m->counter("sharqfec.nacks_sent", by_node);
+  m_nacks_suppressed_ = &m->counter("sharqfec.nacks_suppressed", by_node);
+  m_nacks_deduped_ = &m->counter("sharqfec.nacks_deduped", by_node);
+  m_malformed_ = &m->counter("sharqfec.malformed_rejects", by_node);
+  m_arrival_ewma_ = &m->gauge("sharqfec.arrival_ewma", by_node);
+  m_completion_ = &m->histogram("sharqfec.group_completion_seconds", by_node);
+  const std::size_t levels = session_.chain().size();
+  m_repairs_by_level_.resize(levels);
+  m_preemptive_by_level_.resize(levels);
+  m_zlc_pred_.resize(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    const stats::Labels by_level{{"level", std::to_string(l)}, {"node", node}};
+    m_repairs_by_level_[l] = &m->counter("sharqfec.repairs_sent", by_level);
+    m_preemptive_by_level_[l] = &m->counter("sharqfec.preemptive_repairs", by_level);
+    m_zlc_pred_[l] = &m->gauge("sharqfec.zlc_pred", by_level);
+  }
 }
 
 sim::Time TransferEngine::packet_interval() const {
@@ -42,7 +69,9 @@ sim::Time TransferEngine::packet_interval() const {
 }
 
 sim::Time TransferEngine::inter_arrival_estimate() const {
-  return arrival_ewma_ > 0.0 ? arrival_ewma_ : packet_interval();
+  // Same predicate as the update path (ewma_update seeds on sample >= 0):
+  // the old `> 0.0` read ignored a slot legitimately seeded with 0.0.
+  return ewma_seeded(arrival_ewma_) ? arrival_ewma_ : packet_interval();
 }
 
 sim::Time TransferEngine::dist_to_source() const {
@@ -105,10 +134,15 @@ TransferEngine::Group& TransferEngine::ensure_group(std::uint32_t g) {
   grp.slice_next.assign(hier_.depth(), 0);
   grp.parity_seen_by_level.assign(hier_.depth(), 0);
   grp.ldp_timer = std::make_unique<sim::Timer>(simu_);
+  grp.ldp_timer->set_tag("transfer.ldp");
   grp.request_timer = std::make_unique<sim::Timer>(simu_);
+  grp.request_timer->set_tag("transfer.request");
   grp.reply_timer = std::make_unique<sim::Timer>(simu_);
+  grp.reply_timer->set_tag("transfer.reply");
   grp.measure_timer = std::make_unique<sim::Timer>(simu_);
+  grp.measure_timer->set_tag("transfer.measure");
   grp.inject_timer = std::make_unique<sim::Timer>(simu_);
+  grp.inject_timer->set_tag("transfer.inject");
   return grp;
 }
 
@@ -175,7 +209,7 @@ void TransferEngine::send_stream(std::uint32_t group_count, sim::Time start_at,
   }
   // seen_any_ flips when the first packet actually leaves: advertising
   // progress before then would make receivers chase phantom losses.
-  simu_.at(start_at, [this] { source_send_next(); });
+  simu_.at(start_at, [this] { source_send_next(); }, "transfer.source_pace");
 }
 
 std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
@@ -234,7 +268,11 @@ void TransferEngine::source_send_next() {
   net_.send(node_, hier_.data_channel(),
             is_parity ? net::TrafficClass::kRepair : net::TrafficClass::kData,
             cfg_.shard_size_bytes, msg);
-  if (is_parity) ++preemptive_sent_;
+  if (is_parity) {
+    ++preemptive_sent_;
+    // Initial parity is injected at root scope (the whole session).
+    if (!m_preemptive_by_level_.empty()) m_preemptive_by_level_.back()->inc();
+  }
   // The source trivially "has" every shard it emits.
   add_shard(grp, send_index_, msg->bytes);
   grp.last_initial_seen = send_index_;
@@ -259,7 +297,8 @@ void TransferEngine::source_send_next() {
     send_index_ = 0;
     ++send_group_;
   }
-  simu_.after(packet_interval(), [this] { source_send_next(); });
+  simu_.after(packet_interval(), [this] { source_send_next(); },
+              "transfer.source_pace");
 }
 
 // --- receive path -------------------------------------------------------------
@@ -274,6 +313,7 @@ bool TransferEngine::handle(const net::Packet& packet) {
         d->k != cfg_.group_size || d->initial_shards > codec_->max_shards() ||
         !sane_group_id(d->group)) {
       ++malformed_rejects_;
+      if (m_malformed_) m_malformed_->inc();
       return true;
     }
     if (source_node_ == net::kNoNode) source_node_ = packet.origin;
@@ -286,6 +326,7 @@ bool TransferEngine::handle(const net::Packet& packet) {
         r->new_max_id < 0 || r->new_max_id >= codec_->max_shards() ||
         !sane_group_id(r->group)) {
       ++malformed_rejects_;
+      if (m_malformed_) m_malformed_->inc();
       return true;
     }
     on_repair(*r);
@@ -297,6 +338,7 @@ bool TransferEngine::handle(const net::Packet& packet) {
         n->needed > codec_->max_shards() || n->max_id_seen < -1 ||
         n->max_id_seen >= codec_->max_shards() || !sane_group_id(n->group)) {
       ++malformed_rejects_;
+      if (m_malformed_) m_malformed_->inc();
       return true;
     }
     on_nack(*n);
@@ -361,8 +403,8 @@ void TransferEngine::on_data(const DataMsg& msg, net::TrafficClass) {
   if (last_arrival_ != sim::kTimeNever) {
     const double gap = simu_.now() - last_arrival_;
     if (gap > 0.0 && gap < 10.0 * packet_interval()) {
-      arrival_ewma_ =
-          arrival_ewma_ < 0.0 ? gap : 0.9 * arrival_ewma_ + 0.1 * gap;
+      ewma_update(arrival_ewma_, gap, 0.1);
+      if (m_arrival_ewma_) m_arrival_ewma_->set(arrival_ewma_);
     }
   }
   last_arrival_ = simu_.now();
@@ -556,6 +598,7 @@ void TransferEngine::fire_request(std::uint32_t g) {
   const bool progressing = grp.decoder.distinct() != grp.last_fire_distinct;
   grp.last_fire_distinct = grp.decoder.distinct();
   if (covered && progressing) {
+    if (m_nacks_suppressed_) m_nacks_suppressed_->inc();
     grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
     arm_request_timer(grp);
     return;
@@ -571,6 +614,7 @@ void TransferEngine::fire_request(std::uint32_t g) {
   msg->sender = node_;
   msg->hints = session_.make_hints();
   ++nacks_sent_;
+  if (m_nacks_sent_) m_nacks_sent_->inc();
   net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kNack,
             nack_size(msg->hints.size()), msg, /*lossless=*/true);
   grp.nacked[level] = true;
@@ -635,6 +679,7 @@ void TransferEngine::on_nack(const NackMsg& msg) {
     // one that does not raise the ZLC, backs our own request off.
     if (grp.request_timer->pending() &&
         (!increased || grp.llc <= grp.zlc[level])) {
+      if (m_nacks_deduped_) m_nacks_deduped_->inc();
       grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
       arm_request_timer(grp);
       // A NACK that didn't raise the ZLC while ours announced the same
@@ -732,6 +777,10 @@ void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
   msg->bytes = shard_bytes(grp, index);
   ++repairs_sent_;
   if (preemptive) ++preemptive_sent_;
+  if (level >= 0 && level < static_cast<int>(m_repairs_by_level_.size())) {
+    m_repairs_by_level_[level]->inc();
+    if (preemptive) m_preemptive_by_level_[level]->inc();
+  }
   net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kRepair,
             cfg_.shard_size_bytes, msg);
   // Our own shard store should know the shard exists (dedup/coordination).
@@ -804,6 +853,9 @@ void TransferEngine::on_group_complete(Group& grp) {
   grp.ldp_done = true;
   grp.ldp_timer->cancel();
   grp.request_timer->cancel();
+  if (m_completion_ && grp.first_arrival != sim::kTimeNever) {
+    m_completion_->observe(simu_.now() - grp.first_arrival);
+  }
   // Successful recovery without duplicate NACKs nudges the adaptive
   // request window back down.
   if (grp.llc > 0) adapt_request_window(false);
@@ -852,12 +904,14 @@ void TransferEngine::schedule_injection(Group& grp) {
     // Paced burst of preemptive repairs into this zone (paper RP rule 2:
     // the ZCR transmits without waiting for NACKs).
     for (int i = 0; i < extra; ++i) {
-      simu_.after(cfg_.repair_spacing_factor * packet_interval() * i,
-                  [this, g = grp.id, level] {
-                    auto it = groups_.find(g);
-                    if (it == groups_.end()) return;
-                    send_one_repair(it->second, level, /*preemptive=*/true);
-                  });
+      simu_.after(
+          cfg_.repair_spacing_factor * packet_interval() * i,
+          [this, g = grp.id, level] {
+            auto it = groups_.find(g);
+            if (it == groups_.end()) return;
+            send_one_repair(it->second, level, /*preemptive=*/true);
+          },
+          "transfer.inject");
     }
   }
 }
@@ -905,6 +959,9 @@ void TransferEngine::schedule_zlc_measurement(Group& grp) {
       const int measured = std::max(grp2.zlc[l], grp2.llc);
       zlc_pred_[l] =
           cfg_.ewma_old * zlc_pred_[l] + cfg_.ewma_new * measured;
+      if (!m_zlc_pred_.empty() && l < m_zlc_pred_.size()) {
+        m_zlc_pred_[l]->set(zlc_pred_[l]);
+      }
       // Coverage from larger scopes observed for this group: parity whose
       // originating level is strictly above this zone's level.
       const int my_glevel = hier_.level(ch[l]);

@@ -14,6 +14,7 @@
 #include "sharqfec/messages.hpp"
 #include "sharqfec/session_manager.hpp"
 #include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
 
 namespace sharq::sfq {
 
@@ -73,6 +74,8 @@ class TransferEngine {
   /// First group this receiver is responsible for (>0 after a late join
   /// without full-history recovery).
   std::uint32_t first_tracked_group() const { return skip_before_; }
+  /// Raw inter-arrival EWMA slot (kEwmaUnset until the first sample).
+  double arrival_ewma() const { return arrival_ewma_; }
 
  private:
   /// Per-group receiver/repairer state.
@@ -192,6 +195,19 @@ class TransferEngine {
   std::uint64_t preemptive_sent_ = 0;
   std::uint64_t malformed_rejects_ = 0;
   bool stopped_ = false;
+
+  // Metrics registry children, cached at construction (all null when
+  // cfg_.metrics is null). Indexed like the session chain where per-level.
+  void register_metrics();
+  stats::Counter* m_nacks_sent_ = nullptr;
+  stats::Counter* m_nacks_suppressed_ = nullptr;
+  stats::Counter* m_nacks_deduped_ = nullptr;
+  stats::Counter* m_malformed_ = nullptr;
+  std::vector<stats::Counter*> m_repairs_by_level_;
+  std::vector<stats::Counter*> m_preemptive_by_level_;
+  std::vector<stats::Gauge*> m_zlc_pred_;
+  stats::Gauge* m_arrival_ewma_ = nullptr;
+  stats::Histogram* m_completion_ = nullptr;
 
   // Adaptive request-window state (Config::adaptive_timers).
   double c1_adapt_;

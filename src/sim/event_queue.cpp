@@ -1,24 +1,53 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "stats/metrics.hpp"
 
 namespace sharq::sim {
 
-EventId EventQueue::schedule(Time at, Callback fn) {
+namespace {
+constexpr const char* kUntagged = "untagged";
+}  // namespace
+
+void EventQueue::set_metrics(stats::Metrics* metrics) {
+  metrics_ = metrics;
+  tag_counters_.clear();
+  high_water_ = metrics_ ? &metrics_->gauge("sim.queue_high_water") : nullptr;
+}
+
+EventQueue::TagCounters& EventQueue::counters_for(const char* tag) {
+  if (!tag) tag = kUntagged;
+  auto [it, inserted] = tag_counters_.try_emplace(tag);
+  if (inserted) {
+    const stats::Labels labels{{"tag", tag}};
+    it->second.scheduled = &metrics_->counter("sim.events_scheduled", labels);
+    it->second.fired = &metrics_->counter("sim.events_fired", labels);
+    it->second.cancelled = &metrics_->counter("sim.events_cancelled", labels);
+  }
+  return it->second;
+}
+
+EventId EventQueue::schedule(Time at, Callback fn, const char* tag) {
   const std::uint64_t seq = next_seq_++;
   auto entry = std::make_shared<Entry>();
   entry->at = at;
   entry->seq = seq;
   entry->fn = std::move(fn);
+  entry->tag = tag;
   pending_.emplace(seq, entry);
   heap_.push(std::move(entry));
+  if (metrics_) {
+    counters_for(tag).scheduled->inc();
+    high_water_->set_max(static_cast<double>(pending_.size()));
+  }
   return EventId{seq};
 }
 
 bool EventQueue::cancel(EventId id) {
   auto it = pending_.find(id.value);
   if (it == pending_.end()) return false;
+  if (metrics_) counters_for(it->second->tag).cancelled->inc();
   it->second->cancelled = true;
   it->second->fn = nullptr;  // release captured state promptly
   pending_.erase(it);
@@ -37,10 +66,11 @@ Time EventQueue::next_time() {
 
 EventQueue::Fired EventQueue::pop() {
   skim();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
+  if (heap_.empty()) return Fired{kTimeInfinity, nullptr};
   std::shared_ptr<Entry> top = heap_.top();
   heap_.pop();
   pending_.erase(top->seq);
+  if (metrics_) counters_for(top->tag).fired->inc();
   return Fired{top->at, std::move(top->fn)};
 }
 

@@ -9,6 +9,12 @@
 
 #include "sim/time.hpp"
 
+namespace sharq::stats {
+class Metrics;
+class Counter;
+class Gauge;
+}  // namespace sharq::stats
+
 namespace sharq::sim {
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
@@ -33,8 +39,10 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedule `fn` to run at absolute time `at`. Returns a handle that can
-  /// be passed to cancel().
-  EventId schedule(Time at, Callback fn);
+  /// be passed to cancel(). `tag` names the event's purpose for the
+  /// metrics registry ("transfer.request", "net.propagate", ...); it must
+  /// point at a string literal (stored, never copied).
+  EventId schedule(Time at, Callback fn, const char* tag = nullptr);
 
   /// Cancel a previously scheduled event. Returns true if the event was
   /// still pending (and is now guaranteed not to run).
@@ -49,7 +57,10 @@ class EventQueue {
   /// Time of the earliest live event; kTimeInfinity when empty.
   Time next_time();
 
-  /// Pop and return the earliest live event. Precondition: !empty().
+  /// Pop and return the earliest live event. On an empty queue returns an
+  /// inert Fired{kTimeInfinity, nullptr} in every build type — callers
+  /// must check `fn` (the old assert compiled out of Release and left a
+  /// dangling top() dereference).
   struct Fired {
     Time at = 0.0;
     Callback fn;
@@ -59,11 +70,17 @@ class EventQueue {
   /// Drop every pending event.
   void clear();
 
+  /// Attach a metrics registry: per-tag scheduled/fired/cancelled counters
+  /// and the queue high-water mark. Pass nullptr to detach. Events
+  /// scheduled before the call are still counted at fire/cancel time.
+  void set_metrics(stats::Metrics* metrics);
+
  private:
   struct Entry {
     Time at = 0.0;
     std::uint64_t seq = 0;  // tie-break + identity
     Callback fn;
+    const char* tag = nullptr;
     bool cancelled = false;
   };
   struct Later {
@@ -73,15 +90,26 @@ class EventQueue {
       return a->seq > b->seq;
     }
   };
+  struct TagCounters {
+    stats::Counter* scheduled = nullptr;
+    stats::Counter* fired = nullptr;
+    stats::Counter* cancelled = nullptr;
+  };
 
   /// Pop cancelled entries off the heap head so top() is live.
   void skim();
+
+  TagCounters& counters_for(const char* tag);
 
   std::priority_queue<std::shared_ptr<Entry>, std::vector<std::shared_ptr<Entry>>,
                       Later>
       heap_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> pending_;
   std::uint64_t next_seq_ = 1;
+
+  stats::Metrics* metrics_ = nullptr;
+  stats::Gauge* high_water_ = nullptr;
+  std::unordered_map<const char*, TagCounters> tag_counters_;
 };
 
 }  // namespace sharq::sim

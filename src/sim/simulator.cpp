@@ -5,17 +5,20 @@
 
 namespace sharq::sim {
 
-EventId Simulator::at(Time when, EventQueue::Callback fn) {
-  return queue_.schedule(std::max(when, now_), std::move(fn));
+EventId Simulator::at(Time when, EventQueue::Callback fn, const char* tag) {
+  return queue_.schedule(std::max(when, now_), std::move(fn), tag);
 }
 
-EventId Simulator::after(Time delay, EventQueue::Callback fn) {
-  return queue_.schedule(now_ + std::max(delay, 0.0), std::move(fn));
+EventId Simulator::after(Time delay, EventQueue::Callback fn, const char* tag) {
+  return queue_.schedule(now_ + std::max(delay, 0.0), std::move(fn), tag);
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
   EventQueue::Fired fired = queue_.pop();
+  // pop() returns an inert marker if the queue raced to empty (every
+  // remaining entry was cancelled); treat it the same as empty().
+  if (!fired.fn && fired.at == kTimeInfinity) return false;
   now_ = std::max(now_, fired.at);
   ++executed_;
   if (fired.fn) fired.fn();
@@ -38,11 +41,14 @@ void Timer::arm(Time delay, std::function<void()> fn) {
   cancel();
   pending_ = true;
   deadline_ = simu_->now() + std::max(delay, 0.0);
-  id_ = simu_->after(delay, [this, fn = std::move(fn)] {
-    pending_ = false;
-    deadline_ = kTimeNever;
-    fn();
-  });
+  id_ = simu_->after(
+      delay,
+      [this, fn = std::move(fn)] {
+        pending_ = false;
+        deadline_ = kTimeNever;
+        fn();
+      },
+      tag_);
 }
 
 void Timer::arm_if_idle(Time delay, std::function<void()> fn) {

@@ -31,11 +31,12 @@ class Simulator {
   /// Current virtual time.
   Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `at` (clamped to now()).
-  EventId at(Time when, EventQueue::Callback fn);
+  /// Schedule `fn` at absolute time `at` (clamped to now()). `tag` must be
+  /// a string literal naming the event for metrics (may be nullptr).
+  EventId at(Time when, EventQueue::Callback fn, const char* tag = nullptr);
 
   /// Schedule `fn` after a relative delay (clamped to >= 0).
-  EventId after(Time delay, EventQueue::Callback fn);
+  EventId after(Time delay, EventQueue::Callback fn, const char* tag = nullptr);
 
   /// Cancel a pending event; harmless on stale/invalid handles.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -61,6 +62,10 @@ class Simulator {
 
   /// Root random stream for this run.
   Rng& rng() { return rng_; }
+
+  /// Attach a metrics registry to the event queue (per-tag event counters
+  /// and the queue high-water mark). Pass nullptr to detach.
+  void set_metrics(stats::Metrics* metrics) { queue_.set_metrics(metrics); }
 
  private:
   EventQueue queue_;
@@ -99,11 +104,16 @@ class Timer {
   /// Absolute time of the pending firing (kTimeNever if idle).
   Time deadline() const { return pending_ ? deadline_ : kTimeNever; }
 
+  /// Name this timer's firings for event metrics. Must be a string
+  /// literal; applies to subsequent arm() calls.
+  void set_tag(const char* tag) { tag_ = tag; }
+
  private:
   Simulator* simu_;
   EventId id_{};
   bool pending_ = false;
   Time deadline_ = kTimeNever;
+  const char* tag_ = nullptr;
 };
 
 }  // namespace sharq::sim

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sharq::stats {
+
+/// Labels attached to one child of a metric family. Stored as an ordered
+/// map so two registrations with the same pairs in different order land on
+/// the same child, and so export order is stable.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value (EWMA trajectories, queue depths, high-water marks).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  /// Keep the maximum ever seen (high-water marks).
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket log2 histogram: bucket i counts observations with
+/// value <= least_bound * 2^i; anything larger lands in the overflow
+/// bucket. Values <= 0 count in bucket 0. Bounds are fixed at
+/// construction, so deltas subtract bucket-wise.
+class Histogram {
+ public:
+  explicit Histogram(double least_bound = 1e-3, int bucket_count = 24);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  /// Inclusive upper bound of bucket i (least_bound * 2^i).
+  double bound(int i) const;
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  std::uint64_t overflow() const { return overflow_; }
+  double least_bound() const { return least_bound_; }
+
+ private:
+  double least_bound_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A deterministic registry of named counter/gauge/histogram families with
+/// labelled children (per-node, per-zone-level, per-traffic-class, ...).
+///
+/// Contract:
+///  - `counter(name, labels)` (etc.) returns a reference that stays valid
+///    for the registry's lifetime, so hot paths register once and bump a
+///    cached pointer;
+///  - a family's type is fixed by its first registration; re-registering
+///    under another type is a programmer error and aborts;
+///  - export order is stable: families by name, children by their
+///    serialized label key — two identical runs write identical bytes.
+class Metrics {
+ public:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       double least_bound = 1e-3, int bucket_count = 24);
+
+  /// Sum of a counter family over all children (0 if absent). For tests
+  /// and summary output.
+  std::uint64_t counter_total(const std::string& name) const;
+  /// One child's counter value (0 if absent).
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels) const;
+  /// One child's gauge value (fallback if absent).
+  double gauge_value(const std::string& name, const Labels& labels,
+                     double fallback = 0.0) const;
+
+  // --- snapshot / delta ------------------------------------------------------
+
+  /// A deep copy of every value at one instant. Counter and histogram
+  /// snapshots subtract (delta()); gauges report the newer value.
+  struct Snapshot {
+    struct Value {
+      Labels labels;
+      double scalar = 0.0;           // counter (integral) or gauge
+      std::uint64_t count = 0;       // histogram
+      double sum = 0.0;              // histogram
+      double least_bound = 0.0;      // histogram
+      std::vector<std::uint64_t> buckets;  // histogram (+overflow implicit)
+      std::uint64_t overflow = 0;    // histogram
+    };
+    struct Family {
+      Type type = Type::kCounter;
+      std::map<std::string, Value> values;  // by serialized label key
+    };
+    std::map<std::string, Family> families;
+  };
+
+  Snapshot snapshot() const;
+
+  /// now - then, per family/child: counters and histograms subtract
+  /// element-wise, gauges keep their `now` value. Children absent from
+  /// `then` pass through unchanged; children only in `then` are dropped.
+  static Snapshot delta(const Snapshot& now, const Snapshot& then);
+
+  // --- export ----------------------------------------------------------------
+
+  /// Stable-ordered JSON: {"schema":"sharqfec.metrics.v1","metrics":{...}}.
+  /// Byte-identical across runs that produced identical values.
+  void write_json(std::ostream& os) const;
+  static void write_json(std::ostream& os, const Snapshot& snap);
+
+  /// Compact one-level summary: {"name":<aggregate>,...} where counters
+  /// sum over children, gauges take the max, histograms report
+  /// {"count":..,"sum":..}. For embedding in other JSON lines (chaos_sim).
+  void write_totals_json(std::ostream& os) const;
+
+ private:
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Type type = Type::kCounter;
+    std::map<std::string, Child> children;  // by serialized label key
+  };
+
+  Family& family_of(const std::string& name, Type type);
+  const Family* find_family(const std::string& name) const;
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace sharq::stats

@@ -9,7 +9,9 @@ TraceWriter::TraceWriter(std::ostream& os, const net::Network* net,
     : os_(os), net_(net), next_(next) {}
 
 void TraceWriter::enable_class(net::TrafficClass cls, bool on) {
-  const unsigned bit = 1u << static_cast<unsigned>(cls);
+  const unsigned idx = static_cast<unsigned>(cls);
+  if (idx >= 32u) return;  // see enabled(): shifting past the mask is UB
+  const unsigned bit = 1u << idx;
   if (on) {
     mask_ |= bit;
   } else {

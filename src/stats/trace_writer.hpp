@@ -38,7 +38,11 @@ class TraceWriter final : public net::TrafficSink {
 
  private:
   bool enabled(net::TrafficClass cls) const {
-    return (mask_ & (1u << static_cast<unsigned>(cls))) != 0;
+    // Bound-check before shifting: a TrafficClass value >= 32 (future enum
+    // growth or a forged byte off the wire) would be UB. Out-of-range
+    // classes are never traced.
+    const unsigned bit = static_cast<unsigned>(cls);
+    return bit < 32u && (mask_ & (1u << bit)) != 0;
   }
   void line(char tag, sim::Time t, int a, int b, const net::Packet& p);
 

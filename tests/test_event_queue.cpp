@@ -62,6 +62,34 @@ TEST(EventQueue, NextTimeInfinityWhenEmpty) {
   EXPECT_EQ(q.next_time(), kTimeInfinity);
 }
 
+TEST(EventQueue, PopOnEmptyReturnsInertFired) {
+  // Regression: pop() on an empty queue used to be guarded by an assert
+  // only, so a Release build would pop from an empty heap (UB). It must
+  // return an inert entry in every build type.
+  EventQueue q;
+  const EventQueue::Fired f = q.pop();
+  EXPECT_EQ(f.at, kTimeInfinity);
+  EXPECT_FALSE(f.fn);
+}
+
+TEST(EventQueue, PopAfterCancellingEverythingIsInert) {
+  // The heap still physically holds the cancelled entry; pop() must drain
+  // it and then report empty rather than returning a dead callback.
+  EventQueue q;
+  EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  const EventQueue::Fired f = q.pop();
+  EXPECT_EQ(f.at, kTimeInfinity);
+  EXPECT_FALSE(f.fn);
+}
+
+TEST(Simulator, StepOnEmptyQueueReturnsFalse) {
+  Simulator simu;
+  EXPECT_FALSE(simu.step());
+  EXPECT_DOUBLE_EQ(simu.now(), 0.0);
+  EXPECT_EQ(simu.events_executed(), 0u);
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
   Simulator simu;
   double seen = -1.0;

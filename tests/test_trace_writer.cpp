@@ -66,6 +66,61 @@ TEST(TraceWriter, ClassFilterSuppressesLines) {
   EXPECT_EQ(tw.lines_written(), 0u);
 }
 
+TEST(TraceWriter, EveryTrafficClassTracedByDefault) {
+  // Enumerates the whole enum so a newly added class cannot silently fall
+  // outside the filter's range.
+  for (int c = 0; c < net::kTrafficClassCount; ++c) {
+    Fixture f;
+    std::ostringstream os;
+    TraceWriter tw(os, &f.net);
+    f.net.set_sink(&tw);
+    f.net.send(f.a, f.ch, static_cast<net::TrafficClass>(c), 64,
+               std::make_shared<Probe>(), /*lossless=*/true);
+    f.simu.run();
+    EXPECT_EQ(tw.lines_written(), 2u) << "class " << c;
+  }
+}
+
+TEST(TraceWriter, DisablingOneClassLeavesOthersTraced) {
+  for (int off = 0; off < net::kTrafficClassCount; ++off) {
+    for (int c = 0; c < net::kTrafficClassCount; ++c) {
+      Fixture f;
+      std::ostringstream os;
+      TraceWriter tw(os, &f.net);
+      tw.enable_class(static_cast<net::TrafficClass>(off), false);
+      f.net.set_sink(&tw);
+      f.net.send(f.a, f.ch, static_cast<net::TrafficClass>(c), 64,
+                 std::make_shared<Probe>(), /*lossless=*/true);
+      f.simu.run();
+      EXPECT_EQ(tw.lines_written(), c == off ? 0u : 2u)
+          << "off " << off << " class " << c;
+    }
+  }
+}
+
+TEST(TraceWriter, OutOfRangeClassIsIgnoredNotUb) {
+  // Regression: enabled() used to compute `1u << cls` unchecked, which is
+  // UB for cls >= 32 (future enum growth or a forged byte off the wire).
+  // Both the filter setter and the trace path must treat such a class as
+  // never-enabled instead.
+  Fixture f;
+  std::ostringstream os;
+  TraceWriter tw(os, &f.net);
+  const auto forged = static_cast<net::TrafficClass>(200);
+  tw.enable_class(forged, true);   // must not shift out of range
+  tw.enable_class(forged, false);  // must not clear unrelated bits
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, forged, 64, std::make_shared<Probe>(),
+             /*lossless=*/true);
+  f.simu.run();
+  EXPECT_EQ(tw.lines_written(), 0u);
+  // Real classes stay enabled after the out-of-range enable_class calls.
+  f.net.send(f.a, f.ch, net::TrafficClass::kData, 64,
+             std::make_shared<Probe>(), /*lossless=*/true);
+  f.simu.run();
+  EXPECT_EQ(tw.lines_written(), 2u);
+}
+
 TEST(TraceWriter, ChainsToNextSink) {
   Fixture f;
   std::ostringstream os;

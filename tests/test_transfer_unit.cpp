@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "rm/delivery_log.hpp"
+#include "sharqfec/ewma.hpp"
 #include "sharqfec/protocol.hpp"
 #include "sim/simulator.hpp"
 #include "topo/figure10.hpp"
@@ -8,6 +9,46 @@
 
 namespace sharq::sfq {
 namespace {
+
+// --- shared EWMA helper (regression: the arrival-gap slot used to be read
+// with `> 0.0` while the update path seeded on `< 0.0`, so a slot seeded
+// with a legitimate 0.0 sample read back as "unset") --------------------------
+
+TEST(Ewma, UnsetSentinelReadsAsUnseeded) {
+  double slot = kEwmaUnset;
+  EXPECT_FALSE(ewma_seeded(slot));
+}
+
+TEST(Ewma, FirstSampleSeedsVerbatim) {
+  // The first sample must not be blended with the -1.0 sentinel.
+  double slot = kEwmaUnset;
+  ewma_update(slot, 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(slot, 0.5);
+  EXPECT_TRUE(ewma_seeded(slot));
+}
+
+TEST(Ewma, ZeroSampleCountsAsSeeded) {
+  double slot = kEwmaUnset;
+  ewma_update(slot, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(slot, 0.0);
+  EXPECT_TRUE(ewma_seeded(slot));
+}
+
+TEST(Ewma, NegativeSampleIgnored) {
+  double slot = kEwmaUnset;
+  ewma_update(slot, -3.0, 0.1);
+  EXPECT_FALSE(ewma_seeded(slot));
+  ewma_update(slot, 1.0, 0.1);
+  ewma_update(slot, -3.0, 0.1);
+  EXPECT_DOUBLE_EQ(slot, 1.0);
+}
+
+TEST(Ewma, LaterSamplesBlendWithGain) {
+  double slot = kEwmaUnset;
+  ewma_update(slot, 1.0, 0.25);
+  ewma_update(slot, 2.0, 0.25);
+  EXPECT_DOUBLE_EQ(slot, 0.75 * 1.0 + 0.25 * 2.0);
+}
 
 /// A two-zone fixture small enough to reason about exactly:
 /// source -- relay -- {a, b}; zone = {relay, a, b}.
@@ -53,6 +94,28 @@ TEST(TransferUnit, LosslessStreamNeverNacksOrRepairs) {
     EXPECT_EQ(agent->transfer().repairs_sent(), 0u);
   }
   EXPECT_TRUE(s.all_complete(6));
+}
+
+TEST(TransferUnit, ArrivalEwmaSeedsToFirstGapExactly) {
+  // Lossless fixed-delay links deliver the paced stream with a constant
+  // inter-arrival gap equal to the packet serialization interval, so the
+  // EWMA — seeded verbatim on the first gap, then fed identical samples —
+  // must sit exactly on that interval, not on a sentinel-contaminated
+  // blend.
+  TwoZone f;
+  Config cfg;
+  Session s(f.net, f.source, {f.relay, f.a, f.b}, cfg);
+  s.start();
+  s.send_stream(3, 6.0);
+  f.simu.run_until(25.0);
+  const double interval =
+      static_cast<double>(cfg.shard_size_bytes) * 8.0 / cfg.data_rate_bps;
+  for (net::NodeId n : {f.relay, f.a, f.b}) {
+    EXPECT_TRUE(ewma_seeded(s.agent_for(n).transfer().arrival_ewma()));
+    EXPECT_NEAR(s.agent_for(n).transfer().arrival_ewma(), interval, 1e-9);
+  }
+  // The source never receives data, so its slot stays unseeded.
+  EXPECT_FALSE(ewma_seeded(s.source_agent().transfer().arrival_ewma()));
 }
 
 TEST(TransferUnit, GroupsCompletedCount) {

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "rm/delivery_log.hpp"
 #include "sharqfec/protocol.hpp"
 #include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
 #include "stats/traffic_recorder.hpp"
 #include "topo/figure10.hpp"
 
@@ -96,20 +98,27 @@ struct PlanResult {
   std::uint64_t drops_link_down = 0, drops_epoch_kill = 0;
   std::uint64_t events = 0;
   std::uint64_t nacks = 0, repairs = 0, preemptive = 0;
+  std::string metrics_json;  // per-plan registry totals, deterministic
 
   bool ok() const { return complete && drained && bounded && ledger; }
 };
 
 PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
                     const std::string& plan_name, bool dump) {
+  // Declared before the simulator/network/agents that cache pointers into
+  // it, so it is destroyed last.
+  stats::Metrics metrics;
   sim::Simulator simu(plan_seed);
   net::Network net(simu);
+  simu.set_metrics(&metrics);
+  net.set_metrics(&metrics);
   const topo::Figure10 t = topo::make_figure10(net);
   stats::TrafficRecorder rec(net.node_count());
   net.set_sink(&rec);
   rm::DeliveryLog log;
 
   sfq::Config cfg;
+  cfg.metrics = &metrics;
   // Chaos tuning: a tighter backoff cap keeps post-heal recovery latency
   // inside the completion deadline (the paper's cap of 10 gives worst-case
   // 2^10 backoff factors that outlive any reasonable soak budget).
@@ -199,6 +208,9 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   r.drops_link_down = rec.drops(net::DropReason::kLinkDown);
   r.drops_epoch_kill = rec.drops(net::DropReason::kEpochKill);
   r.events = simu.events_executed();
+  std::ostringstream mos;
+  metrics.write_totals_json(mos);
+  r.metrics_json = mos.str();
   return r;
 }
 
@@ -223,7 +235,7 @@ int main(int argc, char** argv) {
         "\"max_tracked_groups\":%zu,\"max_tracked_peers\":%zu,"
         "\"drops_link_down\":%llu,\"drops_epoch_kill\":%llu,"
         "\"events\":%llu,\"nacks\":%llu,\"repairs\":%llu,"
-        "\"preemptive\":%llu,\"ok\":%s}\n",
+        "\"preemptive\":%llu,\"ok\":%s,\"metrics\":%s}\n",
         i, static_cast<unsigned long long>(plan_seed),
         static_cast<unsigned long long>(r.applied),
         static_cast<unsigned long long>(r.skipped),
@@ -241,7 +253,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.nacks),
         static_cast<unsigned long long>(r.repairs),
         static_cast<unsigned long long>(r.preemptive),
-        r.ok() ? "true" : "false");
+        r.ok() ? "true" : "false", r.metrics_json.c_str());
   }
   std::printf("{\"plans\":%d,\"failed\":%d,\"ok\":%s}\n", o.plans, failed,
               failed == 0 ? "true" : "false");

@@ -24,6 +24,7 @@
 #include "sharqfec/protocol.hpp"
 #include "sim/simulator.hpp"
 #include "srm/session.hpp"
+#include "stats/metrics.hpp"
 #include "stats/report.hpp"
 #include "stats/trace_writer.hpp"
 #include "stats/traffic_recorder.hpp"
@@ -50,7 +51,8 @@ struct Options {
   double data_start = 6.0;
   bool series = false;
   bool adaptive = false;
-  std::string trace_file;  // empty = no trace
+  std::string trace_file;    // empty = no trace
+  std::string metrics_file;  // empty = no metrics JSON
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -64,7 +66,8 @@ struct Options {
       "  --seed S --until T --data-start T\n"
       "  --adaptive                   adaptive suppression timers\n"
       "  --series                     print the 0.1 s traffic series\n"
-      "  --trace FILE                 write a nam-style event trace\n",
+      "  --trace FILE                 write a nam-style event trace\n"
+      "  --metrics-json FILE          write the metrics registry as JSON\n",
       argv0);
   std::exit(2);
 }
@@ -91,6 +94,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--data-start") o.data_start = std::atof(need(i));
     else if (a == "--series") o.series = true;
     else if (a == "--trace") o.trace_file = need(i);
+    else if (a == "--metrics-json") o.metrics_file = need(i);
+    else if (a.rfind("--metrics-json=", 0) == 0)
+      o.metrics_file = a.substr(std::strlen("--metrics-json="));
     else if (a == "--adaptive") o.adaptive = true;
     else usage(argv[0]);
   }
@@ -166,6 +172,11 @@ int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   sim::Simulator simu(o.seed);
   net::Network net(simu);
+  stats::Metrics metrics;
+  if (!o.metrics_file.empty()) {
+    simu.set_metrics(&metrics);
+    net.set_metrics(&metrics);
+  }
   const Built b = build_topology(net, o);
   stats::TrafficRecorder rec(net.node_count(), 0.1);
   std::ofstream trace_os;
@@ -199,6 +210,7 @@ int main(int argc, char** argv) {
     cfg.data_rate_bps = o.rate;
     cfg.group_size = o.group;
     cfg.adaptive_timers = o.adaptive;
+    if (!o.metrics_file.empty()) cfg.metrics = &metrics;
     if (o.protocol == "ecsrm") {
       cfg.scoping = false;
       cfg.injection = false;
@@ -243,6 +255,16 @@ int main(int argc, char** argv) {
         b.receivers, {net::TrafficClass::kData, net::TrafficClass::kRepair});
     stats::print_series(std::cout, "data+repair pkts/receiver/0.1s", series,
                         0.1);
+  }
+  if (!o.metrics_file.empty()) {
+    std::ofstream mos(o.metrics_file);
+    if (!mos) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                   o.metrics_file.c_str());
+      return 2;
+    }
+    metrics.write_json(mos);
+    mos << '\n';
   }
   return incomplete == 0 ? 0 : 1;
 }
