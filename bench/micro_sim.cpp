@@ -15,7 +15,7 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
     sharq::sim::Simulator simu;
     for (int i = 0; i < n; ++i) {
       simu.after(static_cast<double>((i * 7919) % 1000),
-                 [] { benchmark::DoNotOptimize(0); });
+                 [] { benchmark::DoNotOptimize(0); }, "bench.tick");
     }
     simu.run();
   }

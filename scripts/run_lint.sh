@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# One-command static analysis: sharq_lint (always), clang-tidy and
+# shellcheck (when installed; required under --strict, which CI uses).
+#
+#   scripts/run_lint.sh [--strict] [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must contain compile_commands.json for
+# the clang-tidy stage (the top-level CMakeLists.txt always exports it).
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+strict=0
+build_dir=build
+for arg in "$@"; do
+  case "$arg" in
+    --strict) strict=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+fail=0
+note_fail() {
+  echo "run_lint: $1" >&2
+  fail=1
+}
+skip_or_fail() {
+  if [ "$strict" -eq 1 ]; then
+    note_fail "$1 (required under --strict)"
+  else
+    echo "run_lint: $1 — skipping" >&2
+  fi
+}
+
+# --- sharq_lint ------------------------------------------------------------------
+# Prefer the CMake-built binary; fall back to a direct compile so the lint
+# runs even before the first cmake configure.
+lint_bin="$build_dir/tools/sharq_lint"
+if [ ! -x "$lint_bin" ]; then
+  lint_bin=$(mktemp -t sharq_lint.XXXXXX)
+  if ! c++ -std=c++20 -O2 -o "$lint_bin" tools/sharq_lint/sharq_lint.cpp; then
+    note_fail "could not build tools/sharq_lint/sharq_lint.cpp"
+    exit "$fail"
+  fi
+fi
+"$lint_bin" --self-test tools/sharq_lint/fixtures || note_fail "sharq_lint self-test failed"
+"$lint_bin" --doc docs/OBSERVABILITY.md src tools bench examples tests ||
+  note_fail "sharq_lint found violations"
+
+# --- clang-tidy ------------------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$build_dir/compile_commands.json" ]; then
+    # Lint the compiled .cpp files (headers ride along via -header-filter
+    # from .clang-tidy). Findings are errors: the config only enables
+    # checks the tree is expected to hold.
+    # Lint fixtures are parsed by sharq_lint, never compiled — no entry in
+    # the compilation database, so keep them away from clang-tidy.
+    mapfile -t sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp' \
+                           'bench/*.cpp' 'examples/*.cpp' 'tests/*.cpp' |
+                           grep -v '/fixtures/')
+    clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' \
+      "${sources[@]}" || note_fail "clang-tidy found violations"
+  else
+    skip_or_fail "no $build_dir/compile_commands.json for clang-tidy (run cmake first)"
+  fi
+else
+  skip_or_fail "clang-tidy not installed"
+fi
+
+# --- shellcheck ------------------------------------------------------------------
+if command -v shellcheck >/dev/null 2>&1; then
+  shellcheck scripts/*.sh || note_fail "shellcheck found violations"
+else
+  skip_or_fail "shellcheck not installed"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "run_lint: OK"
+fi
+exit "$fail"

@@ -9,7 +9,7 @@ namespace sharq::fault {
 void Injector::schedule(const FaultPlan& plan) {
   sim::Simulator& simu = net_.simulator();
   for (const FaultEvent& e : plan.events) {
-    simu.at(e.at, [this, e] { apply(e); });
+    simu.at(e.at, [this, e] { apply(e); }, "fault.inject");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 
+#include "sharqfec/ordered.hpp"
 #include "stats/metrics.hpp"
 
 namespace sharq::net {
@@ -125,7 +126,11 @@ void Network::unsubscribe(ChannelId ch, NodeId node) {
 }
 
 bool Network::subscribed(ChannelId ch, NodeId node) const {
-  return channels_[ch].subs.count(node) > 0;
+  return channels_[ch].subs.contains(node);
+}
+
+std::vector<NodeId> Network::subscribers(ChannelId ch) const {
+  return ordered_keys(channels_[ch].subs);
 }
 
 void Network::attach(NodeId node, Agent* agent) {
@@ -243,7 +248,10 @@ const Network::FwdEntry& Network::forwarding(ChannelId ch, NodeId origin) {
   std::vector<bool> on_tree(n, false);
   on_tree[origin] = true;
   std::vector<char> edge_added(links_.size(), 0);
-  for (NodeId s : channel.subs) {
+  // Graft in ascending subscriber order: the hash set's own order differs
+  // across standard libraries and rehashes, and it decides the order links
+  // join e.out — i.e. the wire order of downstream copies.
+  for (NodeId s : ordered_keys(channel.subs)) {
     if (s == origin) continue;
     if (scope != kNoZone && !zones_.contains(scope, s)) continue;
     if (r.dist[s] == sim::kTimeInfinity) continue;

@@ -176,8 +176,14 @@ class Network {
   void subscribe(ChannelId ch, NodeId node);
   void unsubscribe(ChannelId ch, NodeId node);
   bool subscribed(ChannelId ch, NodeId node) const;
-  const std::unordered_set<NodeId>& subscribers(ChannelId ch) const {
-    return channels_[ch].subs;
+
+  /// Current members of a channel, ascending by id. A sorted snapshot, not
+  /// a reference into the membership hash set: callers iterate this into
+  /// timers, wire messages, and reports, where hash order would leak
+  /// nondeterminism (docs/DETERMINISM.md).
+  std::vector<NodeId> subscribers(ChannelId ch) const;
+  std::size_t subscriber_count(ChannelId ch) const {
+    return channels_[ch].subs.size();
   }
 
   // --- agents ---------------------------------------------------------------

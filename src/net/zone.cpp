@@ -40,7 +40,7 @@ void ZoneHierarchy::assign(NodeId node, ZoneId zone) {
 
 bool ZoneHierarchy::contains(ZoneId zone, NodeId node) const {
   if (zone < 0 || zone >= static_cast<ZoneId>(zones_.size())) return false;
-  return zones_[zone].members.count(node) > 0;
+  return zones_[zone].members.contains(node);
 }
 
 ZoneId ZoneHierarchy::smallest_zone(NodeId node) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -33,10 +34,10 @@ class DeliveryLog {
       const std::unordered_map<std::uint64_t, sim::Time>& sent_at) const;
 
  private:
-  // node -> unit -> completion time
-  std::unordered_map<net::NodeId,
-                     std::unordered_map<std::uint64_t, sim::Time>>
-      log_;
+  // node -> unit -> completion time. The outer table is lookup-only, but
+  // the inner one is iterated by latencies(), whose output order feeds
+  // percentile reports — so it must be sorted, not hashed.
+  std::unordered_map<net::NodeId, std::map<std::uint64_t, sim::Time>> log_;
 };
 
 }  // namespace sharq::rm

@@ -17,7 +17,8 @@ struct TimerPolicy {
   /// Request delay: uniform on 2^i * [c1*d, (c1+c2)*d], where d is the
   /// one-way distance estimate to the source and i the backoff stage.
   sim::Time request_delay(sim::Rng& rng, sim::Time d, int backoff_stage) const {
-    const double scale = static_cast<double>(1u << clamp_stage(backoff_stage));
+    const double scale = static_cast<double>(
+        1u << clamp_stage(backoff_stage));  // sharq-lint: unchecked-shift-ok (clamp_stage bounds to [0,16])
     return scale * rng.uniform(c1 * d, (c1 + c2) * d);
   }
 

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sharq {
+
+/// Sorted snapshots of unordered containers.
+///
+/// Hash-table iteration order is an implementation detail: it differs
+/// between libstdc++ and libc++, and can change when the table rehashes.
+/// Anything that feeds iteration order into an output path — timers,
+/// wire messages, exporters, logs — must therefore walk a sorted copy.
+/// These helpers make the sorted copy a one-word idiom, and sharq_lint's
+/// `unordered-iter` rule recognises them as the blessed escape route
+/// (see docs/DETERMINISM.md).
+///
+/// Cost: one allocation + O(n log n). For hot paths that cannot afford
+/// that, migrate the container itself to std::map / std::set instead.
+
+/// Keys of an associative container, ascending. Also accepts sets
+/// (where the "key" is the element itself).
+template <class Map>
+auto ordered_keys(const Map& m) {
+  using Key = typename Map::key_type;
+  std::vector<Key> keys;
+  keys.reserve(m.size());
+  for (auto it = m.begin(); it != m.end(); ++it) {  // sharq-lint: unordered-iter-ok (sorted immediately below)
+    if constexpr (requires { it->first; }) {
+      keys.push_back(it->first);
+    } else {
+      keys.push_back(*it);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Key/value pairs of a map, ascending by key. Values are copied; use
+/// `ordered_keys` plus `.at()` when copies are too expensive.
+template <class Map>
+auto ordered_items(const Map& m) {
+  using Key = typename Map::key_type;
+  using Value = typename Map::mapped_type;
+  std::vector<std::pair<Key, Value>> items;
+  items.reserve(m.size());
+  for (const auto& [k, v] : m) {  // sharq-lint: unordered-iter-ok (sorted immediately below)
+    items.emplace_back(k, v);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// Values of a map, ascending by key (not by value): the stable, intent-
+/// revealing order when the key is the identity and the value the payload.
+template <class Map>
+auto ordered_values(const Map& m) {
+  using Value = typename Map::mapped_type;
+  std::vector<Value> values;
+  for (const auto& [k, v] : ordered_items(m)) values.push_back(v);
+  return values;
+}
+
+}  // namespace sharq

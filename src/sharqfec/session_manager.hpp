@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -108,14 +108,17 @@ class SessionManager {
   };
   struct Level {
     net::ZoneId zone = net::kNoZone;
-    std::unordered_map<net::NodeId, Peer> peers;
+    // Ordered: iterated into session-message entries (wire order), peer
+    // expiry, and max-RTT scans — hash order here would make beacon
+    // contents and timer sequencing depend on the standard library.
+    std::map<net::NodeId, Peer> peers;
     net::NodeId zcr = net::kNoNode;
     double zcr_parent_dist = -1.0;  // dist(zcr(zone) -> zcr(parent))
     sim::Time zcr_last_heard = sim::kTimeNever;
     // rtt(bridge, peer) learned from the bridge ZCR's announcements on
     // this zone's channel; bridge = zcr(chain[l-1]) for l>0, zcr(chain[0])
     // for l==0.
-    std::unordered_map<net::NodeId, double> bridge_rtt;
+    std::map<net::NodeId, double> bridge_rtt;
     // election plumbing
     std::unique_ptr<sim::Timer> challenge_timer;
     std::unique_ptr<sim::Timer> watchdog;
@@ -163,7 +166,9 @@ class SessionManager {
   std::vector<Level> levels_;
   sim::Timer session_timer_;
   int session_rounds_ = 0;
-  std::unordered_map<std::uint64_t, PendingChallenge> challenges_;
+  // Ordered: the prune walk erases by timeout, and erase order decides
+  // nothing today — but keeping it deterministic is free at this size.
+  std::map<std::uint64_t, PendingChallenge> challenges_;
   std::uint64_t next_challenge_id_;
   std::function<std::pair<std::uint32_t, bool>()> progress_;
   std::function<void(std::uint32_t)> on_progress_;

@@ -1,5 +1,9 @@
 #pragma once
 
+// This header IS the sanctioned randomness source: every stochastic draw
+// in the tree must flow through sim::Rng so a seed pins the whole run.
+// sharq-lint: wall-clock-ok file (the one place <random> is allowed)
+
 #include <cstdint>
 #include <random>
 

@@ -55,18 +55,21 @@ void Agent::send_stream(std::uint32_t count, sim::Time start_at) {
   const sim::Time interval =
       static_cast<double>(cfg_.packet_size_bytes) * 8.0 / cfg_.data_rate_bps;
   for (std::uint32_t s = 0; s < count; ++s) {
-    simu_.at(start_at + interval * s, [this, s, count] {
+    simu_.at(
+        start_at + interval * s,
+        [this, s, count] {
       // Session messages advertise progress only once packets are truly
       // on the wire, otherwise receivers would chase phantom losses.
       seen_data_ = true;
       max_seq_ = std::max(max_seq_, s);
       mark_received(s, nullptr);
-      auto msg = std::make_shared<DataMsg>();
-      msg->seq = s;
-      msg->last = (s + 1 == count);
-      net_.send(node(), channel_, net::TrafficClass::kData,
-                cfg_.packet_size_bytes, msg);
-    });
+          auto msg = std::make_shared<DataMsg>();
+          msg->seq = s;
+          msg->last = (s + 1 == count);
+          net_.send(node(), channel_, net::TrafficClass::kData,
+                    cfg_.packet_size_bytes, msg);
+        },
+        "srm.source.send");
   }
 }
 
@@ -181,7 +184,7 @@ void Agent::note_gap_up_to(std::uint32_t new_max) {
 
 void Agent::start_request(std::uint32_t seq) {
   if (is_source_ || has(seq)) return;
-  if (requests_.count(seq)) return;
+  if (requests_.contains(seq)) return;
   PendingRequest pr;
   pr.timer = std::make_unique<sim::Timer>(simu_);
   pr.detected_at = simu_.now();
@@ -223,7 +226,7 @@ void Agent::handle_request(const RequestMsg& req) {
     // the post-repair holddown for this sequence.
     auto hd = holddown_until_.find(seq);
     if (hd != holddown_until_.end() && simu_.now() < hd->second) return;
-    if (replies_.count(seq)) return;
+    if (replies_.contains(seq)) return;
     PendingReply rep;
     rep.timer = std::make_unique<sim::Timer>(simu_);
     rep.requester = req.requester;

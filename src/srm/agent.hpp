@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -126,8 +127,9 @@ class Agent final : public net::Agent {
     sim::Time heard_at = 0.0;
     bool valid = false;
   };
-  std::unordered_map<net::NodeId, PeerClock> peer_clocks_;
-  std::unordered_map<net::NodeId, sim::Time> dist_;
+  // Ordered: iterated into session-message echo entries, i.e. wire order.
+  std::map<net::NodeId, PeerClock> peer_clocks_;
+  std::unordered_map<net::NodeId, sim::Time> dist_;  // lookups only
 
   // adaptive timer state (Floyd et al. '95 appendix, simplified: see
   // adapt_request_timers)

@@ -11,7 +11,7 @@ TraceWriter::TraceWriter(std::ostream& os, const net::Network* net,
 void TraceWriter::enable_class(net::TrafficClass cls, bool on) {
   const unsigned idx = static_cast<unsigned>(cls);
   if (idx >= 32u) return;  // see enabled(): shifting past the mask is UB
-  const unsigned bit = 1u << idx;
+  const unsigned bit = 1u << idx;  // sharq-lint: unchecked-shift-ok (bound-checked above)
   if (on) {
     mask_ |= bit;
   } else {

@@ -42,6 +42,7 @@ class TraceWriter final : public net::TrafficSink {
     // growth or a forged byte off the wire) would be UB. Out-of-range
     // classes are never traced.
     const unsigned bit = static_cast<unsigned>(cls);
+    // sharq-lint: unchecked-shift-ok (short-circuit bound check on the left)
     return bit < 32u && (mask_ & (1u << bit)) != 0;
   }
   void line(char tag, sim::Time t, int a, int b, const net::Packet& p);

@@ -13,12 +13,12 @@ TrafficRecorder::TrafficRecorder(int node_count, sim::Time bin) : bin_(bin) {
   for (auto& s : link_series_) s = BinnedSeries(bin_);
 }
 
-void TrafficRecorder::watch_links(std::unordered_set<net::LinkId> links) {
-  watched_links_ = std::move(links);
+void TrafficRecorder::watch_links(std::unordered_set<net::LinkId> watched) {
+  watched_links_ = std::move(watched);
 }
 
-void TrafficRecorder::watch_only(std::unordered_set<net::NodeId> nodes) {
-  watch_ = std::move(nodes);
+void TrafficRecorder::watch_only(std::unordered_set<net::NodeId> watched) {
+  watch_ = std::move(watched);
   watch_all_ = watch_.empty();
 }
 
@@ -28,7 +28,7 @@ void TrafficRecorder::on_deliver(sim::Time t, net::NodeId at,
   totals_[ci].add(t);
   bytes_delivered_ += static_cast<std::uint64_t>(p.size_bytes);
   if (at >= 0 && at < static_cast<net::NodeId>(per_node_.size()) &&
-      (watch_all_ || watch_.count(at) > 0)) {
+      (watch_all_ || watch_.contains(at))) {
     per_node_[at][ci].add(t);
   }
 }
@@ -36,7 +36,7 @@ void TrafficRecorder::on_deliver(sim::Time t, net::NodeId at,
 void TrafficRecorder::on_transmit(sim::Time t, net::LinkId link,
                                   const net::Packet& p) {
   ++transmissions_;
-  if (watched_links_.count(link) > 0) {
+  if (watched_links_.contains(link)) {
     link_series_[class_index(p.cls)].add(t);
   }
 }

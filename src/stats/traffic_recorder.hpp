@@ -29,11 +29,11 @@ class TrafficRecorder final : public net::TrafficSink {
 
   /// Restrict per-node recording to these nodes (empty = all nodes).
   /// Aggregate counters still cover everything.
-  void watch_only(std::unordered_set<net::NodeId> nodes);
+  void watch_only(std::unordered_set<net::NodeId> watched);
 
   /// Additionally record per-class transmission series on these links
   /// (e.g. the backbone links adjacent to the source, for Figure 20).
-  void watch_links(std::unordered_set<net::LinkId> links);
+  void watch_links(std::unordered_set<net::LinkId> watched);
 
   /// Transmissions of `cls` on watched links, binned.
   const BinnedSeries& link_series(net::TrafficClass cls) const {

@@ -1,0 +1,20 @@
+// Fixture: untagged Simulator::at/after call sites the rule must catch.
+// Not compiled — parsed by sharq_lint's self-test.
+struct Sim {
+  template <class F> int at(double t, F f, const char* tag = nullptr);
+  template <class F> int after(double d, F f, const char* tag = nullptr);
+};
+
+void schedule(Sim& simu, Sim* simu_, Sim& net_owner) {
+  simu.at(1.0, [] {});                       // EXPECT-LINT: event-tag
+  simu_->after(2.0, [] { int x = 0; (void)x; });  // EXPECT-LINT: event-tag
+  simu.after(3.0, [] {}, nullptr);           // EXPECT-LINT: event-tag
+  simu.at(4.0, [] {}, "fixture.tick");       // tagged: must not fire
+  const char* tag_ = "fixture.tock";
+  simu_->after(5.0, [] {}, tag_);            // identifier tag: must not fire
+  (void)net_owner;
+}
+
+// A container's .at() is not a scheduling call and must not fire:
+struct Vec { int at(int i) { return i; } };
+int lookup(Vec& v) { return v.at(3); }

@@ -1,0 +1,22 @@
+// Fixture: unchecked literal shifts the rule must catch.
+// Not compiled — parsed by sharq_lint's self-test.
+constexpr int kWidth = 4;
+
+unsigned mask_for(unsigned cls, int stage, unsigned bits) {
+  unsigned m = 1u << cls;          // EXPECT-LINT: unchecked-shift
+  m |= 1 << (stage + 1);           // EXPECT-LINT: unchecked-shift
+  m |= 1ull << bits;               // EXPECT-LINT: unchecked-shift
+  m |= 1u << 5;                    // literal count: must not fire
+  m |= 1u << kWidth;               // k-constant count: must not fire
+  m |= 1u << (kWidth + 2);         // constant expression: must not fire
+  m |= 1u << sizeof(int);          // sizeof: must not fire
+  return m;
+}
+
+unsigned guarded(unsigned cls) {
+  if (cls >= 32u) return 0;
+  // sharq-lint: unchecked-shift-ok (cls bound-checked above)
+  return 1u << cls;
+}
+
+double streams_ok(double x) { return x; }  // 1.5 << would be nonsense anyway

@@ -1,0 +1,28 @@
+// Fixture: every unordered-iteration shape the rule must catch.
+// Not compiled — parsed by sharq_lint's self-test (see EXPECT-LINT markers).
+#include <unordered_map>
+#include <unordered_set>
+
+struct Engine {
+  std::unordered_map<int, double> peers_;
+  std::unordered_set<int> uids_;
+};
+
+using PeerTable = std::unordered_map<int, double>;
+PeerTable table_;
+
+int sum(Engine& e) {
+  int n = 0;
+  for (const auto& [k, v] : e.peers_) n += k;  // EXPECT-LINT: unordered-iter
+  for (int u : e.uids_) n += u;                // EXPECT-LINT: unordered-iter
+  for (const auto& [k, v] : table_) n += k;    // EXPECT-LINT: unordered-iter
+  for (auto it = e.peers_.begin(); it != e.peers_.end(); ++it) n += it->first;  // EXPECT-LINT: unordered-iter
+  return n;
+}
+
+int fine(Engine& e) {
+  // Lookups are order-free: none of these may fire.
+  auto it = e.peers_.find(3);
+  (void)it;
+  return e.uids_.contains(7) ? 1 : 0;
+}

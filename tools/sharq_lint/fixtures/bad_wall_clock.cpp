@@ -1,0 +1,27 @@
+// Fixture: wall-clock / ambient-nondeterminism sources the rule must catch.
+// Not compiled — parsed by sharq_lint's self-test.
+#include <chrono>  // EXPECT-LINT: wall-clock
+#include <ctime>   // EXPECT-LINT: wall-clock
+#include <random>  // EXPECT-LINT: wall-clock
+
+double now_s() {
+  auto t = std::chrono::system_clock::now();  // EXPECT-LINT: wall-clock
+  (void)t;
+  return static_cast<double>(time(nullptr));  // EXPECT-LINT: wall-clock
+}
+
+int roll() {
+  std::random_device rd;  // EXPECT-LINT: wall-clock
+  return rand() % 6;      // EXPECT-LINT: wall-clock
+}
+
+// Mentions in comments or strings must NOT fire:
+// calling rand() here would be bad, and so would std::chrono::steady_clock.
+const char* kDoc = "uses rand() and system_clock internally";
+
+// A member call named like a banned function is somebody else's API and
+// must not fire; nor may a banned-adjacent identifier.
+struct Obj;
+int member_ok(Obj& o, Obj* p) { return o.time(3) + p->time(4); }
+int rand_calls = 0;
+

@@ -1,0 +1,924 @@
+// sharq_lint — project-invariant static analysis for the SHARQFEC tree.
+//
+// The repo's load-bearing contract is byte-identical same-seed simulation
+// output (chaos soak JSON, the sharqfec.metrics.v1 export, packet traces).
+// That property is easy to break silently: one range-for over an
+// unordered_map in a path that feeds timers, wire messages, or an exporter
+// and the run is only "deterministic" by the grace of one library's hash
+// ordering. This tool turns the contract into a checked property.
+//
+// It is a real lexer, not a grep: source is tokenized (comments, string
+// and raw-string literals, char literals, preprocessor header-names are
+// all understood), rules run over the token stream, and suppressions are
+// structured annotations, so banned names inside strings or comments never
+// fire and annotations are auditable. See docs/DETERMINISM.md for the rule
+// catalog and the annotation grammar.
+//
+// Rules:
+//   unordered-iter   iteration over unordered containers (range-for or
+//                    begin()/end() family) outside annotated regions.
+//                    Iterate an ordered container, or take a sorted
+//                    snapshot via sharqfec/ordered.hpp.
+//   wall-clock       wall-clock / ambient-nondeterminism sources in src/
+//                    (time(), system_clock, rand(), std::random_device,
+//                    <chrono>/<ctime>/<random> includes). Randomness must
+//                    come from sim/random.hpp, time from the Simulator.
+//   event-tag        Simulator::at/after call sites must carry an event
+//                    tag (the metrics registry's per-tag event counters
+//                    are part of the observable output).
+//   unchecked-shift  `1 << expr` with a non-constant shift count — the
+//                    PR-3 TraceWriter bug class (UB for forged/future
+//                    values >= width). Bound-check, then annotate.
+//   metric-docs      metric family names and event tags registered in
+//                    src/ must appear in docs/OBSERVABILITY.md.
+//
+// Annotation grammar (line comments; block comments work too):
+//   // sharq-lint: <rule>-ok                this line and the next line
+//   // sharq-lint: <rule>-ok file           whole file
+//   // sharq-lint: <rule>-ok begin          region start
+//   // sharq-lint: <rule>-ok end            region end
+// Several rules may be listed comma-separated:  // sharq-lint: a-ok, b-ok
+// A trailing free-text reason after the control words is encouraged:
+//   // sharq-lint: unchecked-shift-ok (cls bound-checked two lines up)
+//
+// Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kString, kChar, kPunct, kHeader } kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Annotation {
+  enum Scope { kLine, kFile, kBegin, kEnd } scope = kLine;
+  std::string rule;  // without the "-ok" suffix
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;               // as given on the command line
+  std::vector<Tok> toks;
+  std::vector<Annotation> annotations;
+  std::vector<std::pair<int, std::string>> expect_markers;  // line -> rule
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Parse a comment body for "sharq-lint:" annotations and "EXPECT-LINT:"
+// self-test markers.
+void parse_comment(const std::string& body, int line, LexedFile& out) {
+  auto scan = [&](const std::string& key, auto&& handle) {
+    std::size_t pos = body.find(key);
+    if (pos == std::string::npos) return;
+    handle(body.substr(pos + key.size()));
+  };
+  scan("sharq-lint:", [&](std::string rest) {
+    // Words up to an opening paren (free-text reason) or end.
+    if (std::size_t p = rest.find('('); p != std::string::npos) rest.resize(p);
+    std::replace(rest.begin(), rest.end(), ',', ' ');
+    std::istringstream is(rest);
+    std::vector<std::string> words;
+    for (std::string w; is >> w;) words.push_back(w);
+    Annotation::Scope scope = Annotation::kLine;
+    if (!words.empty()) {
+      if (words.back() == "file") { scope = Annotation::kFile; words.pop_back(); }
+      else if (words.back() == "begin") { scope = Annotation::kBegin; words.pop_back(); }
+      else if (words.back() == "end") { scope = Annotation::kEnd; words.pop_back(); }
+    }
+    for (const std::string& w : words) {
+      if (w.size() > 3 && w.compare(w.size() - 3, 3, "-ok") == 0) {
+        out.annotations.push_back(
+            Annotation{scope, w.substr(0, w.size() - 3), line});
+      }
+    }
+  });
+  scan("EXPECT-LINT:", [&](std::string rest) {
+    std::replace(rest.begin(), rest.end(), ',', ' ');
+    std::istringstream is(rest);
+    for (std::string w; is >> w;) out.expect_markers.emplace_back(line, w);
+  });
+}
+
+// Tokenize one file. Comments are consumed here (feeding annotations);
+// everything else becomes a token. `#include <name>` header-names are
+// lexed as a single kHeader token so include rules never confuse them
+// with less-than expressions.
+LexedFile lex_file(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool line_started_hash = false;   // current preproc line began with '#'
+  bool expect_header = false;       // just saw `# include`
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? text[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_started_hash = false;
+      expect_header = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      parse_comment(text.substr(i + 2, end - i - 2), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      const int start_line = line;
+      if (end == std::string::npos) end = n; else end += 2;
+      parse_comment(text.substr(i + 2, end - i - 2), start_line, out);
+      line += static_cast<int>(std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                                          text.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+      i = end;
+      continue;
+    }
+
+    // Preprocessor bookkeeping for header-name lexing.
+    if (c == '#') {
+      line_started_hash = true;
+      out.toks.push_back({Tok::kPunct, "#", line});
+      ++i;
+      continue;
+    }
+    if (expect_header && c == '<') {
+      std::size_t end = text.find('>', i + 1);
+      if (end != std::string::npos) {
+        out.toks.push_back({Tok::kHeader, text.substr(i + 1, end - i - 1), line});
+        i = end + 1;
+        expect_header = false;
+        continue;
+      }
+    }
+
+    // String literals (with encoding prefixes and raw strings).
+    if (c == '"' || ((c == 'L' || c == 'u' || c == 'U' || c == 'R') &&
+                     (peek(1) == '"' ||
+                      (c == 'u' && peek(1) == '8' && (peek(2) == '"' || (peek(2) == 'R' && peek(3) == '"'))) ||
+                      ((c == 'L' || c == 'u' || c == 'U') && peek(1) == 'R' && peek(2) == '"')))) {
+      // Advance to the opening quote, noting whether this is a raw string.
+      std::size_t q = i;
+      bool raw = false;
+      while (text[q] != '"') {
+        if (text[q] == 'R') raw = true;
+        ++q;
+      }
+      std::size_t end;
+      if (raw) {
+        // R"delim( ... )delim"
+        std::size_t p = text.find('(', q + 1);
+        const std::string delim = text.substr(q + 1, p - q - 1);
+        const std::string closer = ")" + delim + "\"";
+        end = text.find(closer, p + 1);
+        end = end == std::string::npos ? n : end + closer.size();
+      } else {
+        end = q + 1;
+        while (end < n && text[end] != '"') {
+          if (text[end] == '\\') ++end;
+          if (text[end] == '\n') break;  // unterminated; recover at newline
+          ++end;
+        }
+        if (end < n && text[end] == '"') ++end;
+      }
+      // Store the literal's body; the exact body only matters for
+      // metric-docs, which never uses raw strings, so the raw case may
+      // keep its delimiters.
+      const std::string body = raw ? text.substr(q, end - q)
+                                   : text.substr(q + 1, end > q + 1 ? end - q - 2 : 0);
+      out.toks.push_back({Tok::kString, body, line});
+      line += static_cast<int>(std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                                          text.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+      i = end;
+      continue;
+    }
+
+    // Char literals.
+    if (c == '\'') {
+      std::size_t end = i + 1;
+      while (end < n && text[end] != '\'') {
+        if (text[end] == '\\') ++end;
+        ++end;
+      }
+      out.toks.push_back({Tok::kChar, text.substr(i + 1, end - i - 1), line});
+      i = end < n ? end + 1 : n;
+      continue;
+    }
+
+    // Numbers (including hex, digit separators, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t end = i + 1;
+      while (end < n) {
+        const char d = text[end];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' || d == '\'') { ++end; continue; }
+        if ((d == '+' || d == '-') && (text[end - 1] == 'e' || text[end - 1] == 'E' ||
+                                       text[end - 1] == 'p' || text[end - 1] == 'P')) { ++end; continue; }
+        break;
+      }
+      out.toks.push_back({Tok::kNumber, text.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+
+    // Identifiers.
+    if (ident_start(c)) {
+      std::size_t end = i + 1;
+      while (end < n && ident_char(text[end])) ++end;
+      std::string id = text.substr(i, end - i);
+      if (line_started_hash && id == "include") expect_header = true;
+      out.toks.push_back({Tok::kIdent, std::move(id), line});
+      i = end;
+      continue;
+    }
+
+    // Punctuation: fold the multi-char operators the rules care about.
+    static const char* kTwoChar[] = {"<<", ">>", "->", "::"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && peek(1) == op[1]) {
+        // "<<=" / ">>=" are compound assignments, not the shift pattern.
+        if ((c == '<' || c == '>') && peek(2) == '=') break;
+        out.toks.push_back({Tok::kPunct, op, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression lookup
+// ---------------------------------------------------------------------------
+
+class Suppressions {
+ public:
+  explicit Suppressions(const LexedFile& f) {
+    std::map<std::string, int> open_regions;
+    for (const Annotation& a : f.annotations) {
+      switch (a.scope) {
+        case Annotation::kFile: file_.insert(a.rule); break;
+        case Annotation::kLine:
+          lines_[a.rule].push_back(a.line);
+          break;
+        case Annotation::kBegin: open_regions[a.rule] = a.line; break;
+        case Annotation::kEnd: {
+          auto it = open_regions.find(a.rule);
+          const int start = it == open_regions.end() ? 0 : it->second;
+          regions_[a.rule].emplace_back(start, a.line);
+          if (it != open_regions.end()) open_regions.erase(it);
+          break;
+        }
+      }
+    }
+    // An unclosed begin-region runs to end of file.
+    for (const auto& [rule, start] : open_regions) {
+      regions_[rule].emplace_back(start, 1 << 30);
+    }
+  }
+
+  bool suppressed(const std::string& rule, int line) const {
+    if (file_.count(rule)) return true;
+    if (auto it = lines_.find(rule); it != lines_.end()) {
+      for (int l : it->second) {
+        if (line == l || line == l + 1) return true;
+      }
+    }
+    if (auto it = regions_.find(rule); it != regions_.end()) {
+      for (const auto& [lo, hi] : it->second) {
+        if (line >= lo && line <= hi) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::set<std::string> file_;
+  std::map<std::string, std::vector<int>> lines_;
+  std::map<std::string, std::vector<std::pair<int, int>>> regions_;
+};
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    return std::tie(file, line, rule, message) <
+           std::tie(o.file, o.line, o.rule, o.message);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+// Index of the token after the matcher of toks[open] (which must be "(",
+// "[" or "{"); returns toks.size() on imbalance.
+std::size_t skip_balanced(const std::vector<Tok>& toks, std::size_t open) {
+  static const std::map<std::string, std::string> kMatch = {
+      {"(", ")"}, {"[", "]"}, {"{", "}"}};
+  const std::string& o = toks[open].text;
+  const std::string& cl = kMatch.at(o);
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    else if (toks[i].text == cl && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// From toks[open] == "<", skip a balanced template-argument list. Returns
+// the index after the closing ">" (treating ">>" as two closers), or
+// `open` itself if this does not look like a template argument list.
+std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == Tok::kPunct) {
+      if (t.text == "<") ++depth;
+      else if (t.text == ">") { if (--depth == 0) return i + 1; }
+      else if (t.text == ">>") { depth -= 2; if (depth <= 0) return i + 1; }
+      else if (t.text == ";" || t.text == "{") return open;  // not a template
+    }
+  }
+  return open;
+}
+
+bool is_const_like(const Tok& t) {
+  if (t.kind == Tok::kNumber) return true;
+  if (t.kind != Tok::kIdent) return false;
+  const std::string& s = t.text;
+  if (s == "sizeof" || s == "true" || s == "false") return true;
+  // k-constant convention (kTrafficClassCount) or ALL_CAPS macro.
+  if (s.size() >= 2 && s[0] == 'k' && std::isupper(static_cast<unsigned char>(s[1]))) return true;
+  bool caps = s.size() >= 2;
+  for (char c : s) {
+    caps = caps && (std::isupper(static_cast<unsigned char>(c)) ||
+                    std::isdigit(static_cast<unsigned char>(c)) || c == '_');
+  }
+  return caps;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: collect names declared with unordered container types.
+// ---------------------------------------------------------------------------
+
+// Scoping: type/alias names are global (aliases live in headers and name
+// the same thing everywhere). Variable/member/function names are global
+// only when declared in a HEADER — that is what lets `peers` declared in
+// session_manager.hpp flag the walks in session_manager.cpp. Names
+// declared in a .cpp stay local to that file, so one test's short-named
+// local (`std::unordered_set<int> s`) cannot poison every `s` in the tree.
+struct SymbolTable {
+  std::set<std::string> unordered_types;  // type/alias names
+  std::set<std::string> unordered_vars;   // variable/member/function names
+};
+
+bool is_header(const std::string& path) {
+  const std::string ext = fs::path(path).extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+void collect_unordered_decls(const LexedFile& f, SymbolTable& sym) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const bool base = kUnordered.count(toks[i].text) > 0;
+    const bool alias = !base && sym.unordered_types.count(toks[i].text) > 0;
+    if (!base && !alias) continue;
+
+    // `using X = std::unordered_map<...>;` — record the alias. Look back
+    // past `std ::` for `using X =`.
+    if (base) {
+      std::size_t b = i;
+      while (b >= 2 && ((toks[b - 1].kind == Tok::kPunct && toks[b - 1].text == "::") ||
+                        (toks[b - 1].kind == Tok::kIdent && toks[b - 1].text == "std"))) {
+        --b;
+      }
+      if (b >= 3 && toks[b - 1].text == "=" && toks[b - 2].kind == Tok::kIdent &&
+          toks[b - 3].kind == Tok::kIdent && toks[b - 3].text == "using") {
+        sym.unordered_types.insert(toks[b - 2].text);
+      }
+    }
+
+    // Declaration: TYPE<...> [&*const]* name   (members, locals, params,
+    // and functions returning an unordered container all count).
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].kind == Tok::kPunct && toks[j].text == "<") {
+      const std::size_t after = skip_template_args(toks, j);
+      if (after == j) continue;  // comparison, not a template arg list
+      j = after;
+    } else if (base) {
+      continue;  // bare `unordered_map` without args: using-decl etc.
+    }
+    while (j < toks.size() &&
+           ((toks[j].kind == Tok::kPunct && (toks[j].text == "&" || toks[j].text == "*")) ||
+            (toks[j].kind == Tok::kIdent && toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Tok::kIdent) {
+      sym.unordered_vars.insert(toks[j].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+// Names that mark a range expression as an ordered snapshot.
+bool has_ordered_snapshot_call(const std::vector<Tok>& toks, std::size_t lo,
+                               std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (toks[i].kind == Tok::kIdent &&
+        (toks[i].text == "ordered_keys" || toks[i].text == "ordered_items" ||
+         toks[i].text == "ordered_values")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_unordered_iter(const LexedFile& f, const SymbolTable& sym,
+                         const Suppressions& sup, std::vector<Finding>& out) {
+  const auto& toks = f.toks;
+  auto is_unordered_name = [&](const Tok& t) {
+    return t.kind == Tok::kIdent && (sym.unordered_vars.count(t.text) > 0 ||
+                                     sym.unordered_types.count(t.text) > 0);
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression mentions an unordered name.
+    if (toks[i].kind == Tok::kIdent && toks[i].text == "for" &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      const std::size_t close = skip_balanced(toks, i + 1);
+      // Find the top-level ':' of a range-for (depth 1 relative to the
+      // for-parens; `::` is a distinct token so plain ':' is unambiguous).
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (toks[j].kind != Tok::kPunct) continue;
+        if (toks[j].text == "(" || toks[j].text == "[" || toks[j].text == "{") ++depth;
+        else if (toks[j].text == ")" || toks[j].text == "]" || toks[j].text == "}") --depth;
+        else if (toks[j].text == ":" && depth == 1) { colon = j; break; }
+        else if (toks[j].text == ";") break;  // classic for-loop
+      }
+      if (colon != 0 && !has_ordered_snapshot_call(toks, colon, close)) {
+        for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+          if (is_unordered_name(toks[j]) && !sup.suppressed("unordered-iter", toks[j].line)) {
+            out.push_back({f.path, toks[i].line, "unordered-iter",
+                           "range-for over unordered container '" + toks[j].text +
+                               "': iteration order is hash-dependent and can leak "
+                               "into timers/wire/export ordering; use an ordered "
+                               "container or sharqfec/ordered.hpp, or annotate "
+                               "`// sharq-lint: unordered-iter-ok (reason)`"});
+            break;
+          }
+        }
+      }
+    }
+    // begin()/end() family on an unordered name: explicit iterator walks.
+    if (toks[i].kind == Tok::kIdent && i + 2 < toks.size() &&
+        toks[i + 1].kind == Tok::kPunct &&
+        (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+        toks[i + 2].kind == Tok::kIdent) {
+      // Only the begin() family: a walk cannot start at end(), and
+      // `m.find(k) == m.end()` is the (order-free) lookup idiom.
+      static const std::set<std::string> kIter = {"begin", "cbegin", "rbegin"};
+      if (kIter.count(toks[i + 2].text) && is_unordered_name(toks[i]) &&
+          !sup.suppressed("unordered-iter", toks[i].line)) {
+        out.push_back({f.path, toks[i].line, "unordered-iter",
+                       "iterator walk over unordered container '" + toks[i].text +
+                           "': order is hash-dependent; use an ordered container "
+                           "or sharqfec/ordered.hpp, or annotate "
+                           "`// sharq-lint: unordered-iter-ok (reason)`"});
+      }
+    }
+  }
+}
+
+void rule_wall_clock(const LexedFile& f, const Suppressions& sup,
+                     std::vector<Finding>& out) {
+  static const std::set<std::string> kBannedIdents = {
+      "rand", "srand", "drand48", "lrand48", "random_device", "mt19937",
+      "mt19937_64", "minstd_rand", "default_random_engine", "system_clock",
+      "steady_clock", "high_resolution_clock", "gettimeofday",
+      "clock_gettime", "localtime", "gmtime", "strftime"};
+  static const std::set<std::string> kBannedHeaders = {"chrono", "ctime",
+                                                       "time.h", "sys/time.h",
+                                                       "random"};
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == Tok::kHeader && kBannedHeaders.count(t.text) &&
+        !sup.suppressed("wall-clock", t.line)) {
+      out.push_back({f.path, t.line, "wall-clock",
+                     "#include <" + t.text + "> in src/: wall-clock time and "
+                         "ambient randomness break same-seed reproducibility; "
+                         "use sim/random.hpp and Simulator::now()"});
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    const bool member = i > 0 && toks[i - 1].kind == Tok::kPunct &&
+                        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (member) continue;  // obj.rand() is somebody else's method
+    bool banned = kBannedIdents.count(t.text) > 0;
+    // `time(...)` as a free function call (std::time / ::time).
+    if (!banned && t.text == "time" && i + 1 < toks.size() &&
+        toks[i + 1].kind == Tok::kPunct && toks[i + 1].text == "(") {
+      banned = true;
+    }
+    if (banned && !sup.suppressed("wall-clock", t.line)) {
+      out.push_back({f.path, t.line, "wall-clock",
+                     "'" + t.text + "' is a nondeterminism source: every "
+                         "stochastic or temporal input must flow through "
+                         "sim/random.hpp or the Simulator clock"});
+    }
+  }
+}
+
+void rule_event_tag(const LexedFile& f, const Suppressions& sup,
+                    std::vector<Finding>& out) {
+  const auto& toks = f.toks;
+  auto simulator_receiver = [&](std::size_t dot) -> bool {
+    if (dot == 0) return false;
+    const Tok& r = toks[dot - 1];
+    if (r.kind == Tok::kIdent) {
+      return r.text == "sim" || r.text == "sim_" || r.text == "simu" ||
+             r.text == "simu_" || r.text == "simulator" || r.text == "simulator_";
+    }
+    // `... .simulator().after(...)` — receiver is a call: look through `()`.
+    if (r.kind == Tok::kPunct && r.text == ")" && dot >= 3 &&
+        toks[dot - 2].text == "(" && toks[dot - 3].kind == Tok::kIdent) {
+      return toks[dot - 3].text == "simulator";
+    }
+    return false;
+  };
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || (toks[i].text != "at" && toks[i].text != "after")) continue;
+    if (toks[i - 1].kind != Tok::kPunct ||
+        (toks[i - 1].text != "." && toks[i - 1].text != "->")) continue;
+    if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") continue;
+    if (!simulator_receiver(i - 1)) continue;
+    const std::size_t close = skip_balanced(toks, i + 1);
+    // Split the argument list at top-level commas.
+    int depth = 0;
+    std::vector<std::size_t> commas;
+    for (std::size_t j = i + 1; j < close - 1; ++j) {
+      if (toks[j].kind != Tok::kPunct) continue;
+      if (toks[j].text == "(" || toks[j].text == "[" || toks[j].text == "{") ++depth;
+      else if (toks[j].text == ")" || toks[j].text == "]" || toks[j].text == "}") --depth;
+      else if (toks[j].text == "," && depth == 1) commas.push_back(j);
+    }
+    bool ok = commas.size() >= 2;  // at(when, fn, tag): >= 3 arguments
+    if (ok) {
+      // The tag argument must be a string literal or a plain identifier
+      // expression (e.g. `tag_`, `e.tag`) — not a lambda, not nullptr.
+      const std::size_t lo = commas.back() + 1;
+      bool has_str = false, has_brace = false, has_null = false;
+      for (std::size_t j = lo; j + 1 < close; ++j) {
+        if (toks[j].kind == Tok::kString) has_str = true;
+        if (toks[j].kind == Tok::kPunct && toks[j].text == "{") has_brace = true;
+        if (toks[j].kind == Tok::kIdent && (toks[j].text == "nullptr" || toks[j].text == "NULL"))
+          has_null = true;
+      }
+      const bool ident_tag = !has_str && !has_brace && !has_null && lo + 1 <= close - 1;
+      ok = (has_str || ident_tag) && !has_brace && !has_null;
+    }
+    if (!ok && !sup.suppressed("event-tag", toks[i].line)) {
+      out.push_back({f.path, toks[i].line, "event-tag",
+                     "Simulator::" + toks[i].text + "() call site without an event "
+                         "tag: per-tag event counters are part of the metrics "
+                         "contract (docs/OBSERVABILITY.md); pass a string-literal "
+                         "tag as the last argument"});
+    }
+  }
+}
+
+void rule_unchecked_shift(const LexedFile& f, const Suppressions& sup,
+                          std::vector<Finding>& out) {
+  const auto& toks = f.toks;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct || toks[i].text != "<<") continue;
+    const Tok& lhs = toks[i - 1];
+    if (lhs.kind != Tok::kNumber) continue;
+    if (lhs.text.find('.') != std::string::npos) continue;  // float stream
+    // Constant-fold-visible RHS is fine.
+    const Tok& rhs = toks[i + 1];
+    bool constant = false;
+    if (is_const_like(rhs)) {
+      constant = true;
+    } else if (rhs.kind == Tok::kPunct && rhs.text == "(") {
+      const std::size_t close = skip_balanced(toks, i + 1);
+      constant = true;
+      for (std::size_t j = i + 2; j + 1 < close; ++j) {
+        if (toks[j].kind == Tok::kPunct) continue;
+        if (!is_const_like(toks[j])) { constant = false; break; }
+      }
+    }
+    if (!constant && !sup.suppressed("unchecked-shift", toks[i].line)) {
+      out.push_back({f.path, toks[i].line, "unchecked-shift",
+                     "'" + lhs.text + " << " + rhs.text + "': shifting a literal "
+                         "by a non-constant is UB once the count reaches the "
+                         "operand width (the TraceWriter forged-class bug); "
+                         "bound-check the count, then annotate "
+                         "`// sharq-lint: unchecked-shift-ok (guard)`"});
+    }
+  }
+}
+
+void rule_metric_docs(const LexedFile& f, const Suppressions& sup,
+                      const std::string& doc_text, std::vector<Finding>& out) {
+  const auto& toks = f.toks;
+  auto documented = [&](const std::string& name) {
+    return doc_text.find("`" + name + "`") != std::string::npos;
+  };
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& id = toks[i].text;
+    const bool metric_reg = id == "counter" || id == "gauge" || id == "histogram";
+    const bool tag_reg = id == "set_tag";
+    if (!metric_reg && !tag_reg) continue;
+    if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") continue;
+    if (toks[i + 2].kind != Tok::kString) continue;
+    const std::string& name = toks[i + 2].text;
+    if (name.empty()) continue;
+    if (!documented(name) && !sup.suppressed("metric-docs", toks[i].line)) {
+      out.push_back({f.path, toks[i].line, "metric-docs",
+                     std::string(metric_reg ? "metric family" : "event tag") +
+                         " \"" + name + "\" is not documented in "
+                         "docs/OBSERVABILITY.md: add a catalog row (the doc is "
+                         "part of the metrics schema contract)"});
+    }
+  }
+  // Event tags passed as the literal last argument of Simulator::at/after.
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kString) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != ")") continue;
+    if (toks[i - 1].kind != Tok::kPunct || toks[i - 1].text != ",") continue;
+    // Only treat as a tag when it looks like one ("area.name") to avoid
+    // matching arbitrary string arguments.
+    const std::string& name = toks[i].text;
+    if (name.find('.') == std::string::npos || name.find(' ') != std::string::npos) continue;
+    if (!documented(name) && !sup.suppressed("metric-docs", toks[i].line)) {
+      out.push_back({f.path, toks[i].line, "metric-docs",
+                     "event tag \"" + name + "\" is not documented in "
+                         "docs/OBSERVABILITY.md: add it to the event-tag table"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string doc_path = "docs/OBSERVABILITY.md";
+  bool all_scopes = false;  // fixtures: every rule applies everywhere
+  std::string self_test_dir;
+};
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+
+// Default rule scoping by tree location (relative paths from the repo
+// root). tests/ may schedule untagged events and shift ad hoc; wall-clock
+// and the docs contract are properties of the library tree.
+bool rule_applies(const std::string& rule, const std::string& path,
+                  bool all_scopes) {
+  if (all_scopes) return true;
+  const bool in_src = starts_with(path, "src/");
+  const bool in_tests = starts_with(path, "tests/");
+  if (rule == "wall-clock" || rule == "metric-docs") return in_src;
+  if (rule == "event-tag" || rule == "unchecked-shift") return !in_tests;
+  return true;  // unordered-iter: whole tree
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    fs::path rp(root);
+    if (fs::is_regular_file(rp)) {
+      files.push_back(rp.generic_string());
+      continue;
+    }
+    if (!fs::is_directory(rp)) continue;
+    for (auto it = fs::recursive_directory_iterator(rp);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          (starts_with(name, "build") || name == ".git" || name == "fixtures")) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Finding> run_lint(const std::vector<std::string>& files,
+                              const Options& opt) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  // Global table: header declarations only (see SymbolTable). Types from
+  // .cpp files still feed the global alias set — a type names the same
+  // thing wherever it is spelled.
+  SymbolTable sym;
+  auto collect_scoped = [&](const LexedFile& f, SymbolTable& into) {
+    if (is_header(f.path)) {
+      collect_unordered_decls(f, into);
+    } else {
+      SymbolTable local;
+      local.unordered_types = into.unordered_types;
+      collect_unordered_decls(f, local);
+      into.unordered_types = std::move(local.unordered_types);
+    }
+  };
+  for (const std::string& path : files) {
+    lexed.push_back(lex_file(path, slurp(path)));
+    collect_scoped(lexed.back(), sym);
+  }
+  // Alias declarations may be seen after their uses in file order; one
+  // more collection round reaches the fixed point for one level of
+  // aliasing, which is all the tree uses.
+  for (const LexedFile& f : lexed) collect_scoped(f, sym);
+
+  const std::string doc_text = slurp(opt.doc_path);
+  std::vector<Finding> findings;
+  for (const LexedFile& f : lexed) {
+    const Suppressions sup(f);
+    if (rule_applies("unordered-iter", f.path, opt.all_scopes)) {
+      // Effective table for this file: globals plus its own declarations.
+      SymbolTable eff = sym;
+      collect_unordered_decls(f, eff);
+      rule_unordered_iter(f, eff, sup, findings);
+    }
+    if (rule_applies("wall-clock", f.path, opt.all_scopes))
+      rule_wall_clock(f, sup, findings);
+    if (rule_applies("event-tag", f.path, opt.all_scopes))
+      rule_event_tag(f, sup, findings);
+    if (rule_applies("unchecked-shift", f.path, opt.all_scopes))
+      rule_unchecked_shift(f, sup, findings);
+    if (rule_applies("metric-docs", f.path, opt.all_scopes))
+      rule_metric_docs(f, sup, doc_text, findings);
+  }
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+// Self-test: every fixture line marked `// EXPECT-LINT: rule` must produce
+// exactly that finding, and no unmarked finding may appear.
+int run_self_test(const Options& opt) {
+  std::vector<std::string> files = collect_files({opt.self_test_dir});
+  if (files.empty()) {
+    std::fprintf(stderr, "sharq_lint: no fixtures under %s\n",
+                 opt.self_test_dir.c_str());
+    return 2;
+  }
+  Options fixture_opt = opt;
+  fixture_opt.all_scopes = true;
+  // The fixture doc lives next to the fixtures.
+  const fs::path doc = fs::path(opt.self_test_dir) / "observability_fixture.md";
+  if (fs::exists(doc)) fixture_opt.doc_path = doc.generic_string();
+
+  std::set<std::pair<std::string, std::pair<int, std::string>>> expected;
+  for (const std::string& path : files) {
+    const LexedFile f = lex_file(path, slurp(path));
+    for (const auto& [line, rule] : f.expect_markers) {
+      expected.insert({path, {line, rule}});
+    }
+  }
+  std::set<std::pair<std::string, std::pair<int, std::string>>> got;
+  for (const Finding& fi : run_lint(files, fixture_opt)) {
+    got.insert({fi.file, {fi.line, fi.rule}});
+  }
+  int rc = 0;
+  for (const auto& e : expected) {
+    if (!got.count(e)) {
+      std::fprintf(stderr, "self-test FAIL: expected %s:%d: [%s] not reported\n",
+                   e.first.c_str(), e.second.first, e.second.second.c_str());
+      rc = 1;
+    }
+  }
+  for (const auto& g : got) {
+    if (!expected.count(g)) {
+      std::fprintf(stderr, "self-test FAIL: unexpected %s:%d: [%s]\n",
+                   g.first.c_str(), g.second.first, g.second.second.c_str());
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("sharq_lint self-test: %zu expectations across %zu fixtures OK\n",
+                expected.size(), files.size());
+  }
+  return rc;
+}
+
+void print_rules() {
+  std::printf(
+      "unordered-iter   no iteration over unordered containers (order feeds output)\n"
+      "wall-clock       no wall-clock/randomness sources in src/ outside sim/random.hpp\n"
+      "event-tag        Simulator::at/after call sites must carry an event tag\n"
+      "unchecked-shift  no literal-<<-nonconstant shifts without a bound-check\n"
+      "metric-docs      metric families and event tags must be in docs/OBSERVABILITY.md\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list-rules") { print_rules(); return 0; }
+    if (a == "--all-scopes") { opt.all_scopes = true; continue; }
+    if (starts_with(a, "--doc=")) { opt.doc_path = a.substr(6); continue; }
+    if (a == "--doc" && i + 1 < argc) { opt.doc_path = argv[++i]; continue; }
+    if (a == "--self-test" && i + 1 < argc) { opt.self_test_dir = argv[++i]; continue; }
+    if (starts_with(a, "--")) {
+      std::fprintf(stderr, "sharq_lint: unknown option %s\n", a.c_str());
+      return 2;
+    }
+    opt.paths.push_back(a);
+  }
+  if (!opt.self_test_dir.empty()) return run_self_test(opt);
+  if (opt.paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: sharq_lint [--doc PATH] [--all-scopes] [--list-rules] "
+                 "[--self-test FIXTURE_DIR] paths...\n");
+    return 2;
+  }
+  const std::vector<std::string> files = collect_files(opt.paths);
+  const std::vector<Finding> findings = run_lint(files, opt);
+  for (const Finding& fi : findings) {
+    std::printf("%s:%d: [%s] %s\n", fi.file.c_str(), fi.line, fi.rule.c_str(),
+                fi.message.c_str());
+  }
+  if (findings.empty()) {
+    std::printf("sharq_lint: %zu files clean\n", files.size());
+    return 0;
+  }
+  std::printf("sharq_lint: %zu finding(s) in %zu files\n", findings.size(),
+              files.size());
+  return 1;
+}
