@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate a sharqfec causal event journal (JSONL from --journal).
+
+Usage: check_journal.py JOURNAL.jsonl [--require-recovery]
+
+Checks, in order:
+  parse      every line is a self-contained JSON object
+  schema     each event carries id/t/node/group/ev/cause/attrs with the
+             right types (ids integral >= 1, t a number, ev a non-empty
+             string, attrs an object of scalars)
+  order      ids are strictly increasing and timestamps never go
+             backwards (the journal is append-only in simulation time)
+  causality  every non-zero cause refers to an id emitted EARLIER in the
+             same journal — cause edges always point backwards, so the
+             file is topologically ordered and every event is traceable
+  recovery   with --require-recovery, the events a lossy run must emit
+             (loss.detected, nack.sent, repair.received, group.complete)
+             all appear at least once
+
+Exit status 0 on success; prints one line per failure otherwise.
+"""
+
+import collections
+import json
+import sys
+
+REQUIRED_KEYS = ("id", "t", "node", "group", "ev", "cause", "attrs")
+
+RECOVERY_EVENTS = [
+    "group.first_arrival",
+    "loss.detected",
+    "nack.sent",
+    "repair.sent",
+    "repair.received",
+    "group.complete",
+]
+
+
+def check(lines, require_recovery):
+    errors = []
+    seen_ids = set()
+    last_id = 0
+    last_t = None
+    counts = collections.Counter()
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        where = f"line {lineno}"
+        try:
+            ev = json.loads(raw)
+        except json.JSONDecodeError as e:
+            errors.append(f"parse: {where}: {e}")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in ev]
+        if missing:
+            errors.append(f"schema: {where}: missing {missing}")
+            continue
+        eid, cause = ev["id"], ev["cause"]
+        if not isinstance(eid, int) or eid < 1:
+            errors.append(f"schema: {where}: bad id {eid!r}")
+            continue
+        if not isinstance(cause, int) or cause < 0:
+            errors.append(f"schema: {where}: bad cause {cause!r}")
+        if not isinstance(ev["t"], (int, float)):
+            errors.append(f"schema: {where}: bad t {ev['t']!r}")
+        if not isinstance(ev["node"], int) or not isinstance(ev["group"], int):
+            errors.append(f"schema: {where}: bad node/group")
+        if not isinstance(ev["ev"], str) or not ev["ev"]:
+            errors.append(f"schema: {where}: bad ev {ev['ev']!r}")
+        if not isinstance(ev["attrs"], dict) or not all(
+                isinstance(v, (int, float, str))
+                for v in ev["attrs"].values()):
+            errors.append(f"schema: {where}: attrs must be scalar-valued")
+        if eid <= last_id:
+            errors.append(f"order: {where}: id {eid} after {last_id}")
+        if isinstance(ev["t"], (int, float)):
+            if last_t is not None and ev["t"] < last_t:
+                errors.append(
+                    f"order: {where}: t {ev['t']} before {last_t}")
+            last_t = ev["t"]
+        if cause:
+            if cause >= eid:
+                errors.append(
+                    f"causality: {where}: cause {cause} not before id {eid}")
+            elif cause not in seen_ids:
+                errors.append(
+                    f"causality: {where}: cause {cause} never emitted")
+        seen_ids.add(eid)
+        last_id = max(last_id, eid)
+        if isinstance(ev["ev"], str):
+            counts[ev["ev"]] += 1
+
+    if require_recovery:
+        for name in RECOVERY_EVENTS:
+            if counts[name] == 0:
+                errors.append(f"recovery: no {name} events in a lossy run")
+
+    return errors, counts
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    require_recovery = "--require-recovery" in argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(args[0], encoding="utf-8") as f:
+        errors, counts = check(f, require_recovery)
+    for e in errors:
+        print(f"check_journal: {e}", file=sys.stderr)
+    if not errors:
+        total = sum(counts.values())
+        print(f"check_journal: OK ({total} events, "
+              f"{len(counts)} distinct types)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

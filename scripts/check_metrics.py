@@ -12,6 +12,9 @@ Checks, in order:
              all present
   traffic    with --require-traffic, the counters a lossy run cannot
              leave at zero (data sends, NACKs, repairs) are non-zero
+  series     when the optional top-level "series" section is present
+             (sharqfec_sim --metrics-json), it carries a positive
+             bin_width and one numeric list per traffic class
 
 Exit status 0 on success; prints one line per failure otherwise.
 """
@@ -110,6 +113,25 @@ def check(doc, require_traffic):
         elif fam.get("type") != ftype:
             errors.append(
                 f"catalog: {name}: expected {ftype}, got {fam.get('type')}")
+
+    series = doc.get("series")
+    if series is not None:
+        classes = series.get("classes") if isinstance(series, dict) else None
+        width = series.get("bin_width") if isinstance(series, dict) else None
+        if not isinstance(width, (int, float)) or width <= 0:
+            errors.append(f"series: bad bin_width {width!r}")
+        if not isinstance(classes, dict):
+            errors.append("series: 'classes' is not an object")
+        else:
+            expected = {"control", "data", "nack", "repair", "session"}
+            if set(classes) != expected:
+                errors.append(
+                    f"series: class keys {sorted(classes)} != "
+                    f"{sorted(expected)}")
+            for cls, bins in classes.items():
+                if not isinstance(bins, list) or not all(
+                        isinstance(v, (int, float)) for v in bins):
+                    errors.append(f"series: {cls}: bins are not numbers")
 
     if require_traffic:
         for name in NONZERO_ON_TRAFFIC:

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "sharqfec/ordered.hpp"
+#include "stats/journal.hpp"
 #include "stats/metrics.hpp"
 
 namespace sharq::net {
@@ -55,6 +56,22 @@ void Network::set_metrics(stats::Metrics* metrics) {
 
 void Network::count_drop(DropReason reason) {
   if (metrics_) drops_by_reason_[static_cast<int>(reason)]->inc();
+}
+
+void Network::journal_drop(LinkId link, const Packet& packet,
+                           DropReason reason) {
+  if (!journal_) return;
+  // Only recovery traffic: a lost NACK or repair breaks a causal chain the
+  // analyzer would otherwise call "stuck", so the drop itself is the
+  // explanation. Data loss is ordinary here and surfaces as loss.detected.
+  if (packet.cls != TrafficClass::kNack && packet.cls != TrafficClass::kRepair)
+    return;
+  journal_->emit("net.dropped", simu_.now(), links_[link].to, -1,
+                 journal_->uid_event(packet.uid),
+                 {{"class", to_string(packet.cls)},
+                  {"from", links_[link].from},
+                  {"reason", to_string(reason)},
+                  {"to", links_[link].to}});
 }
 
 NodeId Network::add_node() {
@@ -350,11 +367,13 @@ void Network::transmit(LinkId link, const Packet& packet) {
   Link& l = links_[link];
   if (!l.up) {
     count_drop(DropReason::kLinkDown);
+    journal_drop(link, packet, DropReason::kLinkDown);
     if (sink_) sink_->on_drop(simu_.now(), link, packet, DropReason::kLinkDown);
     return;
   }
   if (l.queue_limit_pkts >= 0 && l.queued >= l.queue_limit_pkts) {
     count_drop(DropReason::kQueueFull);
+    journal_drop(link, packet, DropReason::kQueueFull);
     if (sink_) {
       sink_->on_drop(simu_.now(), link, packet, DropReason::kQueueFull);
     }
@@ -375,6 +394,7 @@ void Network::transmit(LinkId link, const Packet& packet) {
         Link& lk = links_[link];
         if (!lk.up || lk.epoch != epoch) {  // link or endpoint died mid-flight
           count_drop(DropReason::kEpochKill);
+          journal_drop(link, packet, DropReason::kEpochKill);
           if (sink_) {
             sink_->on_drop(simu_.now(), link, packet, DropReason::kEpochKill);
           }
@@ -384,6 +404,7 @@ void Network::transmit(LinkId link, const Packet& packet) {
         const PacketFate fate = lk.cond.next(lk.rng, packet);
         if (fate.drop) {
           count_drop(DropReason::kLoss);
+          journal_drop(link, packet, DropReason::kLoss);
           if (sink_) {
             sink_->on_drop(simu_.now(), link, packet, DropReason::kLoss);
           }

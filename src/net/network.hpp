@@ -15,8 +15,9 @@
 #include "sim/simulator.hpp"
 
 namespace sharq::stats {
-class Metrics;
 class Counter;
+class Journal;
+class Metrics;
 }  // namespace sharq::stats
 
 namespace sharq::net {
@@ -221,6 +222,12 @@ class Network {
   /// net.corrupted, net.duplicated. Pass nullptr to detach.
   void set_metrics(stats::Metrics* metrics);
 
+  /// Attach the recovery-lifecycle journal: drops of recovery traffic
+  /// (NACK / repair classes only — data loss is ordinary, journaled
+  /// indirectly as `loss.detected`) become `net.dropped` events whose
+  /// cause is the event that sent the packet. Pass nullptr to detach.
+  void set_journal(stats::Journal* journal) { journal_ = journal; }
+
   sim::Simulator& simulator() { return simu_; }
 
   /// Drop all routing/forwarding caches (topology editing mid-run).
@@ -289,9 +296,11 @@ class Network {
   std::vector<Routing> routing_;  // per source node
   std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwd_cache_;
   void count_drop(DropReason reason);
+  void journal_drop(LinkId link, const Packet& packet, DropReason reason);
 
   TrafficSink* sink_ = nullptr;
   stats::Metrics* metrics_ = nullptr;
+  stats::Journal* journal_ = nullptr;
   stats::Counter* sends_by_class_[kTrafficClassCount] = {};
   stats::Counter* drops_by_reason_[4] = {};
   stats::Counter* corrupted_ = nullptr;

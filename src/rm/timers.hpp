@@ -14,11 +14,27 @@ struct TimerPolicy {
   double d1 = 1.0;  ///< reply window start multiplier
   double d2 = 1.0;  ///< reply window width multiplier
 
+  /// The window a request delay was drawn from, for observability: the
+  /// flight recorder journals the sampled window alongside the draw so a
+  /// trace shows *why* a NACK waited as long as it did.
+  struct RequestDraw {
+    double lo = 0.0;     ///< window start, 2^i * c1 * d
+    double hi = 0.0;     ///< window end, 2^i * (c1+c2) * d
+    double scale = 1.0;  ///< the 2^i backoff factor
+  };
+
   /// Request delay: uniform on 2^i * [c1*d, (c1+c2)*d], where d is the
   /// one-way distance estimate to the source and i the backoff stage.
-  sim::Time request_delay(sim::Rng& rng, sim::Time d, int backoff_stage) const {
+  /// When `draw` is non-null the sampled window is reported through it.
+  sim::Time request_delay(sim::Rng& rng, sim::Time d, int backoff_stage,
+                          RequestDraw* draw = nullptr) const {
     const double scale = static_cast<double>(
         1u << clamp_stage(backoff_stage));  // sharq-lint: unchecked-shift-ok (clamp_stage bounds to [0,16])
+    if (draw) {
+      draw->lo = scale * c1 * d;
+      draw->hi = scale * (c1 + c2) * d;
+      draw->scale = scale;
+    }
     return scale * rng.uniform(c1 * d, (c1 + c2) * d);
   }
 

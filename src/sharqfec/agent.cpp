@@ -30,6 +30,7 @@ Agent::Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
     m_duplicate_rejects_ =
         &cfg.metrics->counter("sharqfec.duplicate_rejects", by_node);
   }
+  journal_ = cfg.journal;
 }
 
 bool Agent::first_sighting(std::uint64_t uid) {
@@ -50,11 +51,23 @@ void Agent::on_receive(const net::Packet& packet) {
   if (packet.corrupted) {
     ++corrupt_rejects_;
     if (m_corrupt_rejects_) m_corrupt_rejects_->inc();
+    if (journal_) {
+      journal_->emit("pkt.rejected", network().simulator().now(), node(),
+                     /*group=*/-1, journal_->uid_event(packet.uid),
+                     {{"class", net::to_string(packet.cls)},
+                      {"reason", "corrupt"}});
+    }
     return;
   }
   if (!first_sighting(packet.uid)) {
     ++duplicate_rejects_;
     if (m_duplicate_rejects_) m_duplicate_rejects_->inc();
+    if (journal_) {
+      journal_->emit("pkt.rejected", network().simulator().now(), node(),
+                     /*group=*/-1, journal_->uid_event(packet.uid),
+                     {{"class", net::to_string(packet.cls)},
+                      {"reason", "duplicate"}});
+    }
     return;
   }
   if (transfer_->handle(packet)) return;

@@ -77,6 +77,7 @@ class Agent final : public net::Agent {
   std::uint64_t duplicate_rejects_ = 0;
   stats::Counter* m_corrupt_rejects_ = nullptr;
   stats::Counter* m_duplicate_rejects_ = nullptr;
+  stats::Journal* journal_ = nullptr;  ///< cfg.journal, cached
 };
 
 }  // namespace sharq::sfq

@@ -7,6 +7,7 @@
 #include "sim/time.hpp"
 
 namespace sharq::stats {
+class Journal;
 class Metrics;
 }  // namespace sharq::stats
 
@@ -102,6 +103,11 @@ struct Config {
   /// here; null disables instrumentation with no hot-path cost beyond a
   /// pointer test.
   stats::Metrics* metrics = nullptr;
+  /// Optional recovery-lifecycle flight recorder (not owned; must outlive
+  /// the protocol objects). Engines journal causally linked lifecycle
+  /// events here (docs/OBSERVABILITY.md catalog); null disables the
+  /// recorder the same way.
+  stats::Journal* journal = nullptr;
 };
 
 }  // namespace sharq::sfq

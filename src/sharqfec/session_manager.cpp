@@ -53,6 +53,7 @@ SessionManager::SessionManager(net::Network& net, Hierarchy& hier,
     root.zcr = node_;
     root.zcr_parent_dist = 0.0;
   }
+  journal_ = cfg_.journal;
   // Provider-configured static ZCRs (paper §5.2): seed the election state
   // so zones converge instantly; the challenge machinery stays armed for
   // failover.
@@ -79,6 +80,12 @@ void SessionManager::register_metrics() {
     const stats::Labels by_scope{{"node", node}, {"scope", std::to_string(l)}};
     m_session_msgs_[l] = &m->counter("sharqfec.session_msgs", by_scope);
   }
+}
+
+stats::EventId SessionManager::jnl(const char* ev, stats::EventId cause,
+                                   const stats::Attrs& attrs) {
+  if (!journal_) return 0;
+  return journal_->emit(ev, simu_.now(), node_, /*group=*/-1, cause, attrs);
 }
 
 void SessionManager::start() {
@@ -426,6 +433,9 @@ void SessionManager::schedule_watchdog(int level) {
       if (l.zcr != net::kNoNode &&
           (l.zcr_last_heard == sim::kTimeNever ||
            simu_.now() - l.zcr_last_heard > cfg_.zcr_watchdog_period)) {
+        if (journal_) {
+          jnl("zcr.expired", 0, {{"old_zcr", l.zcr}, {"zone", l.zone}});
+        }
         l.zcr = net::kNoNode;
         l.zcr_parent_dist = -1.0;
         ++zcr_expiries_;
@@ -448,8 +458,15 @@ void SessionManager::issue_challenge(int level) {
       PendingChallenge{msg->zone, node_, simu_.now(), true};
   ++challenges_sent_;
   if (m_challenges_) m_challenges_->inc();
-  net_.send(node_, hier_.session_channel(parent_zone),
-            net::TrafficClass::kControl, 40, msg, /*lossless=*/true);
+  const std::uint64_t uid =
+      net_.send(node_, hier_.session_channel(parent_zone),
+                net::TrafficClass::kControl, 40, msg, /*lossless=*/true);
+  if (journal_) {
+    // Challenges start rounds (periodic or watchdog-driven): cause 0.
+    journal_->bind_uid(
+        uid, jnl("zcr.challenge", 0,
+                 {{"challenge_id", msg->challenge_id}, {"zone", msg->zone}}));
+  }
 }
 
 void SessionManager::handle_challenge(const ZcrChallengeMsg& msg) {
@@ -472,9 +489,16 @@ void SessionManager::handle_challenge(const ZcrChallengeMsg& msg) {
   resp->processing_delay = cfg_.zcr_processing_delay;
   simu_.after(
       cfg_.zcr_processing_delay,
-      [this, resp, parent_zone] {
-        net_.send(node_, hier_.session_channel(parent_zone),
-                  net::TrafficClass::kControl, 40, resp, /*lossless=*/true);
+      [this, resp, parent_zone, cause = cause_in_] {
+        const std::uint64_t uid =
+            net_.send(node_, hier_.session_channel(parent_zone),
+                      net::TrafficClass::kControl, 40, resp, /*lossless=*/true);
+        if (journal_) {
+          journal_->bind_uid(
+              uid, jnl("zcr.response", cause,
+                       {{"challenge_id", resp->challenge_id},
+                        {"zone", resp->zone}}));
+        }
       },
       "session.response");
 }
@@ -521,6 +545,7 @@ void SessionManager::consider_takeover(int level, double my_dist) {
   if (!claim_beats(my_dist, node_, lv.zcr_parent_dist, lv.zcr)) return;
   if (lv.takeover_timer->pending() && lv.candidate_dist <= my_dist) return;
   lv.candidate_dist = my_dist;
+  lv.takeover_cause = cause_in_;  // the response that revealed a better claim
   const sim::Time delay =
       cfg_.takeover_delay_factor * my_dist + rng_.uniform(0.0, 0.01);
   lv.takeover_timer->arm(delay, [this, level] {
@@ -542,6 +567,12 @@ void SessionManager::become_zcr(int level, double dist_to_parent) {
   lv.zcr = node_;
   lv.zcr_parent_dist = dist_to_parent;
   lv.zcr_last_heard = simu_.now();
+  stats::EventId takeover_ev = 0;
+  if (journal_) {
+    takeover_ev = jnl("zcr.takeover", lv.takeover_cause,
+                      {{"dist", dist_to_parent}, {"zone", lv.zone}});
+    lv.takeover_cause = 0;
+  }
   auto announce = [&](net::ZoneId zone) {
     auto msg = std::make_shared<ZcrTakeoverMsg>();
     msg->new_zcr = node_;
@@ -549,8 +580,10 @@ void SessionManager::become_zcr(int level, double dist_to_parent) {
     msg->dist_to_parent = dist_to_parent;
     ++takeovers_sent_;
     if (m_takeovers_) m_takeovers_->inc();
-    net_.send(node_, hier_.session_channel(zone), net::TrafficClass::kControl,
-              32, msg, /*lossless=*/true);
+    const std::uint64_t uid =
+        net_.send(node_, hier_.session_channel(zone),
+                  net::TrafficClass::kControl, 32, msg, /*lossless=*/true);
+    if (journal_) journal_->bind_uid(uid, takeover_ev);
   };
   announce(lv.zone);
   if (level + 1 < static_cast<int>(levels_.size())) {
@@ -590,6 +623,7 @@ void SessionManager::handle_takeover(const ZcrTakeoverMsg& msg) {
     if (lv.zcr_parent_dist >= 0.0 &&
         claim_beats(lv.zcr_parent_dist, node_, msg.dist_to_parent,
                     msg.new_zcr)) {
+      lv.takeover_cause = cause_in_;  // reassertion answers the usurper
       become_zcr(l, lv.zcr_parent_dist);
       return;
     }
@@ -612,6 +646,9 @@ void SessionManager::handle_takeover(const ZcrTakeoverMsg& msg) {
 // --- dispatch ----------------------------------------------------------------
 
 bool SessionManager::handle(const net::Packet& packet) {
+  // Cross-node causality: whatever this packet triggers is caused by the
+  // event that sent it (bound to the uid on the sender's side).
+  cause_in_ = journal_ ? journal_->uid_event(packet.uid) : 0;
   if (const auto* s = packet.as<SessionMsg>()) {
     const int l = level_index(s->zone);
     if (l >= 0) handle_session(*s, l);

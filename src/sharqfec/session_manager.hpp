@@ -11,6 +11,7 @@
 #include "sharqfec/hierarchy.hpp"
 #include "sharqfec/messages.hpp"
 #include "sim/simulator.hpp"
+#include "stats/journal.hpp"
 #include "stats/metrics.hpp"
 
 namespace sharq::sfq {
@@ -125,6 +126,9 @@ class SessionManager {
     std::unique_ptr<sim::Timer> takeover_timer;
     double candidate_dist = -1.0;
     sim::Time last_reassert = sim::kTimeNever;
+    /// Journal cause of a pending takeover: the zcr.response (or heard
+    /// zcr.takeover) that started the consideration.
+    stats::EventId takeover_cause = 0;
   };
   struct PendingChallenge {
     net::ZoneId zone = net::kNoZone;
@@ -154,6 +158,10 @@ class SessionManager {
   void adopt_zcr(int level, net::NodeId who, double dist);
   void ewma_rtt(double& slot, double sample) const;
   void register_metrics();
+  /// Append one election event (group -1; no-op returning 0 when the
+  /// journal is detached). Call sites guard with `if (journal_)`.
+  stats::EventId jnl(const char* ev, stats::EventId cause,
+                     const stats::Attrs& attrs = {});
 
   net::Network& net_;
   sim::Simulator& simu_;
@@ -161,6 +169,10 @@ class SessionManager {
   Config cfg_;
   net::NodeId node_;
   bool is_source_;
+  stats::Journal* journal_ = nullptr;  ///< cfg_.journal, cached
+  /// Event bound to the packet currently being handled (0 outside
+  /// handle()): the cross-node cause of whatever the packet triggers.
+  stats::EventId cause_in_ = 0;
   sim::Rng rng_;
   std::vector<net::ZoneId> chain_;
   std::vector<Level> levels_;

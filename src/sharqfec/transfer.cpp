@@ -38,7 +38,16 @@ TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
   c1_adapt_ = cfg_.timers.c1;
   c2_adapt_ = cfg_.timers.c2;
   if (is_source_) source_node_ = node_;
+  journal_ = cfg_.journal;
   register_metrics();
+}
+
+stats::EventId TransferEngine::jnl(const char* ev, std::uint32_t group,
+                                   stats::EventId cause,
+                                   const stats::Attrs& attrs) {
+  if (!journal_) return 0;
+  return journal_->emit(ev, simu_.now(), node_,
+                        static_cast<std::int64_t>(group), cause, attrs);
 }
 
 void TransferEngine::register_metrics() {
@@ -304,6 +313,9 @@ void TransferEngine::source_send_next() {
 // --- receive path -------------------------------------------------------------
 
 bool TransferEngine::handle(const net::Packet& packet) {
+  // Cross-node causality: whatever this packet triggers is caused by the
+  // event that sent it (bound to the uid on the sender's side).
+  cause_in_ = journal_ ? journal_->uid_event(packet.uid) : 0;
   if (const auto* d = packet.as<DataMsg>()) {
     if (stopped_) return true;
     // Field validation before any state is touched: a hostile or decoder-
@@ -387,9 +399,13 @@ void TransferEngine::note_remote_progress(std::uint32_t remote_max_group) {
       grp.ldp_timer->arm(grace, [this, g] {
         auto it = groups_.find(g);
         if (it != groups_.end() && !it->second.ldp_done) {
-          finish_ldp(it->second);
+          finish_ldp(it->second, "timer");
         }
       });
+      if (journal_ && grp.ldp_armed_ev == 0) {
+        grp.ldp_armed_ev =
+            jnl("ldp.armed", grp.id, grp.root_ev, {{"eta", grace}});
+      }
     }
   }
   max_group_seen_ = std::max(max_group_seen_, remote_max_group);
@@ -422,7 +438,15 @@ void TransferEngine::on_data(const DataMsg& msg, net::TrafficClass) {
 
   Group& grp = ensure_group(msg.group);
   grp.initial_shards = std::max(grp.initial_shards, msg.initial_shards);
-  if (grp.first_arrival == sim::kTimeNever) grp.first_arrival = simu_.now();
+  if (grp.first_arrival == sim::kTimeNever) {
+    grp.first_arrival = simu_.now();
+    if (journal_) {
+      // Span root: data sends are not journaled (volume), so the first
+      // arrival starts this {node, group} recovery lifecycle from nothing.
+      grp.root_ev =
+          jnl("group.first_arrival", grp.id, 0, {{"index", msg.index}});
+    }
+  }
   note_initial_progress(grp, msg.index);
   add_shard(grp, msg.index, msg.bytes);
   if (grp.complete || grp.ldp_done) return;
@@ -434,8 +458,15 @@ void TransferEngine::on_data(const DataMsg& msg, net::TrafficClass) {
       inter_arrival_estimate();
   grp.ldp_timer->arm(eta, [this, g = grp.id] {
     auto it = groups_.find(g);
-    if (it != groups_.end() && !it->second.ldp_done) finish_ldp(it->second);
+    if (it != groups_.end() && !it->second.ldp_done) {
+      finish_ldp(it->second, "timer");
+    }
   });
+  // Journaled once per group (the timer re-arms on every packet; a line
+  // per packet would drown the journal in the common no-loss case).
+  if (journal_ && grp.ldp_armed_ev == 0) {
+    grp.ldp_armed_ev = jnl("ldp.armed", grp.id, grp.root_ev, {{"eta", eta}});
+  }
 }
 
 void TransferEngine::note_initial_progress(Group& grp, int index) {
@@ -448,15 +479,25 @@ void TransferEngine::note_initial_progress(Group& grp, int index) {
   }
   grp.last_initial_seen = index;
   grp.max_id_seen = std::max(grp.max_id_seen, index);
-  if (newly_missing_originals > 0) raise_llc(grp, newly_missing_originals);
+  if (newly_missing_originals > 0) {
+    // An index jump is observed on a data arrival, so the span root (the
+    // group's first arrival) is the closest recorded trigger.
+    raise_llc(grp, newly_missing_originals, grp.root_ev);
+  }
 }
 
-void TransferEngine::raise_llc(Group& grp, int newly_missing) {
+void TransferEngine::raise_llc(Group& grp, int newly_missing,
+                               stats::EventId cause) {
   grp.llc += newly_missing;
+  if (journal_) {
+    grp.last_loss_ev =
+        jnl("loss.detected", grp.id, cause ? cause : grp.root_ev,
+            {{"llc", grp.llc}, {"newly_missing", newly_missing}});
+  }
   maybe_request(grp);
 }
 
-void TransferEngine::finish_ldp(Group& grp) {
+void TransferEngine::finish_ldp(Group& grp, const char* via) {
   if (grp.ldp_done) return;
   grp.ldp_done = true;
   grp.ldp_timer->cancel();
@@ -467,8 +508,14 @@ void TransferEngine::finish_ldp(Group& grp) {
   }
   grp.last_initial_seen = grp.initial_shards - 1;
   grp.max_id_seen = std::max(grp.max_id_seen, grp.initial_shards - 1);
+  if (journal_) {
+    grp.ldp_fired_ev =
+        jnl("ldp.fired", grp.id,
+            grp.ldp_armed_ev ? grp.ldp_armed_ev : grp.root_ev,
+            {{"missing", missing_originals}, {"via", via}});
+  }
   if (missing_originals > 0) {
-    raise_llc(grp, missing_originals);
+    raise_llc(grp, missing_originals, grp.ldp_fired_ev);
   } else {
     maybe_request(grp);
   }
@@ -544,16 +591,27 @@ void TransferEngine::maybe_request(Group& grp) {
   if (!grp.request_timer->pending()) arm_request_timer(grp);
 }
 
-void TransferEngine::arm_request_timer(Group& grp) {
+void TransferEngine::arm_request_timer(Group& grp, stats::EventId cause) {
   const double d = dist_to_source();
   rm::TimerPolicy policy = cfg_.timers;
   if (cfg_.adaptive_timers) {
     policy.c1 = c1_adapt_;
     policy.c2 = c2_adapt_;
   }
-  const sim::Time delay = policy.request_delay(
-      rng_, d, std::min(grp.backoff_i, cfg_.max_backoff_stage));
+  rm::TimerPolicy::RequestDraw draw;
+  const sim::Time delay =
+      policy.request_delay(rng_, d, std::min(grp.backoff_i, cfg_.max_backoff_stage),
+                           journal_ ? &draw : nullptr);
   grp.request_timer->arm(delay, [this, g = grp.id] { fire_request(g); });
+  if (journal_) {
+    // The sampled suppression window rides along so a trace shows why
+    // this receiver's NACK waited as long as it did.
+    jnl("request.armed", grp.id, cause ? cause : span_cause(grp),
+        {{"delay", delay},
+         {"hi", draw.hi},
+         {"lo", draw.lo},
+         {"scale", draw.scale}});
+  }
 }
 
 void TransferEngine::adapt_request_window(bool heard_duplicate) {
@@ -599,8 +657,13 @@ void TransferEngine::fire_request(std::uint32_t g) {
   grp.last_fire_distinct = grp.decoder.distinct();
   if (covered && progressing) {
     if (m_nacks_suppressed_) m_nacks_suppressed_->inc();
+    stats::EventId suppressed_ev = 0;
+    if (journal_) {
+      suppressed_ev = jnl("nack.suppressed", grp.id, span_cause(grp),
+                          {{"level", level}, {"llc", grp.llc}});
+    }
     grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
-    arm_request_timer(grp);
+    arm_request_timer(grp, suppressed_ev);
     return;
   }
   const net::ZoneId zone = session_.chain()[level];
@@ -615,8 +678,17 @@ void TransferEngine::fire_request(std::uint32_t g) {
   msg->hints = session_.make_hints();
   ++nacks_sent_;
   if (m_nacks_sent_) m_nacks_sent_->inc();
-  net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kNack,
-            nack_size(msg->hints.size()), msg, /*lossless=*/true);
+  const std::uint64_t uid =
+      net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kNack,
+                nack_size(msg->hints.size()), msg, /*lossless=*/true);
+  if (journal_) {
+    grp.last_nack_ev = jnl("nack.sent", grp.id, span_cause(grp),
+                           {{"level", level},
+                            {"llc", grp.llc},
+                            {"needed", msg->needed},
+                            {"zone", zone}});
+    journal_->bind_uid(uid, grp.last_nack_ev);
+  }
   grp.nacked[level] = true;
   grp.zlc[level] = std::max(grp.zlc[level], grp.llc);
 
@@ -630,10 +702,14 @@ void TransferEngine::fire_request(std::uint32_t g) {
     ++grp.scope_level;
     grp.attempts_at_scope = 0;
     grp.backoff_i = 1;
+    if (journal_) {
+      jnl("scope.escalated", grp.id, grp.last_nack_ev,
+          {{"scope_level", grp.scope_level}});
+    }
   } else {
     grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
   }
-  arm_request_timer(grp);
+  arm_request_timer(grp, grp.last_nack_ev);
 }
 
 // --- NACK handling (suppression + repairer bookkeeping) ------------------------
@@ -655,6 +731,16 @@ void TransferEngine::on_nack(const NackMsg& msg) {
   }
   if (level < 0) return;  // scoping prevents this in practice
 
+  stats::EventId heard_ev = 0;
+  if (journal_) {
+    // Cross-node edge: cause is the sender's nack.sent, via the packet uid.
+    heard_ev = jnl("nack.heard", grp.id, cause_in_,
+                   {{"level", level},
+                    {"llc", msg.llc},
+                    {"needed", msg.needed},
+                    {"sender", msg.sender}});
+  }
+
   const bool increased = msg.llc > grp.zlc[level];
   grp.zlc[level] = std::max(grp.zlc[level], msg.llc);
 
@@ -670,7 +756,7 @@ void TransferEngine::on_nack(const NackMsg& msg) {
     }
     grp.max_id_seen = msg.max_id_seen;
     if (missing_originals > 0 && !is_source_) {
-      raise_llc(grp, missing_originals);
+      raise_llc(grp, missing_originals, heard_ev);
     }
   }
 
@@ -680,8 +766,13 @@ void TransferEngine::on_nack(const NackMsg& msg) {
     if (grp.request_timer->pending() &&
         (!increased || grp.llc <= grp.zlc[level])) {
       if (m_nacks_deduped_) m_nacks_deduped_->inc();
+      stats::EventId dedup_ev = 0;
+      if (journal_) {
+        dedup_ev = jnl("nack.deduped", grp.id, heard_ev,
+                       {{"level", level}, {"llc", grp.llc}});
+      }
       grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
-      arm_request_timer(grp);
+      arm_request_timer(grp, dedup_ev);
       // A NACK that didn't raise the ZLC while ours announced the same
       // losses is a duplicate in the adaptive-timer sense.
       if (grp.nacked[level] && !increased) adapt_request_window(true);
@@ -701,10 +792,18 @@ void TransferEngine::on_nack(const NackMsg& msg) {
   grp.reply_level = level;
   if (is_source_ || session_.is_zcr(msg.zone)) {
     // Sender and responsible ZCRs answer immediately (paced).
+    if (journal_) {
+      grp.repair_sched_ev = jnl("repair.scheduled", grp.id, heard_ev,
+                                {{"level", level}, {"via", "immediate"}});
+    }
     fire_reply(grp.id);
   } else {
     const double d =
         std::max(1e-3, session_.estimate_dist(msg.sender, msg.hints));
+    if (journal_) {
+      grp.repair_sched_ev = jnl("repair.scheduled", grp.id, heard_ev,
+                                {{"level", level}, {"via", "deferred"}});
+    }
     arm_reply_timer(grp, level, d * cfg_.fallback_reply_defer);
   }
 }
@@ -781,8 +880,20 @@ void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
     m_repairs_by_level_[level]->inc();
     if (preemptive) m_preemptive_by_level_[level]->inc();
   }
-  net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kRepair,
-            cfg_.shard_size_bytes, msg);
+  const std::uint64_t uid =
+      net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kRepair,
+                cfg_.shard_size_bytes, msg);
+  if (journal_) {
+    const stats::EventId cause =
+        preemptive ? grp.inject_ev : grp.repair_sched_ev;
+    const stats::EventId sent_ev =
+        jnl("repair.sent", grp.id, cause ? cause : span_cause(grp),
+            {{"index", index},
+             {"level", level},
+             {"mode", preemptive ? "preemptive" : "reactive"},
+             {"zone", zone}});
+    journal_->bind_uid(uid, sent_ev);
+  }
   // Our own shard store should know the shard exists (dedup/coordination).
   add_shard(grp, index, msg->bytes);
 }
@@ -805,6 +916,14 @@ void TransferEngine::on_repair(const RepairMsg& msg) {
   note_parity_seen(grp, msg.new_max_id);
   ++grp.repair_coverage;
   const bool useful = !grp.decoder.has(msg.index);
+  if (journal_) {
+    grp.last_repair_recv_ev =
+        jnl("repair.received", grp.id, cause_in_,
+            {{"index", msg.index},
+             {"level", level},
+             {"mode", msg.preemptive ? "preemptive" : "reactive"},
+             {"useful", useful ? 1 : 0}});
+  }
   add_shard(grp, msg.index, msg.bytes);
 
   // A repair resets the request backoff (paper LDP rule: "any time a
@@ -826,9 +945,13 @@ void TransferEngine::on_repair(const RepairMsg& msg) {
     if (grp.scope_level > serving) {
       grp.scope_level = serving;
       grp.attempts_at_scope = 0;
+      if (journal_) {
+        jnl("scope.deescalated", grp.id, grp.last_repair_recv_ev,
+            {{"scope_level", serving}});
+      }
     }
     if (grp.request_timer->pending() && deficit(grp) > 0) {
-      arm_request_timer(grp);
+      arm_request_timer(grp, grp.last_repair_recv_ev);
     }
   }
 
@@ -856,6 +979,25 @@ void TransferEngine::on_group_complete(Group& grp) {
   if (m_completion_ && grp.first_arrival != sim::kTimeNever) {
     m_completion_->observe(simu_.now() - grp.first_arrival);
   }
+  if (journal_) {
+    // The parity decode is instantaneous in shard-count mode, so start and
+    // complete land at the same t; they are separate events because real
+    // decoders are not, and the analyzer's latency split wants the edge.
+    const stats::EventId cause = grp.last_repair_recv_ev
+                                     ? grp.last_repair_recv_ev
+                                     : span_cause(grp);
+    const stats::EventId start_ev =
+        jnl("decode.start", grp.id, cause,
+            {{"distinct", grp.decoder.distinct()}, {"llc", grp.llc}});
+    const stats::EventId done_ev =
+        jnl("decode.complete", grp.id, start_ev, {});
+    grp.complete_ev =
+        jnl("group.complete", grp.id, done_ev,
+            {{"elapsed", grp.first_arrival != sim::kTimeNever
+                             ? simu_.now() - grp.first_arrival
+                             : 0.0},
+             {"repairs_heard", grp.repair_coverage}});
+  }
   // Successful recovery without duplicate NACKs nudges the adaptive
   // request window back down.
   if (grp.llc > 0) adapt_request_window(false);
@@ -869,6 +1011,11 @@ void TransferEngine::on_group_complete(Group& grp) {
     }
     if (level >= 0 && !grp.reply_timer->pending()) {
       const net::ZoneId zone = session_.chain()[level];
+      if (journal_) {
+        grp.repair_sched_ev =
+            jnl("repair.scheduled", grp.id, grp.complete_ev,
+                {{"level", level}, {"via", "completion"}});
+      }
       if (is_source_ || session_.is_zcr(zone)) {
         grp.reply_level = level;
         fire_reply(grp.id);
@@ -901,6 +1048,10 @@ void TransferEngine::schedule_injection(Group& grp) {
     const int extra = std::clamp(want, 0, slice_width() - 1);
     if (extra <= 0) continue;
     const int level = static_cast<int>(l);
+    if (journal_) {
+      grp.inject_ev = jnl("inject.scheduled", grp.id, grp.complete_ev,
+                          {{"count", extra}, {"level", level}});
+    }
     // Paced burst of preemptive repairs into this zone (paper RP rule 2:
     // the ZCR transmits without waiting for NACKs).
     for (int i = 0; i < extra; ++i) {

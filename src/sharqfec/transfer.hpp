@@ -14,6 +14,7 @@
 #include "sharqfec/messages.hpp"
 #include "sharqfec/session_manager.hpp"
 #include "sim/simulator.hpp"
+#include "stats/journal.hpp"
 #include "stats/metrics.hpp"
 
 namespace sharq::sfq {
@@ -113,6 +114,18 @@ class TransferEngine {
     std::vector<int> slice_next;        ///< per global zone level
     std::vector<int> parity_seen_by_level;  ///< repairs heard, by origin level
     int last_fire_distinct = -1;        ///< progress marker for stall NACKs
+    // Flight-recorder causal anchors (all 0 when the journal is detached):
+    // the most recent event of each kind, used as the `cause` of whatever
+    // it triggers next (docs/OBSERVABILITY.md).
+    stats::EventId root_ev = 0;          ///< group.first_arrival (span root)
+    stats::EventId ldp_armed_ev = 0;
+    stats::EventId ldp_fired_ev = 0;
+    stats::EventId last_loss_ev = 0;
+    stats::EventId last_nack_ev = 0;     ///< our own nack.sent
+    stats::EventId repair_sched_ev = 0;
+    stats::EventId inject_ev = 0;
+    stats::EventId last_repair_recv_ev = 0;
+    stats::EventId complete_ev = 0;
     // Sender-side extras
     std::unique_ptr<fec::GroupEncoder> encoder;  // real-payload repair source
     explicit Group(std::shared_ptr<const fec::ReedSolomon> codec)
@@ -129,10 +142,10 @@ class TransferEngine {
   void add_shard(Group& grp, int index,
                  const std::shared_ptr<const std::vector<std::uint8_t>>& bytes);
   void note_initial_progress(Group& grp, int index);
-  void raise_llc(Group& grp, int newly_missing);
-  void finish_ldp(Group& grp);
+  void raise_llc(Group& grp, int newly_missing, stats::EventId cause = 0);
+  void finish_ldp(Group& grp, const char* via = "advance");
   void maybe_request(Group& grp);
-  void arm_request_timer(Group& grp);
+  void arm_request_timer(Group& grp, stats::EventId cause = 0);
   void adapt_request_window(bool heard_duplicate);
   void fire_request(std::uint32_t g);
   void on_group_complete(Group& grp);
@@ -155,6 +168,16 @@ class TransferEngine {
   int slice_start(int global_level) const;
   void note_parity_seen(Group& grp, int index);
   int next_parity_index(Group& grp, net::ZoneId zone);
+  /// Append one journal event for `group` (no-op returning 0 when
+  /// detached). Call sites still guard with `if (journal_)` so a detached
+  /// run never constructs the Attrs map.
+  stats::EventId jnl(const char* ev, std::uint32_t group, stats::EventId cause,
+                     const stats::Attrs& attrs = {});
+  /// Default cause for span-internal events: the latest loss, else the
+  /// span root (0 when neither was journaled).
+  static stats::EventId span_cause(const Group& grp) {
+    return grp.last_loss_ev ? grp.last_loss_ev : grp.root_ev;
+  }
 
   net::Network& net_;
   sim::Simulator& simu_;
@@ -164,6 +187,10 @@ class TransferEngine {
   net::NodeId node_;
   bool is_source_;
   rm::DeliveryLog* log_;
+  stats::Journal* journal_ = nullptr;  ///< cfg_.journal, cached
+  /// Event bound to the packet currently being handled (0 outside
+  /// handle()): the cross-node cause of whatever the packet triggers.
+  stats::EventId cause_in_ = 0;
   sim::Rng rng_;
   std::shared_ptr<const fec::ReedSolomon> codec_;
 

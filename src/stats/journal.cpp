@@ -1,0 +1,60 @@
+#include "stats/journal.hpp"
+
+#include <ostream>
+
+#include "stats/metrics.hpp"  // json_escape / json_quoted / json_double
+
+namespace sharq::stats {
+
+EventId Journal::emit(const char* ev, double t, int node, std::int64_t group,
+                      EventId cause, const Attrs& attrs) {
+  const EventId id = next_++;
+  std::string line;
+  line.reserve(96);
+  line += "{\"id\":";
+  line += std::to_string(id);
+  line += ",\"t\":";
+  line += json_double(t);
+  line += ",\"node\":";
+  line += std::to_string(node);
+  line += ",\"group\":";
+  line += std::to_string(group);
+  line += ",\"ev\":\"";
+  json_escape(line, ev);
+  line += "\",\"cause\":";
+  line += std::to_string(cause);
+  line += ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [key, val] : attrs) {
+    if (!first) line += ',';
+    first = false;
+    line += json_quoted(key);
+    line += ':';
+    switch (val.kind) {
+      case AttrValue::Kind::kInt:
+        line += std::to_string(val.i);
+        break;
+      case AttrValue::Kind::kDouble:
+        line += json_double(val.d);
+        break;
+      case AttrValue::Kind::kString:
+        line += json_quoted(val.s);
+        break;
+    }
+  }
+  line += "}}\n";
+  os_ << line;
+  return id;
+}
+
+void Journal::bind_uid(std::uint64_t uid, EventId ev) {
+  if (uid == 0) return;  // origin was down; nothing was sent
+  uid_events_[uid] = ev;
+}
+
+EventId Journal::uid_event(std::uint64_t uid) const {
+  auto it = uid_events_.find(uid);
+  return it == uid_events_.end() ? 0 : it->second;
+}
+
+}  // namespace sharq::stats

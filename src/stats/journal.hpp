@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace sharq::stats {
+
+/// Id of one journal event. Monotonically increasing from 1 within a
+/// journal; 0 is the null id ("no cause" — the event is a span root, like
+/// a group's first arrival, or its trigger was not recorded).
+using EventId = std::uint64_t;
+
+/// One typed attribute value. A plain tagged struct rather than
+/// std::variant so the construction rules are exactly the overload set
+/// below — no converting-constructor subtleties between int/double/bool.
+struct AttrValue {
+  enum class Kind { kInt, kDouble, kString };
+
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+
+  AttrValue(int v) : kind(Kind::kInt), i(v) {}                // NOLINT
+  AttrValue(unsigned v) : kind(Kind::kInt), i(v) {}           // NOLINT
+  AttrValue(std::int64_t v) : kind(Kind::kInt), i(v) {}       // NOLINT
+  AttrValue(std::uint64_t v)                                  // NOLINT
+      : kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  AttrValue(double v) : kind(Kind::kDouble), d(v) {}          // NOLINT
+  AttrValue(const char* v) : kind(Kind::kString), s(v) {}     // NOLINT
+  AttrValue(std::string v) : kind(Kind::kString), s(std::move(v)) {}  // NOLINT
+};
+
+/// Event attributes. An ordered map, for the same reason the metrics
+/// registry orders its families: export bytes must not depend on
+/// construction order or hash seeds.
+using Attrs = std::map<std::string, AttrValue>;
+
+/// Structured JSONL flight recorder for the recovery lifecycle.
+///
+/// Each line is one event:
+///
+///   {"id":N,"t":T,"node":N,"group":G,"ev":"...","cause":C,"attrs":{...}}
+///
+/// with keys always in that order, doubles via std::to_chars and attrs
+/// map-ordered, so two same-seed runs write byte-identical journals
+/// (docs/DETERMINISM.md). `cause` is the id of the event that triggered
+/// this one (0 = root); causes always point backwards (cause < id), so a
+/// journal read top-to-bottom is causally ordered.
+///
+/// The span key is {node, group}: one receiver's recovery lifecycle for
+/// one group. Events outside any group (ZCR election, packet drops)
+/// carry group -1.
+///
+/// Attachment follows the metrics-registry pattern: engines hold a
+/// `Journal*` that is null by default, and every emitting site is guarded
+/// (`if (journal_) ...`), so a detached run pays one predictable branch.
+///
+/// Cross-node causality rides on packet uids: the sender binds the uid
+/// returned by Network::send to the event that sent it (bind_uid); the
+/// receiver looks the uid up (uid_event) and uses it as the cause of
+/// whatever the packet triggered. No wire-format change — the map lives
+/// in the journal, outside the simulated protocol.
+class Journal {
+ public:
+  /// The journal writes lines to `os` as they are emitted (no buffering
+  /// beyond the stream's own). The stream must outlive the journal.
+  explicit Journal(std::ostream& os) : os_(os) {}
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append one event line and return its id. `ev` is the event name
+  /// (catalog in docs/OBSERVABILITY.md); `t` the simulation time; `group`
+  /// -1 for non-group events; `cause` the triggering event's id or 0.
+  EventId emit(const char* ev, double t, int node, std::int64_t group,
+               EventId cause, const Attrs& attrs = {});
+
+  /// Bind a packet uid to the event that sent it. uid 0 (Network::send's
+  /// "origin down" sentinel) is ignored.
+  void bind_uid(std::uint64_t uid, EventId ev);
+
+  /// Event bound to `uid`, or 0 if unknown.
+  EventId uid_event(std::uint64_t uid) const;
+
+  /// Number of events emitted so far.
+  std::uint64_t events() const { return next_ - 1; }
+
+ private:
+  std::ostream& os_;
+  EventId next_ = 1;
+  // Lookup-only (never iterated): exempt from the unordered-iter rule.
+  std::unordered_map<std::uint64_t, EventId> uid_events_;
+};
+
+}  // namespace sharq::stats

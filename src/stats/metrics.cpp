@@ -6,23 +6,8 @@
 #include <ostream>
 
 namespace sharq::stats {
-namespace {
 
-// Serialized label key: "k1=v1,k2=v2" in map (lexicographic) order. Used
-// both as the child map key and as the JSON object key, so export order
-// is independent of registration order.
-std::string label_key(const Labels& labels) {
-  std::string key;
-  for (const auto& [k, v] : labels) {
-    if (!key.empty()) key += ',';
-    key += k;
-    key += '=';
-    key += v;
-  }
-  return key;
-}
-
-void append_escaped(std::string& out, const std::string& s) {
+void json_escape(std::string& out, const std::string& s) {
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -41,21 +26,41 @@ void append_escaped(std::string& out, const std::string& s) {
   }
 }
 
+std::string json_quoted(const std::string& s) {
+  std::string out = "\"";
+  json_escape(out, s);
+  out += '"';
+  return out;
+}
+
 // Shortest round-trip formatting via std::to_chars: deterministic across
 // runs (no locale, no printf precision guessing).
-std::string format_double(double v) {
+std::string json_double(double v) {
   char buf[64];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
   if (ec != std::errc{}) return "0";
   return std::string(buf, ptr);
 }
 
-std::string quoted(const std::string& s) {
-  std::string out = "\"";
-  append_escaped(out, s);
-  out += '"';
-  return out;
+namespace {
+
+// Serialized label key: "k1=v1,k2=v2" in map (lexicographic) order. Used
+// both as the child map key and as the JSON object key, so export order
+// is independent of registration order.
+std::string label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) key += ',';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
 }
+
+std::string format_double(double v) { return json_double(v); }
+
+std::string quoted(const std::string& s) { return json_quoted(s); }
 
 [[noreturn]] void type_mismatch(const std::string& name) {
   std::fprintf(stderr, "metrics: family '%s' re-registered with a different type\n",
@@ -269,7 +274,13 @@ void write_value_json(std::ostream& os, Metrics::Type type,
 }  // namespace
 
 void Metrics::write_json(std::ostream& os, const Snapshot& snap) {
-  os << "{\"schema\":\"sharqfec.metrics.v1\",\"metrics\":{";
+  os << "{\"schema\":\"sharqfec.metrics.v1\",\"metrics\":";
+  write_families_json(os, snap);
+  os << '}';
+}
+
+void Metrics::write_families_json(std::ostream& os, const Snapshot& snap) {
+  os << '{';
   bool first_fam = true;
   for (const auto& [name, fam] : snap.families) {
     if (!first_fam) os << ',';
@@ -285,7 +296,7 @@ void Metrics::write_json(std::ostream& os, const Snapshot& snap) {
     }
     os << "}}";
   }
-  os << "}}";
+  os << '}';
 }
 
 void Metrics::write_json(std::ostream& os) const { write_json(os, snapshot()); }

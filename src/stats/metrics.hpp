@@ -10,6 +10,22 @@
 
 namespace sharq::stats {
 
+// --- shared deterministic JSON helpers ---------------------------------------
+// Every exporter in stats/ (metrics registry, journal, traffic series) must
+// produce byte-identical output for identical values, so they share one
+// formatting vocabulary: to_chars doubles (shortest round-trip, no locale)
+// and one escaping rule.
+
+/// Append `s` to `out` with JSON string escaping (", \, \n, \t, and other
+/// control bytes as \uXXXX).
+void json_escape(std::string& out, const std::string& s);
+
+/// `s` escaped and wrapped in double quotes.
+std::string json_quoted(const std::string& s);
+
+/// Shortest round-trip formatting via std::to_chars; "0" on failure.
+std::string json_double(double v);
+
 /// Labels attached to one child of a metric family. Stored as an ordered
 /// map so two registrations with the same pairs in different order land on
 /// the same child, and so export order is stable.
@@ -134,6 +150,11 @@ class Metrics {
   /// Byte-identical across runs that produced identical values.
   void write_json(std::ostream& os) const;
   static void write_json(std::ostream& os, const Snapshot& snap);
+
+  /// Just the families object ({...} mapped name -> family), without the
+  /// schema envelope — for embedding alongside sibling keys (the sim's
+  /// combined metrics + "series" export).
+  static void write_families_json(std::ostream& os, const Snapshot& snap);
 
   /// Compact one-level summary: {"name":<aggregate>,...} where counters
   /// sum over children, gauges take the max, histograms report

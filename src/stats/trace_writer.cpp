@@ -20,15 +20,16 @@ void TraceWriter::enable_class(net::TrafficClass cls, bool on) {
 }
 
 void TraceWriter::line(char tag, sim::Time t, int a, int b,
-                       const net::Packet& p) {
+                       const net::Packet& p, const char* suffix) {
   os_ << tag << ' ' << t << ' ' << a << ' ';
   if (b >= 0) {
     os_ << b;
   } else {
     os_ << '-';
   }
-  os_ << ' ' << net::to_string(p.cls) << ' ' << p.size_bytes << ' ' << p.uid
-      << '\n';
+  os_ << ' ' << net::to_string(p.cls) << ' ' << p.size_bytes << ' ' << p.uid;
+  if (suffix != nullptr) os_ << ' ' << suffix;
+  os_ << '\n';
   ++lines_;
 }
 
@@ -59,10 +60,13 @@ void TraceWriter::on_hop(sim::Time t, net::LinkId link, const net::Packet& p) {
 void TraceWriter::on_drop(sim::Time t, net::LinkId link, const net::Packet& p,
                           net::DropReason reason) {
   if (enabled(p.cls)) {
+    // The reason is part of the record: a queue-full drop and a random
+    // loss tell very different stories about the same link.
     if (net_ != nullptr) {
-      line('d', t, net_->link_from(link), net_->link_to(link), p);
+      line('d', t, net_->link_from(link), net_->link_to(link), p,
+           net::to_string(reason));
     } else {
-      line('d', t, link, -1, p);
+      line('d', t, link, -1, p, net::to_string(reason));
     }
   }
   if (next_) next_->on_drop(t, link, p, reason);

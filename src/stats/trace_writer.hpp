@@ -8,9 +8,10 @@ namespace sharq::stats {
 
 /// Writes a nam-inspired plain-text event trace, one line per event:
 ///
-///   h <time> <from> <to> <class> <size> <uid>    hop (link transmit)
-///   r <time> <node> - <class> <size> <uid>       receive (delivery)
-///   d <time> <from> <to> <class> <size> <uid>    drop (loss/queue/down)
+///   h <time> <from> <to> <class> <size> <uid>           hop (link transmit)
+///   r <time> <node> - <class> <size> <uid>              receive (delivery)
+///   d <time> <from> <to> <class> <size> <uid> <reason>  drop; reason is
+///                                  loss | queue-full | link-down | epoch-kill
 ///
 /// Useful for eyeballing protocol behaviour or feeding external plotting.
 /// Can forward every event to another sink (e.g. a TrafficRecorder) so
@@ -45,7 +46,10 @@ class TraceWriter final : public net::TrafficSink {
     // sharq-lint: unchecked-shift-ok (short-circuit bound check on the left)
     return bit < 32u && (mask_ & (1u << bit)) != 0;
   }
-  void line(char tag, sim::Time t, int a, int b, const net::Packet& p);
+  /// `suffix`, when given, is appended as one extra space-separated
+  /// field (the drop reason on 'd' lines).
+  void line(char tag, sim::Time t, int a, int b, const net::Packet& p,
+            const char* suffix = nullptr);
 
   std::ostream& os_;
   const net::Network* net_;

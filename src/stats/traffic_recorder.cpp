@@ -1,6 +1,11 @@
 #include "stats/traffic_recorder.hpp"
 
 #include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "stats/metrics.hpp"
 
 namespace sharq::stats {
 
@@ -84,6 +89,37 @@ std::vector<double> TrafficRecorder::mean_over_nodes(
   }
   for (double& v : out) v /= static_cast<double>(nodes.size());
   return out;
+}
+
+void TrafficRecorder::write_series_json(std::ostream& os) const {
+  // Alphabetical by wire name, fixed here rather than derived, so the
+  // export order can never drift with the enum.
+  static constexpr std::pair<const char*, net::TrafficClass> kOrder[] = {
+      {"control", net::TrafficClass::kControl},
+      {"data", net::TrafficClass::kData},
+      {"nack", net::TrafficClass::kNack},
+      {"repair", net::TrafficClass::kRepair},
+      {"session", net::TrafficClass::kSession},
+  };
+  std::string out = "{\"bin_width\":";
+  out += json_double(bin_);
+  out += ",\"classes\":{";
+  bool first = true;
+  for (const auto& [name, cls] : kOrder) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":[";
+    const BinnedSeries& s = totals_[class_index(cls)];
+    for (int i = 0; i < s.bin_count(); ++i) {
+      if (i > 0) out += ',';
+      out += json_double(s.bin(i));
+    }
+    out += ']';
+  }
+  out += "}}";
+  os << out;
 }
 
 }  // namespace sharq::stats

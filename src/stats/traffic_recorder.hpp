@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_set>
 #include <vector>
 
@@ -76,6 +77,13 @@ class TrafficRecorder final : public net::TrafficSink {
 
   /// Total bytes delivered, all nodes and classes.
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// The aggregate per-class delivery series as one JSON object,
+  /// {"bin_width":0.1,"classes":{"control":[..],"data":[..],...}} — the
+  /// "series" section of the combined sharqfec.metrics.v1 export. Class
+  /// keys are alphabetical and numbers use the shared deterministic
+  /// formatter, so equal recordings serialize byte-identically.
+  void write_series_json(std::ostream& os) const;
 
  private:
   static int class_index(net::TrafficClass cls) {

@@ -54,6 +54,24 @@ TEST(TraceWriter, DropLinesOnLoss) {
   EXPECT_EQ(os.str().find("\nr "), std::string::npos) << os.str();
 }
 
+TEST(TraceWriter, DropLinesCarryTheReason) {
+  // Regression: on_drop used to discard its DropReason argument, so a
+  // random loss, a queue overflow and a dead link all printed identical
+  // 'd' lines. The reason is now the trailing field.
+  Fixture f;
+  f.net.set_loss_model(f.net.find_link(f.a, f.b),
+                       std::make_unique<net::BernoulliLoss>(1.0));
+  std::ostringstream os;
+  TraceWriter tw(os, &f.net);
+  f.net.set_sink(&tw);
+  f.net.send(f.a, f.ch, net::TrafficClass::kRepair, 50,
+             std::make_shared<Probe>());
+  f.simu.run();
+  const std::string out = os.str();
+  ASSERT_NE(out.find("\nd "), std::string::npos) << out;
+  EXPECT_NE(out.find(" loss\n"), std::string::npos) << out;
+}
+
 TEST(TraceWriter, ClassFilterSuppressesLines) {
   Fixture f;
   std::ostringstream os;

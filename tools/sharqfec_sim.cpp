@@ -24,6 +24,7 @@
 #include "sharqfec/protocol.hpp"
 #include "sim/simulator.hpp"
 #include "srm/session.hpp"
+#include "stats/journal.hpp"
 #include "stats/metrics.hpp"
 #include "stats/report.hpp"
 #include "stats/trace_writer.hpp"
@@ -53,6 +54,7 @@ struct Options {
   bool adaptive = false;
   std::string trace_file;    // empty = no trace
   std::string metrics_file;  // empty = no metrics JSON
+  std::string journal_file;  // empty = no event journal
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -67,7 +69,9 @@ struct Options {
       "  --adaptive                   adaptive suppression timers\n"
       "  --series                     print the 0.1 s traffic series\n"
       "  --trace FILE                 write a nam-style event trace\n"
-      "  --metrics-json FILE          write the metrics registry as JSON\n",
+      "  --metrics-json FILE          write the metrics registry as JSON\n"
+      "  --journal FILE               write the causal recovery journal\n"
+      "                               (JSONL; analyze with sharq_trace)\n",
       argv0);
   std::exit(2);
 }
@@ -97,6 +101,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--metrics-json") o.metrics_file = need(i);
     else if (a.rfind("--metrics-json=", 0) == 0)
       o.metrics_file = a.substr(std::strlen("--metrics-json="));
+    else if (a == "--journal") o.journal_file = need(i);
+    else if (a.rfind("--journal=", 0) == 0)
+      o.journal_file = a.substr(std::strlen("--journal="));
     else if (a == "--adaptive") o.adaptive = true;
     else usage(argv[0]);
   }
@@ -178,6 +185,18 @@ int main(int argc, char** argv) {
     net.set_metrics(&metrics);
   }
   const Built b = build_topology(net, o);
+  std::ofstream journal_os;
+  std::unique_ptr<stats::Journal> journal;
+  if (!o.journal_file.empty()) {
+    journal_os.open(o.journal_file);
+    if (!journal_os) {
+      std::fprintf(stderr, "cannot open journal file '%s'\n",
+                   o.journal_file.c_str());
+      return 2;
+    }
+    journal = std::make_unique<stats::Journal>(journal_os);
+    net.set_journal(journal.get());
+  }
   stats::TrafficRecorder rec(net.node_count(), 0.1);
   std::ofstream trace_os;
   std::unique_ptr<stats::TraceWriter> tracer;
@@ -211,6 +230,7 @@ int main(int argc, char** argv) {
     cfg.group_size = o.group;
     cfg.adaptive_timers = o.adaptive;
     if (!o.metrics_file.empty()) cfg.metrics = &metrics;
+    cfg.journal = journal.get();
     if (o.protocol == "ecsrm") {
       cfg.scoping = false;
       cfg.injection = false;
@@ -263,8 +283,13 @@ int main(int argc, char** argv) {
                    o.metrics_file.c_str());
       return 2;
     }
-    metrics.write_json(mos);
-    mos << '\n';
+    // Combined export: the registry families plus the 0.1 s per-class
+    // delivery series, under one sharqfec.metrics.v1 envelope.
+    mos << "{\"schema\":\"sharqfec.metrics.v1\",\"metrics\":";
+    stats::Metrics::write_families_json(mos, metrics.snapshot());
+    mos << ",\"series\":";
+    rec.write_series_json(mos);
+    mos << "}\n";
   }
   return incomplete == 0 ? 0 : 1;
 }
