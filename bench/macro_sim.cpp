@@ -1,0 +1,260 @@
+// Macro simulation benchmark: full SHARQFEC protocol runs on deep
+// nested-zone hierarchies (topo::make_deep_tree), swept over zone depth
+// and fan-out up to >= 10^5 receivers. Measures end-to-end simulator
+// throughput and memory footprint and writes BENCH_sim.json — the
+// committed baseline docs/PERFORMANCE.md explains how to read and
+// reproduce.
+//
+// Usage:
+//   macro_sim [--smoke] [--max-receivers N] [--out PATH]
+//
+//   --smoke           run only the smallest sweep point (CI smoke job)
+//   --max-receivers N skip sweep points with more receivers than N
+//   --out PATH        write JSON here (default BENCH_sim.json, or the
+//                     SHARQFEC_BENCH_SIM_JSON env var)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+#include "topo/shapes.hpp"
+
+using namespace sharq;
+
+namespace {
+
+struct SweepPoint {
+  const char* name;
+  int zone_depth;      // hub levels below the source
+  int fanout;          // hubs per hub
+  int leaves_per_hub;  // subscribers per deepest hub
+  double leaf_loss;
+  std::uint32_t groups;    // groups streamed
+  double horizon;          // virtual seconds simulated
+};
+
+struct CaseResult {
+  SweepPoint point;
+  int receivers = 0;
+  int nodes = 0;
+  int zone_levels = 0;  // zone hierarchy depth including root
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double queue_high_water = 0.0;
+  long long rss_delta_bytes = 0;  // resident growth across build+run
+  double bytes_per_receiver = 0.0;
+  std::uint32_t complete_receivers = 0;
+};
+
+/// Current resident set in bytes (Linux /proc; 0 where unavailable).
+long long current_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long long pages = 0, resident = 0;
+    const int got = std::fscanf(f, "%lld %lld", &pages, &resident);
+    std::fclose(f);
+    if (got == 2) return resident * static_cast<long long>(sysconf(_SC_PAGESIZE));
+  }
+#endif
+  return 0;
+}
+
+/// Process peak resident set in bytes (0 where unavailable).
+long long peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return ru.ru_maxrss;  // bytes on macOS
+#else
+    return ru.ru_maxrss * 1024LL;  // kilobytes on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+CaseResult run_case(const SweepPoint& pt) {
+  CaseResult res;
+  res.point = pt;
+#if defined(__GLIBC__)
+  // Return freed arenas to the OS so each point's RSS delta reflects its
+  // own footprint, not the high-water of the previous (larger) point.
+  malloc_trim(0);
+#endif
+  const long long rss0 = current_rss_bytes();
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  sim::Simulator simu(7);
+  stats::Metrics metrics;
+  simu.set_metrics(&metrics);
+  net::Network net(simu);
+  topo::DeepTreeParams p;
+  p.zone_depth = pt.zone_depth;
+  p.fanout = pt.fanout;
+  p.leaves_per_hub = pt.leaves_per_hub;
+  p.leaf_loss = pt.leaf_loss;
+  topo::DeepTree tree = topo::make_deep_tree(net, p);
+  res.receivers = static_cast<int>(tree.receivers.size());
+  res.nodes = static_cast<int>(net.node_count());
+  res.zone_levels = pt.zone_depth + 1;
+
+  sfq::Config cfg;
+  cfg.scoping = true;
+  // Dedicated caches at every bifurcation point (paper §5.2): static ZCRs
+  // skip the bootstrap election storm, which is not what this benchmark
+  // measures.
+  for (const auto& [zone, hub] : tree.zone_hubs) cfg.static_zcrs[zone] = hub;
+  sfq::Session session(net, tree.source, tree.receivers, cfg);
+  session.start();
+  session.send_stream(pt.groups, /*start_at=*/2.0);
+  simu.run_until(pt.horizon);
+
+  const auto wall1 = std::chrono::steady_clock::now();
+  res.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  res.events = simu.events_executed();
+  res.events_per_sec =
+      res.wall_s > 0 ? static_cast<double>(res.events) / res.wall_s : 0.0;
+  res.queue_high_water = metrics.gauge("sim.queue_high_water").value();
+#if defined(__GLIBC__)
+  // Drop freed-but-retained allocator chunks so the delta measures live
+  // protocol/simulator state, not transient churn high-water.
+  malloc_trim(0);
+#endif
+  const long long rss1 = current_rss_bytes();
+  res.rss_delta_bytes = rss1 > rss0 ? rss1 - rss0 : 0;
+  res.bytes_per_receiver =
+      res.receivers > 0
+          ? static_cast<double>(res.rss_delta_bytes) / res.receivers
+          : 0.0;
+  const std::uint32_t total = pt.groups;
+  for (const auto& agent : session.agents()) {
+    if (agent->node() == tree.source) continue;
+    bool all = true;
+    for (std::uint32_t g = 0; g < total && all; ++g) {
+      all = agent->transfer().group_complete(g);
+    }
+    res.complete_receivers += all ? 1 : 0;
+  }
+  return res;
+}
+
+void write_json(std::FILE* f, const std::vector<CaseResult>& results) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sharqfec-macro-sim-v1\",\n");
+  std::fprintf(f, "  \"backend\": \"%s\",\n",
+               sim::EventQueue::default_backend() ==
+                       sim::EventQueue::Backend::kHeap
+                   ? "heap"
+                   : "calendar");
+  std::fprintf(f, "  \"peak_rss_bytes\": %lld,\n", peak_rss_bytes());
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.point.name);
+    std::fprintf(f, "      \"zone_depth\": %d,\n", r.point.zone_depth);
+    std::fprintf(f, "      \"zone_levels\": %d,\n", r.zone_levels);
+    std::fprintf(f, "      \"fanout\": %d,\n", r.point.fanout);
+    std::fprintf(f, "      \"leaves_per_hub\": %d,\n", r.point.leaves_per_hub);
+    std::fprintf(f, "      \"receivers\": %d,\n", r.receivers);
+    std::fprintf(f, "      \"nodes\": %d,\n", r.nodes);
+    std::fprintf(f, "      \"groups\": %u,\n", r.point.groups);
+    std::fprintf(f, "      \"horizon_s\": %.1f,\n", r.point.horizon);
+    std::fprintf(f, "      \"events\": %llu,\n",
+                 static_cast<unsigned long long>(r.events));
+    std::fprintf(f, "      \"wall_s\": %.2f,\n", r.wall_s);
+    std::fprintf(f, "      \"events_per_sec\": %.0f,\n", r.events_per_sec);
+    std::fprintf(f, "      \"queue_high_water\": %.0f,\n", r.queue_high_water);
+    std::fprintf(f, "      \"rss_delta_bytes\": %lld,\n", r.rss_delta_bytes);
+    std::fprintf(f, "      \"bytes_per_receiver\": %.0f,\n",
+                 r.bytes_per_receiver);
+    std::fprintf(f, "      \"complete_receivers\": %u\n",
+                 r.complete_receivers);
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  long max_receivers = -1;
+  const char* out = std::getenv("SHARQFEC_BENCH_SIM_JSON");
+  if (out == nullptr) out = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--max-receivers") == 0 && i + 1 < argc) {
+      max_receivers = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: macro_sim [--smoke] [--max-receivers N] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+
+  // Depth x fan-out sweep, ascending size. Hub counts grow geometrically,
+  // so the deep points carry most of the receivers in their leaf tier.
+  const std::vector<SweepPoint> sweep{
+      // name            depth fan leaves loss   groups horizon
+      {"d2_f4_smoke",        2,  4,    8, 0.01,      2, 20.0},
+      {"d3_f8_8k",           3,  8,   16, 0.01,      2, 20.0},
+      {"d4_f8_70k",          4,  8,   16, 0.005,     1, 12.0},
+      {"d5_f6_100k",         5,  6,   12, 0.0,       1, 10.0},
+  };
+
+  std::vector<CaseResult> results;
+  for (const SweepPoint& pt : sweep) {
+    // Receivers = hubs (geometric series) + deepest hubs * leaves.
+    long hubs = 0, tier = 1;
+    for (int l = 1; l <= pt.zone_depth; ++l) {
+      tier *= pt.fanout;
+      hubs += tier;
+    }
+    const long receivers = hubs + tier * pt.leaves_per_hub;
+    if (max_receivers >= 0 && receivers > max_receivers) continue;
+    std::printf("running %-14s depth=%d fanout=%d (~%ld receivers)...\n",
+                pt.name, pt.zone_depth, pt.fanout, receivers);
+    std::fflush(stdout);
+    results.push_back(run_case(pt));
+    const CaseResult& r = results.back();
+    std::printf(
+        "  %d receivers, %llu events in %.1f s wall  (%.2fM ev/s, "
+        "%.0f B/receiver, queue hw %.0f, %u/%d complete)\n",
+        r.receivers, static_cast<unsigned long long>(r.events), r.wall_s,
+        r.events_per_sec / 1e6, r.bytes_per_receiver, r.queue_high_water,
+        r.complete_receivers, r.receivers);
+    std::fflush(stdout);
+    if (smoke) break;
+  }
+
+  if (std::FILE* f = std::fopen(out, "w")) {
+    write_json(f, results);
+    std::fclose(f);
+    std::printf("wrote %s\n", out);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate a macro-sim benchmark baseline (BENCH_sim.json from macro_sim).
+
+Usage: check_bench.py BENCH_sim.json [--min-receivers N] [--require-complete]
+
+Checks, in order:
+  parse     the file is a single JSON object
+  schema    it carries schema/backend/peak_rss_bytes/cases with the right
+            types, schema is "sharqfec-macro-sim-v1", and every case has
+            the full column set (see CASE_FIELDS)
+  sanity    per case: receivers/nodes/events positive, wall_s positive,
+            events_per_sec consistent with events/wall_s (10% slack),
+            complete_receivers <= receivers, zone_levels = zone_depth + 1
+  scale     with --min-receivers N, at least one case reaches N receivers
+            (the committed baseline must include a macro-scale point)
+  complete  with --require-complete, every case delivered every group to
+            every receiver (complete_receivers == receivers)
+
+Exit status 0 on success; prints one line per failure otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA = "sharqfec-macro-sim-v1"
+BACKENDS = ("calendar", "heap")
+
+# field -> (type(s), must_be_positive)
+CASE_FIELDS = {
+    "name": (str, False),
+    "zone_depth": (int, True),
+    "zone_levels": (int, True),
+    "fanout": (int, True),
+    "leaves_per_hub": (int, True),
+    "receivers": (int, True),
+    "nodes": (int, True),
+    "groups": (int, True),
+    "horizon_s": ((int, float), True),
+    "events": (int, True),
+    "wall_s": ((int, float), True),
+    "events_per_sec": ((int, float), True),
+    "queue_high_water": ((int, float), True),
+    "rss_delta_bytes": (int, False),
+    "bytes_per_receiver": ((int, float), False),
+    "complete_receivers": (int, False),
+}
+
+
+def check(doc, min_receivers, require_complete):
+    errors = []
+
+    def bad(msg):
+        errors.append(msg)
+
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        bad(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("backend") not in BACKENDS:
+        bad(f"backend is {doc.get('backend')!r}, expected one of {BACKENDS}")
+    peak = doc.get("peak_rss_bytes")
+    if not isinstance(peak, int) or peak < 0:
+        bad(f"peak_rss_bytes is {peak!r}, expected a non-negative integer")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        return errors + ["cases is missing, not a list, or empty"]
+
+    for i, case in enumerate(cases):
+        where = f"case {i}"
+        if not isinstance(case, dict):
+            bad(f"{where}: not a JSON object")
+            continue
+        if isinstance(case.get("name"), str):
+            where = f"case {case['name']!r}"
+        for field, (types, positive) in CASE_FIELDS.items():
+            val = case.get(field)
+            if not isinstance(val, types) or isinstance(val, bool):
+                bad(f"{where}: {field} is {val!r}, expected {types}")
+            elif positive and val <= 0:
+                bad(f"{where}: {field} must be positive, got {val!r}")
+        extra = set(case) - set(CASE_FIELDS)
+        if extra:
+            bad(f"{where}: unknown fields {sorted(extra)}")
+        if errors:
+            continue  # sanity checks below assume the schema held
+
+        if case["zone_levels"] != case["zone_depth"] + 1:
+            bad(f"{where}: zone_levels {case['zone_levels']} != "
+                f"zone_depth {case['zone_depth']} + 1")
+        if case["receivers"] >= case["nodes"]:
+            bad(f"{where}: receivers {case['receivers']} >= "
+                f"nodes {case['nodes']} (the source is a node too)")
+        implied = case["events"] / case["wall_s"]
+        if abs(implied - case["events_per_sec"]) > 0.1 * implied:
+            bad(f"{where}: events_per_sec {case['events_per_sec']:.0f} "
+                f"inconsistent with events/wall_s {implied:.0f}")
+        if case["complete_receivers"] > case["receivers"]:
+            bad(f"{where}: complete_receivers {case['complete_receivers']} > "
+                f"receivers {case['receivers']}")
+        if require_complete and case["complete_receivers"] != case["receivers"]:
+            bad(f"{where}: only {case['complete_receivers']}/"
+                f"{case['receivers']} receivers completed every group")
+
+    if min_receivers is not None and not errors:
+        best = max(c["receivers"] for c in cases if isinstance(c, dict))
+        if best < min_receivers:
+            bad(f"largest case has {best} receivers, "
+                f"--min-receivers demands {min_receivers}")
+    return errors
+
+
+def main(argv):
+    args = list(argv[1:])
+    min_receivers = None
+    require_complete = False
+    if "--require-complete" in args:
+        args.remove("--require-complete")
+        require_complete = True
+    if "--min-receivers" in args:
+        at = args.index("--min-receivers")
+        try:
+            min_receivers = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("check_bench: --min-receivers needs an integer", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: {args[0]}: {exc}", file=sys.stderr)
+        return 1
+
+    errors = check(doc, min_receivers, require_complete)
+    for err in errors:
+        print(f"check_bench: {err}", file=sys.stderr)
+    if not errors:
+        cases = doc["cases"]
+        biggest = max(c["receivers"] for c in cases)
+        print(f"check_bench: OK ({len(cases)} cases, "
+              f"largest {biggest} receivers, backend {doc['backend']})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,13 +8,16 @@
 #      (The forward direction — registered but undocumented — is enforced
 #      token-level by sharq_lint's metric-docs rule; see
 #      docs/DETERMINISM.md.)
+#   5. drift between docs/PERFORMANCE.md's bench target index and the
+#      targets bench/CMakeLists.txt actually builds, in both directions.
 # Run from anywhere; operates on the repo containing this script.
 set -u
 
 cd "$(dirname "$0")/.." || exit 2
 
 DOCS=(README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md CHANGES.md ROADMAP.md
-      docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/DETERMINISM.md)
+      docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/DETERMINISM.md
+      docs/PERFORMANCE.md)
 fail=0
 
 note_fail() {
@@ -89,6 +92,25 @@ documented=$(grep -hoE '^\| `[a-z0-9_.]+` \| (counter|gauge|histogram) \|' \
 for name in $documented; do
   echo "$registered" | grep -qx "$name" ||
     note_fail "docs/OBSERVABILITY.md documents $name but nothing in src/ registers it"
+done
+
+# --- 5. PERFORMANCE.md bench index <-> bench/CMakeLists.txt ---------------------
+# Built targets: sharq_bench(name) registrations plus the google-benchmark
+# binaries listed in the foreach(micro ...) line.
+built=$( (grep -oE '^sharq_bench\([a-z0-9_]+\)' bench/CMakeLists.txt |
+            sed -E 's/^sharq_bench\(([^)]+)\)/\1/';
+          grep -oE 'foreach\(micro [a-z0-9_ ]+\)' bench/CMakeLists.txt |
+            sed -E 's/^foreach\(micro ([^)]+)\)/\1/' | tr ' ' '\n') | sort -u)
+# Documented targets: first backticked token of each index-table row.
+indexed=$(grep -hoE '^\| `[a-z0-9_]+` \|' docs/PERFORMANCE.md |
+          sed -E 's/^\| `([^`]+)` \|/\1/' | sort -u)
+for t in $built; do
+  echo "$indexed" | grep -qx "$t" ||
+    note_fail "docs/PERFORMANCE.md bench index is missing target $t (built by bench/CMakeLists.txt)"
+done
+for t in $indexed; do
+  echo "$built" | grep -qx "$t" ||
+    note_fail "docs/PERFORMANCE.md bench index lists $t but bench/CMakeLists.txt does not build it"
 done
 
 # Subshell pipelines above cannot set $fail directly; they drop a marker.

@@ -40,6 +40,18 @@ std::shared_ptr<const std::vector<std::uint8_t>> GroupEncoder::shard_shared(
   return out;
 }
 
+void GroupEncoder::shard_into(int index, std::vector<std::uint8_t>& out) const {
+  if (index < 0 || index >= max_shards()) {
+    throw std::out_of_range("GroupEncoder::shard index");
+  }
+  if (index < k()) {
+    out.assign(data_[index].begin(), data_[index].end());
+    return;
+  }
+  out.resize(data_.front().size());
+  codec_->encode_parity_into(index, data_ptrs_.data(), out.size(), out.data());
+}
+
 GroupDecoder::GroupDecoder(std::shared_ptr<const ReedSolomon> codec)
     : codec_(std::move(codec)), have_(codec_->max_shards(), false) {}
 

@@ -34,6 +34,11 @@ class GroupEncoder {
   std::shared_ptr<const std::vector<std::uint8_t>> shard_shared(
       int index) const;
 
+  /// Produce shard `index` into a caller-supplied buffer (resized to the
+  /// shard length). Lets callers recycle buffers (e.g. sim::BufferPool)
+  /// instead of allocating per shard.
+  void shard_into(int index, std::vector<std::uint8_t>& out) const;
+
  private:
   std::shared_ptr<const ReedSolomon> codec_;
   std::vector<std::vector<std::uint8_t>> data_;

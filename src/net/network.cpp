@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
+#include <utility>
 
 #include "sharqfec/ordered.hpp"
 #include "stats/journal.hpp"
@@ -245,58 +246,159 @@ double Network::path_loss(NodeId a, NodeId b) {
   return 1.0 - deliver;
 }
 
+int Network::FwdEntry::find(NodeId v) const {
+  const auto it = std::lower_bound(nodes.begin(), nodes.end(), v);
+  if (it == nodes.end() || *it != v) return -1;
+  return static_cast<int>(it - nodes.begin());
+}
+
+/// Pack per-subscriber graft output — hops in insertion order (= wire
+/// order of downstream copies) and delivery nodes in ascending order —
+/// into the entry's CSR arrays.
+void Network::pack_fwd_entry(FwdEntry& e,
+                             std::vector<std::pair<NodeId, LinkId>>& hops,
+                             const std::vector<NodeId>& deliver_nodes) {
+  // stable_sort keeps each node's links in insertion order, which is the
+  // deterministic wire order the dense layout used to provide.
+  std::stable_sort(hops.begin(), hops.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  e.nodes.clear();
+  for (const auto& [node, link] : hops) {
+    if (e.nodes.empty() || e.nodes.back() != node) e.nodes.push_back(node);
+  }
+  for (NodeId d : deliver_nodes) {
+    const auto it = std::lower_bound(e.nodes.begin(), e.nodes.end(), d);
+    if (it == e.nodes.end() || *it != d) e.nodes.insert(it, d);
+  }
+  e.out_begin.assign(e.nodes.size() + 1, 0);
+  e.links.clear();
+  e.links.reserve(hops.size());
+  e.deliver.assign(e.nodes.size(), false);
+  std::size_t hi = 0;
+  for (std::size_t i = 0; i < e.nodes.size(); ++i) {
+    e.out_begin[i] = static_cast<std::uint32_t>(e.links.size());
+    while (hi < hops.size() && hops[hi].first == e.nodes[i]) {
+      e.links.push_back(hops[hi].second);
+      ++hi;
+    }
+  }
+  e.out_begin[e.nodes.size()] = static_cast<std::uint32_t>(e.links.size());
+  for (NodeId d : deliver_nodes) {
+    const auto it = std::lower_bound(e.nodes.begin(), e.nodes.end(), d);
+    e.deliver[static_cast<std::size_t>(it - e.nodes.begin())] = true;
+  }
+}
+
 const Network::FwdEntry& Network::forwarding(ChannelId ch, NodeId origin) {
   const Channel& channel = channels_[ch];
   FwdEntry& e = fwd_cache_[FwdKey{ch, origin}];
-  if (!e.out.empty() && e.version == channel.version + 1) return e;
+  if (e.version == channel.version + 1) return e;
 
-  ensure_routing(origin);
-  const Routing& r = routing_[origin];
-  const int n = node_count();
   e.version = channel.version + 1;  // 0 marks "never built"
-  e.out.assign(n, {});
-  e.deliver.assign(n, false);
+  e.nodes.clear();
+  e.out_begin.clear();
+  e.links.clear();
+  e.deliver.clear();
 
   const ZoneId scope = channel.scope;
   const bool origin_in_scope =
       scope == kNoZone || zones_.contains(scope, origin);
   if (!origin_in_scope) return e;  // boundary blocks everything
 
+  if (scope == kNoZone) {
+    build_unscoped_entry(e, channel, origin);
+  } else {
+    build_scoped_entry(e, channel, origin, scope);
+  }
+  return e;
+}
+
+void Network::build_unscoped_entry(FwdEntry& e, const Channel& channel,
+                                   NodeId origin) {
+  ensure_routing(origin);
+  const Routing& r = routing_[origin];
+  const int n = node_count();
   std::vector<bool> on_tree(n, false);
   on_tree[origin] = true;
-  std::vector<char> edge_added(links_.size(), 0);
+  std::vector<std::pair<NodeId, LinkId>> hops;
+  std::vector<NodeId> deliver_nodes;
   // Graft in ascending subscriber order: the hash set's own order differs
   // across standard libraries and rehashes, and it decides the order links
-  // join e.out — i.e. the wire order of downstream copies.
+  // join the entry — i.e. the wire order of downstream copies.
   for (NodeId s : ordered_keys(channel.subs)) {
     if (s == origin) continue;
-    if (scope != kNoZone && !zones_.contains(scope, s)) continue;
     if (r.dist[s] == sim::kTimeInfinity) continue;
-    // Verify the whole path stays inside the scope zone, then graft it.
-    bool inside = true;
-    if (scope != kNoZone) {
-      for (NodeId cur = s; cur != origin;) {
-        const LinkId pl = r.pred_link[cur];
-        cur = links_[pl].from;
-        if (!zones_.contains(scope, cur)) {
-          inside = false;
-          break;
-        }
-      }
-    }
-    if (!inside) continue;
-    e.deliver[s] = true;
+    deliver_nodes.push_back(s);
     for (NodeId cur = s; !on_tree[cur];) {
       on_tree[cur] = true;
       const LinkId pl = r.pred_link[cur];
-      if (!edge_added[pl]) {
-        edge_added[pl] = 1;
-        e.out[links_[pl].from].push_back(pl);
-      }
+      hops.emplace_back(links_[pl].from, pl);
       cur = links_[pl].from;
     }
   }
-  return e;
+  pack_fwd_entry(e, hops, deliver_nodes);
+}
+
+void Network::build_scoped_entry(FwdEntry& e, const Channel& channel,
+                                 NodeId origin, ZoneId scope) {
+  // Dijkstra restricted to the zone-induced subgraph: a scoped channel
+  // never traverses a node outside the zone, so everything outside can be
+  // ignored outright. Cost scales with the zone, not the whole network —
+  // essential because every member is an origin on its session channel.
+  const std::vector<NodeId> zone_nodes = ordered_keys(zones_.members(scope));
+  const int m = static_cast<int>(zone_nodes.size());
+  auto local = [&](NodeId v) -> int {
+    const auto it = std::lower_bound(zone_nodes.begin(), zone_nodes.end(), v);
+    if (it == zone_nodes.end() || *it != v) return -1;
+    return static_cast<int>(it - zone_nodes.begin());
+  };
+  const int lorigin = local(origin);
+  if (lorigin < 0) return;
+
+  constexpr sim::Time kHopEps = 1e-9;
+  std::vector<sim::Time> dist(m, sim::kTimeInfinity);
+  std::vector<LinkId> pred(m, kNoLink);
+  using Item = std::pair<sim::Time, int>;  // (dist, local index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[lorigin] = 0.0;
+  pq.emplace(0.0, lorigin);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    const NodeId un = zone_nodes[u];
+    if (!nodes_[un].up) continue;
+    for (LinkId lid : nodes_[un].out_links) {
+      const Link& l = links_[lid];
+      if (!l.up || !nodes_[l.from].up || !nodes_[l.to].up) continue;
+      const int lv = local(l.to);
+      if (lv < 0) continue;  // leaves the zone: scope boundary blocks it
+      const sim::Time nd = d + l.delay + kHopEps;
+      if (nd < dist[lv]) {
+        dist[lv] = nd;
+        pred[lv] = lid;
+        pq.emplace(nd, lv);
+      }
+    }
+  }
+
+  std::vector<bool> on_tree(m, false);
+  on_tree[lorigin] = true;
+  std::vector<std::pair<NodeId, LinkId>> hops;
+  std::vector<NodeId> deliver_nodes;
+  for (NodeId s : ordered_keys(channel.subs)) {
+    if (s == origin) continue;
+    const int ls = local(s);
+    if (ls < 0 || dist[ls] == sim::kTimeInfinity) continue;
+    deliver_nodes.push_back(s);
+    for (int cur = ls; !on_tree[cur];) {
+      on_tree[cur] = true;
+      const LinkId pl = pred[cur];
+      hops.emplace_back(links_[pl].from, pl);
+      cur = local(links_[pl].from);
+    }
+  }
+  pack_fwd_entry(e, hops, deliver_nodes);
 }
 
 std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
@@ -320,8 +422,20 @@ std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
   if (metrics_ && ci < static_cast<unsigned>(kTrafficClassCount)) {
     sends_by_class_[ci]->inc();
   }
-  const std::vector<LinkId> outs = forwarding(ch, origin).out[origin];
-  for (LinkId l : outs) transmit(l, p);
+  // Copy the origin's out-links into member scratch (capacity retained
+  // across packets, so no steady-state allocation): transmit() is
+  // event-deferred and touches no forwarding state, but the entry itself
+  // lives in fwd_cache_ and a rebuild must not invalidate the iteration.
+  assert(!in_send_ && "Network::send is not reentrant");
+  in_send_ = true;
+  const FwdEntry& fwd = forwarding(ch, origin);
+  send_outs_.clear();
+  if (const int i = fwd.find(origin); i >= 0) {
+    send_outs_.assign(fwd.links.begin() + fwd.out_begin[i],
+                      fwd.links.begin() + fwd.out_begin[i + 1]);
+  }
+  for (LinkId l : send_outs_) transmit(l, p);
+  in_send_ = false;
   return p.uid;
 }
 
@@ -437,23 +551,32 @@ void Network::transmit(LinkId link, const Packet& packet) {
 void Network::arrive(NodeId at, const Packet& packet) {
   if (!nodes_[at].up) return;  // a crashed node terminates nothing
   // Copy what we need out of the cache entry first: agent callbacks may
-  // send(), which can rehash fwd_cache_ and invalidate references into it.
+  // send(), which can rebuild entries and invalidate references into the
+  // cache. The copies land in member scratch (capacity retained across
+  // packets) — arrive() cannot reenter because every transmission is
+  // deferred through the event queue.
+  assert(!in_arrive_ && "Network::arrive is not reentrant");
+  in_arrive_ = true;
   bool deliver_here = false;
-  std::vector<LinkId> outs;
+  arrive_outs_.clear();
   {
     const FwdEntry& fwd = forwarding(packet.channel, packet.origin);
-    deliver_here = static_cast<int>(fwd.deliver.size()) > at && fwd.deliver[at];
-    if (static_cast<int>(fwd.out.size()) > at) outs = fwd.out[at];
+    if (const int i = fwd.find(at); i >= 0) {
+      deliver_here = fwd.deliver[i];
+      arrive_outs_.assign(fwd.links.begin() + fwd.out_begin[i],
+                          fwd.links.begin() + fwd.out_begin[i + 1]);
+    }
   }
   // Forward before delivering so downstream copies are not reordered by
   // anything an agent transmits synchronously on the same links.
-  for (LinkId l : outs) transmit(l, packet);
+  for (LinkId l : arrive_outs_) transmit(l, packet);
   if (deliver_here) {
     if (sink_) sink_->on_deliver(simu_.now(), at, packet);
     // Copy: an agent may detach others while handling the packet.
-    const std::vector<Agent*> agents = nodes_[at].agents;
-    for (Agent* a : agents) a->on_receive(packet);
+    arrive_agents_.assign(nodes_[at].agents.begin(), nodes_[at].agents.end());
+    for (Agent* a : arrive_agents_) a->on_receive(packet);
   }
+  in_arrive_ = false;
 }
 
 }  // namespace sharq::net

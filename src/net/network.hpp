@@ -277,14 +277,34 @@ class Network {
           static_cast<std::uint32_t>(k.origin));
     }
   };
+  /// Sparse forwarding state for one (channel, origin): only nodes that
+  /// forward or receive appear, in CSR form. On a scoped channel every
+  /// member is an origin (session beacons), so a dense per-node layout
+  /// would cost O(V) per entry — O(V²) across a session. Sparse entries
+  /// cost O(zone size) instead (docs/ARCHITECTURE.md).
   struct FwdEntry {
     std::uint64_t version = 0;
-    std::vector<std::vector<LinkId>> out;  // per node
-    std::vector<bool> deliver;             // per node
+    std::vector<NodeId> nodes;             // sorted, binary-searched
+    std::vector<std::uint32_t> out_begin;  // nodes.size()+1 offsets into links
+    std::vector<LinkId> links;             // grouped by node, in wire order
+    std::vector<bool> deliver;             // parallel to nodes
+
+    /// Index of `v` in nodes, or -1 when the node takes no part.
+    int find(NodeId v) const;
   };
 
   void ensure_routing(NodeId src);
   const FwdEntry& forwarding(ChannelId ch, NodeId origin);
+  /// Graft shortest paths from `origin` to in-scope subscribers restricted
+  /// to the members of `scope`, appending (node, link) hops + delivery
+  /// flags into `e`. Runs Dijkstra over the zone-induced subgraph only.
+  void build_scoped_entry(FwdEntry& e, const Channel& channel, NodeId origin,
+                          ZoneId scope);
+  void build_unscoped_entry(FwdEntry& e, const Channel& channel,
+                            NodeId origin);
+  static void pack_fwd_entry(FwdEntry& e,
+                             std::vector<std::pair<NodeId, LinkId>>& hops,
+                             const std::vector<NodeId>& deliver_nodes);
   void transmit(LinkId link, const Packet& packet);
   void arrive(NodeId at, const Packet& packet);
 
@@ -295,6 +315,14 @@ class Network {
   ZoneHierarchy zones_;
   std::vector<Routing> routing_;  // per source node
   std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwd_cache_;
+  // Per-packet scratch, reused across calls so the hot path performs no
+  // heap allocation in steady state. arrive()/send() are not reentrant
+  // (transmission is event-deferred); guarded by an assert in debug.
+  std::vector<LinkId> arrive_outs_;
+  std::vector<Agent*> arrive_agents_;
+  std::vector<LinkId> send_outs_;
+  bool in_arrive_ = false;
+  bool in_send_ = false;
   void count_drop(DropReason reason);
   void journal_drop(LinkId link, const Packet& packet, DropReason reason);
 

@@ -10,27 +10,30 @@ const char* Agent::fec_kernel_name() {
   return fec::cpu::kernel_name(fec::cpu::active_kernel());
 }
 
-Agent::Agent(net::Network& net, Hierarchy& hier, const Config& cfg,
-             net::NodeId node, bool is_source, rm::DeliveryLog* log)
+Agent::Agent(net::Network& net, Hierarchy& hier,
+             std::shared_ptr<const Config> cfg, net::NodeId node,
+             bool is_source, rm::DeliveryLog* log)
     : is_source_(is_source) {
   net.attach(node, this);
   hier.join(node);
+  stats::Metrics* metrics = cfg->metrics;
+  journal_ = cfg->journal;
   session_ = std::make_unique<SessionManager>(net, hier, cfg, node, is_source);
-  transfer_ = std::make_unique<TransferEngine>(net, hier, *session_, cfg, node,
-                                               is_source, log);
+  transfer_ = std::make_unique<TransferEngine>(net, hier, *session_,
+                                               std::move(cfg), node, is_source,
+                                               log);
   session_->set_progress_provider([this] {
     return std::make_pair(transfer_->max_group_seen(),
                           transfer_->seen_any_data());
   });
   session_->set_progress_listener(
       [this](std::uint32_t g) { transfer_->note_remote_progress(g); });
-  if (cfg.metrics) {
+  if (metrics) {
     const stats::Labels by_node{{"node", std::to_string(node)}};
-    m_corrupt_rejects_ = &cfg.metrics->counter("sharqfec.corrupt_rejects", by_node);
+    m_corrupt_rejects_ = &metrics->counter("sharqfec.corrupt_rejects", by_node);
     m_duplicate_rejects_ =
-        &cfg.metrics->counter("sharqfec.duplicate_rejects", by_node);
+        &metrics->counter("sharqfec.duplicate_rejects", by_node);
   }
-  journal_ = cfg.journal;
 }
 
 bool Agent::first_sighting(std::uint64_t uid) {

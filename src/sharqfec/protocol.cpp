@@ -7,13 +7,13 @@ namespace sharq::sfq {
 Session::Session(net::Network& net, net::NodeId source,
                  const std::vector<net::NodeId>& receivers, const Config& cfg,
                  rm::DeliveryLog* log)
-    : net_(net), cfg_(cfg), log_(log) {
-  hier_ = std::make_unique<Hierarchy>(net, cfg.scoping);
-  agents_.push_back(
-      std::make_unique<Agent>(net, *hier_, cfg, source, /*is_source=*/true, log));
+    : net_(net), cfg_(std::make_shared<const Config>(cfg)), log_(log) {
+  hier_ = std::make_unique<Hierarchy>(net, cfg_->scoping);
+  agents_.push_back(std::make_unique<Agent>(net, *hier_, cfg_, source,
+                                            /*is_source=*/true, log));
   for (net::NodeId r : receivers) {
-    agents_.push_back(
-        std::make_unique<Agent>(net, *hier_, cfg, r, /*is_source=*/false, log));
+    agents_.push_back(std::make_unique<Agent>(net, *hier_, cfg_, r,
+                                              /*is_source=*/false, log));
   }
 }
 

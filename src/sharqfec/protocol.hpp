@@ -57,7 +57,9 @@ class Session {
 
  private:
   net::Network& net_;
-  Config cfg_;
+  // One immutable Config aliased by every agent (see Agent's primary
+  // constructor) — per-receiver memory stays independent of Config size.
+  std::shared_ptr<const Config> cfg_;
   rm::DeliveryLog* log_;
   std::unique_ptr<Hierarchy> hier_;
   std::vector<std::unique_ptr<Agent>> agents_;  // [0] = source

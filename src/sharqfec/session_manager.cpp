@@ -23,12 +23,12 @@ double election_margin(double a, double b) {
 }
 
 SessionManager::SessionManager(net::Network& net, Hierarchy& hier,
-                               const Config& cfg, net::NodeId node,
-                               bool is_source)
+                               std::shared_ptr<const Config> cfg,
+                               net::NodeId node, bool is_source)
     : net_(net),
       simu_(net.simulator()),
       hier_(hier),
-      cfg_(cfg),
+      cfg_(std::move(cfg)),
       node_(node),
       is_source_(is_source),
       rng_(net.simulator().rng().fork()),
@@ -53,20 +53,20 @@ SessionManager::SessionManager(net::Network& net, Hierarchy& hier,
     root.zcr = node_;
     root.zcr_parent_dist = 0.0;
   }
-  journal_ = cfg_.journal;
+  journal_ = cfg_->journal;
   // Provider-configured static ZCRs (paper §5.2): seed the election state
   // so zones converge instantly; the challenge machinery stays armed for
   // failover.
   for (Level& lv : levels_) {
-    auto it = cfg_.static_zcrs.find(lv.zone);
-    if (it == cfg_.static_zcrs.end()) continue;
+    auto it = cfg_->static_zcrs.find(lv.zone);
+    if (it == cfg_->static_zcrs.end()) continue;
     lv.zcr = it->second;
     lv.zcr_last_heard = 0.0;
   }
 }
 
 void SessionManager::register_metrics() {
-  stats::Metrics* m = cfg_.metrics;
+  stats::Metrics* m = cfg_->metrics;
   if (!m) return;
   const std::string node = std::to_string(node_);
   const stats::Labels by_node{{"node", node}};
@@ -157,7 +157,7 @@ double SessionManager::max_rtt_in_zone(net::ZoneId z) const {
       best = std::max(best, p.rtt);
     }
   }
-  return best > 0.0 ? best : 2.0 * cfg_.default_dist;
+  return best > 0.0 ? best : 2.0 * cfg_->default_dist;
 }
 
 double SessionManager::dist_to_zcr_at(int level) const {
@@ -211,14 +211,14 @@ double SessionManager::estimate_dist(net::NodeId peer,
     }
   }
   const net::ZoneId common = hier_.common_zone(node_, peer);
-  if (common == net::kNoZone) return cfg_.default_dist;
+  if (common == net::kNoZone) return cfg_->default_dist;
   const int lc = level_index(common);
-  if (lc < 0) return cfg_.default_dist;
+  if (lc < 0) return cfg_->default_dist;
 
   const net::NodeId bridge = expected_bridge(lc);
-  if (bridge == net::kNoNode) return cfg_.default_dist;
+  if (bridge == net::kNoNode) return cfg_->default_dist;
   const double base = dist_to_zcr_at(lc == 0 ? 0 : lc - 1);
-  if (base < 0.0) return cfg_.default_dist;
+  if (base < 0.0) return cfg_->default_dist;
   if (peer == bridge) return base;
 
   const Level& lv = levels_[lc];
@@ -241,20 +241,20 @@ double SessionManager::estimate_dist(net::NodeId peer,
       return base + sib->second / 2.0 + h.dist;
     }
   }
-  return cfg_.default_dist;
+  return cfg_->default_dist;
 }
 
 void SessionManager::ewma_rtt(double& slot, double sample) const {
   // Shared sentinel convention with the transfer engine's inter-arrival
   // estimator (sharqfec/ewma.hpp): unset slots are negative, the first
   // accepted sample seeds directly.
-  ewma_update(slot, sample, cfg_.rtt_gain);
+  ewma_update(slot, sample, cfg_->rtt_gain);
 }
 
 // --- session messages -------------------------------------------------------
 
 void SessionManager::schedule_session() {
-  const sim::Time delay = cfg_.stagger.next_delay(rng_, session_rounds_);
+  const sim::Time delay = cfg_->stagger.next_delay(rng_, session_rounds_);
   session_timer_.arm(delay, [this] {
     send_session_messages();
     ++session_rounds_;
@@ -272,10 +272,10 @@ void SessionManager::schedule_session() {
 }
 
 void SessionManager::expire_silent_peers() {
-  if (cfg_.peer_expiry <= 0.0) return;
+  if (cfg_->peer_expiry <= 0.0) return;
   for (Level& lv : levels_) {
     for (auto it = lv.peers.begin(); it != lv.peers.end();) {
-      if (simu_.now() - it->second.heard_at > cfg_.peer_expiry) {
+      if (simu_.now() - it->second.heard_at > cfg_->peer_expiry) {
         // Crashed (or partitioned-away) peer: its RTT samples and bridge
         // entries would otherwise feed stale distances into repair timers
         // forever. Re-arrival simply re-measures from scratch.
@@ -304,7 +304,7 @@ void SessionManager::send_session_messages() {
 
 void SessionManager::send_session_for_level(int level) {
   Level& lv = levels_[level];
-  auto msg = std::make_shared<SessionMsg>();
+  auto msg = session_pool_.make();
   msg->sender = node_;
   msg->zone = lv.zone;
   msg->ts = simu_.now();
@@ -399,7 +399,7 @@ void SessionManager::schedule_challenge(int level) {
   if (lv.zcr != node_) return;
   if (level + 1 >= static_cast<int>(levels_.size())) return;  // root
   const sim::Time period =
-      cfg_.zcr_challenge_period * rng_.uniform(0.8, 1.2);
+      cfg_->zcr_challenge_period * rng_.uniform(0.8, 1.2);
   lv.challenge_timer->arm(period, [this, level] {
     if (levels_[level].zcr == node_) {
       issue_challenge(level);
@@ -414,8 +414,8 @@ void SessionManager::schedule_watchdog(int level) {
   // warm-up window); steady-state monitoring is much lazier.
   const bool bootstrap = lv.zcr == net::kNoNode;
   const sim::Time period =
-      bootstrap ? cfg_.zcr_bootstrap_delay * rng_.uniform(1.0, 2.0)
-                : cfg_.zcr_watchdog_period * rng_.uniform(1.0, 1.5);
+      bootstrap ? cfg_->zcr_bootstrap_delay * rng_.uniform(1.0, 2.0)
+                : cfg_->zcr_watchdog_period * rng_.uniform(1.0, 1.5);
   lv.watchdog->arm(period, [this, level] {
     Level& l = levels_[level];
     const bool parent_known =
@@ -425,14 +425,14 @@ void SessionManager::schedule_watchdog(int level) {
         l.zcr == net::kNoNode ||
         (l.zcr != node_ && (l.zcr_last_heard == sim::kTimeNever ||
                             simu_.now() - l.zcr_last_heard >
-                                cfg_.zcr_watchdog_period));
+                                cfg_->zcr_watchdog_period));
     // Top-down rule: children back off until the parent zone has a ZCR.
     if (parent_known && zcr_silent && l.zcr != node_) {
       // A silent ZCR is presumed dead: drop its (possibly better) claim
       // so the surviving receivers can elect among themselves.
       if (l.zcr != net::kNoNode &&
           (l.zcr_last_heard == sim::kTimeNever ||
-           simu_.now() - l.zcr_last_heard > cfg_.zcr_watchdog_period)) {
+           simu_.now() - l.zcr_last_heard > cfg_->zcr_watchdog_period)) {
         if (journal_) {
           jnl("zcr.expired", 0, {{"old_zcr", l.zcr}, {"zone", l.zone}});
         }
@@ -486,9 +486,9 @@ void SessionManager::handle_challenge(const ZcrChallengeMsg& msg) {
   resp->responder = node_;
   resp->zone = msg.zone;
   resp->challenge_id = msg.challenge_id;
-  resp->processing_delay = cfg_.zcr_processing_delay;
+  resp->processing_delay = cfg_->zcr_processing_delay;
   simu_.after(
-      cfg_.zcr_processing_delay,
+      cfg_->zcr_processing_delay,
       [this, resp, parent_zone, cause = cause_in_] {
         const std::uint64_t uid =
             net_.send(node_, hier_.session_channel(parent_zone),
@@ -547,7 +547,7 @@ void SessionManager::consider_takeover(int level, double my_dist) {
   lv.candidate_dist = my_dist;
   lv.takeover_cause = cause_in_;  // the response that revealed a better claim
   const sim::Time delay =
-      cfg_.takeover_delay_factor * my_dist + rng_.uniform(0.0, 0.01);
+      cfg_->takeover_delay_factor * my_dist + rng_.uniform(0.0, 0.01);
   lv.takeover_timer->arm(delay, [this, level] {
     Level& l = levels_[level];
     if (l.zcr == node_) return;

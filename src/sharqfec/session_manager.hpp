@@ -10,6 +10,7 @@
 #include "sharqfec/config.hpp"
 #include "sharqfec/hierarchy.hpp"
 #include "sharqfec/messages.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "stats/journal.hpp"
 #include "stats/metrics.hpp"
@@ -32,8 +33,9 @@ namespace sharq::sfq {
 /// packets.
 class SessionManager {
  public:
-  SessionManager(net::Network& net, Hierarchy& hier, const Config& cfg,
-                 net::NodeId node, bool is_source);
+  SessionManager(net::Network& net, Hierarchy& hier,
+                 std::shared_ptr<const Config> cfg, net::NodeId node,
+                 bool is_source);
 
   /// Begin session messaging and election timers.
   void start();
@@ -166,7 +168,11 @@ class SessionManager {
   net::Network& net_;
   sim::Simulator& simu_;
   Hierarchy& hier_;
-  Config cfg_;
+  // Shared, immutable: one Config serves every agent in the session. At
+  // macro scale the per-agent copy dominated memory — static_zcrs alone
+  // is tens of KB on deep hierarchies, and it was duplicated twice per
+  // receiver (session manager + transfer engine).
+  std::shared_ptr<const Config> cfg_;
   net::NodeId node_;
   bool is_source_;
   stats::Journal* journal_ = nullptr;  ///< cfg_.journal, cached
@@ -177,6 +183,10 @@ class SessionManager {
   std::vector<net::ZoneId> chain_;
   std::vector<Level> levels_;
   sim::Timer session_timer_;
+  /// Beacon bodies come from a freelist: at large memberships the periodic
+  /// session beacon dominates allocation volume, and every body is freed
+  /// as soon as the last hop delivers it — ideal pool churn.
+  sim::ObjectPool<SessionMsg> session_pool_;
   int session_rounds_ = 0;
   // Ordered: the prune walk erases by timeout, and erase order decides
   // nothing today — but keeping it deterministic is free at this size.

@@ -19,26 +19,27 @@ constexpr std::uint32_t kMaxGroupJump = 4096;
 }  // namespace
 
 TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
-                               SessionManager& session, const Config& cfg,
+                               SessionManager& session,
+                               std::shared_ptr<const Config> cfg,
                                net::NodeId node, bool is_source,
                                rm::DeliveryLog* log)
     : net_(net),
       simu_(net.simulator()),
       hier_(hier),
       session_(session),
-      cfg_(cfg),
+      cfg_(std::move(cfg)),
       node_(node),
       is_source_(is_source),
       log_(log),
       rng_(net.simulator().rng().fork()),
-      codec_(std::make_shared<fec::ReedSolomon>(cfg.group_size,
-                                                cfg.max_parity)) {
+      codec_(std::make_shared<fec::ReedSolomon>(cfg_->group_size,
+                                                cfg_->max_parity)) {
   zlc_pred_.assign(session_.chain().size(), 0.0);
   cov_pred_.assign(session_.chain().size(), 0.0);
-  c1_adapt_ = cfg_.timers.c1;
-  c2_adapt_ = cfg_.timers.c2;
+  c1_adapt_ = cfg_->timers.c1;
+  c2_adapt_ = cfg_->timers.c2;
   if (is_source_) source_node_ = node_;
-  journal_ = cfg_.journal;
+  journal_ = cfg_->journal;
   register_metrics();
 }
 
@@ -51,7 +52,7 @@ stats::EventId TransferEngine::jnl(const char* ev, std::uint32_t group,
 }
 
 void TransferEngine::register_metrics() {
-  stats::Metrics* m = cfg_.metrics;
+  stats::Metrics* m = cfg_->metrics;
   if (!m) return;
   const std::string node = std::to_string(node_);
   const stats::Labels by_node{{"node", node}};
@@ -74,7 +75,7 @@ void TransferEngine::register_metrics() {
 }
 
 sim::Time TransferEngine::packet_interval() const {
-  return static_cast<double>(cfg_.shard_size_bytes) * 8.0 / cfg_.data_rate_bps;
+  return static_cast<double>(cfg_->shard_size_bytes) * 8.0 / cfg_->data_rate_bps;
 }
 
 sim::Time TransferEngine::inter_arrival_estimate() const {
@@ -89,69 +90,62 @@ sim::Time TransferEngine::dist_to_source() const {
   // nothing to converge on; default_dist keeps the request window at a
   // plausible network scale instead of collapsing to the floor and burning
   // through every NACK scope before the zone can answer once.
-  if (source_node_ == net::kNoNode) return cfg_.default_dist;
+  if (source_node_ == net::kNoNode) return cfg_->default_dist;
   return std::max(1e-3, session_.estimate_dist(source_node_));
 }
 
 int TransferEngine::deficit(const Group& grp) const {
-  return std::max(0, cfg_.group_size - grp.decoder.distinct());
+  return std::max(0, cfg_->group_size - grp.decoder.distinct());
 }
 
 int TransferEngine::slice_width() const {
-  return std::max(1, cfg_.max_parity / hier_.depth());
+  return std::max(1, cfg_->max_parity / hier_.depth());
 }
 
 int TransferEngine::slice_start(int global_level) const {
-  return cfg_.group_size + global_level * slice_width();
+  return cfg_->group_size + global_level * slice_width();
 }
 
 void TransferEngine::note_parity_seen(Group& grp, int index) {
-  if (index < cfg_.group_size) return;
-  const int level = std::min((index - cfg_.group_size) / slice_width(),
+  if (index < cfg_->group_size) return;
+  const int level = std::min((index - cfg_->group_size) / slice_width(),
                              hier_.depth() - 1);
-  grp.slice_next[level] = std::max(grp.slice_next[level], index + 1);
+  SliceLevel& sl = slice_lv(grp)[level];
+  sl.next = std::max(sl.next, index + 1);
 }
 
 int TransferEngine::next_parity_index(Group& grp, net::ZoneId zone) {
   const int level = hier_.level(zone);
   const int lo = slice_start(level);
   const int hi = std::min(lo + slice_width(), codec_->max_shards());
-  const int raw = std::max(grp.slice_next[level], lo);
+  const int raw = std::max<int>(slice_lv(grp)[level].next, lo);
   // Slice exhausted: cycle through the slice again rather than pinning the
   // last index. A receiver that missed the whole first pass (crash,
   // partition) needs *distinct* shards; resending one duplicate forever
   // livelocks the NACK/repair exchange (found by the chaos soak).
   const int span = hi - lo;
   const int idx = raw < hi ? raw : (span > 0 ? lo + (raw - lo) % span : hi - 1);
-  grp.slice_next[level] = raw + 1;
+  slice_lv(grp)[level].next = raw + 1;
   return idx;
 }
 
 TransferEngine::Group& TransferEngine::ensure_group(std::uint32_t g) {
   auto it = groups_.find(g);
   if (it != groups_.end()) return it->second;
-  auto [jt, inserted] = groups_.emplace(g, Group(codec_));
+  auto [jt, inserted] = groups_.try_emplace(g, codec_, simu_);
   (void)inserted;
   Group& grp = jt->second;
   grp.id = g;
-  grp.initial_shards = cfg_.group_size;  // lower bound until announced
-  const std::size_t levels = session_.chain().size();
-  grp.zlc.assign(levels, 0);
-  grp.pending_repairs.assign(levels, 0);
-  grp.nacked.assign(levels, false);
-  grp.injected.assign(levels, false);
-  grp.slice_next.assign(hier_.depth(), 0);
-  grp.parity_seen_by_level.assign(hier_.depth(), 0);
-  grp.ldp_timer = std::make_unique<sim::Timer>(simu_);
-  grp.ldp_timer->set_tag("transfer.ldp");
-  grp.request_timer = std::make_unique<sim::Timer>(simu_);
-  grp.request_timer->set_tag("transfer.request");
-  grp.reply_timer = std::make_unique<sim::Timer>(simu_);
-  grp.reply_timer->set_tag("transfer.reply");
-  grp.measure_timer = std::make_unique<sim::Timer>(simu_);
-  grp.measure_timer->set_tag("transfer.measure");
-  grp.inject_timer = std::make_unique<sim::Timer>(simu_);
-  grp.inject_timer->set_tag("transfer.inject");
+  grp.initial_shards = cfg_->group_size;  // lower bound until announced
+  // Arena strides are fixed at first use (chain and hierarchy shapes are
+  // static once the session is up); each new group appends one stride.
+  if (chain_levels_ == 0) {
+    chain_levels_ = session_.chain().size();
+    slice_levels_ = static_cast<std::size_t>(std::max(1, hier_.depth()));
+  }
+  grp.arena_slot = static_cast<std::uint32_t>(groups_.size() - 1);
+  chain_arena_.resize(chain_arena_.size() + chain_levels_);
+  slice_arena_.resize(slice_arena_.size() + slice_levels_);
   return grp;
 }
 
@@ -163,11 +157,10 @@ bool TransferEngine::sane_group_id(std::uint32_t g) const {
 void TransferEngine::stop() {
   stopped_ = true;
   for (auto& [g, grp] : groups_) {
-    grp.ldp_timer->cancel();
-    grp.request_timer->cancel();
-    grp.reply_timer->cancel();
-    grp.measure_timer->cancel();
-    grp.inject_timer->cancel();
+    grp.ldp_timer.cancel();
+    grp.request_timer.cancel();
+    grp.reply_timer.cancel();
+    grp.measure_timer.cancel();
   }
 }
 
@@ -192,13 +185,13 @@ double TransferEngine::predicted_zlc(net::ZoneId z) const {
 
 std::vector<std::uint8_t> TransferEngine::reconstructed(std::uint32_t g) const {
   auto it = groups_.find(g);
-  if (it == groups_.end() || !it->second.complete || !cfg_.real_payload) {
+  if (it == groups_.end() || !it->second.complete || !cfg_->real_payload) {
     return {};
   }
   auto data = it->second.decoder.reconstruct();
   if (!data) return {};
   std::vector<std::uint8_t> out;
-  out.reserve(data->size() * cfg_.shard_size_bytes);
+  out.reserve(data->size() * cfg_->shard_size_bytes);
   for (const auto& shard : *data) out.insert(out.end(), shard.begin(), shard.end());
   return out;
 }
@@ -211,9 +204,9 @@ void TransferEngine::send_stream(std::uint32_t group_count, sim::Time start_at,
   send_total_groups_ = group_count;
   groups_total_ = group_count;
   payload_ = std::move(payload);
-  if (cfg_.real_payload) {
-    payload_.resize(static_cast<std::size_t>(group_count) * cfg_.group_size *
-                        cfg_.shard_size_bytes,
+  if (cfg_->real_payload) {
+    payload_.resize(static_cast<std::size_t>(group_count) * cfg_->group_size *
+                        cfg_->shard_size_bytes,
                     0);
   }
   // seen_any_ flips when the first packet actually leaves: advertising
@@ -223,15 +216,15 @@ void TransferEngine::send_stream(std::uint32_t group_count, sim::Time start_at,
 
 std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
     Group& grp, int index) {
-  if (!cfg_.real_payload) return nullptr;
+  if (!cfg_->real_payload) return nullptr;
   if (!grp.encoder) {
     if (is_source_ && grp.id < send_total_groups_) {
-      std::vector<std::vector<std::uint8_t>> data(cfg_.group_size);
+      std::vector<std::vector<std::uint8_t>> data(cfg_->group_size);
       const std::size_t base = static_cast<std::size_t>(grp.id) *
-                               cfg_.group_size * cfg_.shard_size_bytes;
-      for (int i = 0; i < cfg_.group_size; ++i) {
-        const auto* p = payload_.data() + base + i * cfg_.shard_size_bytes;
-        data[i].assign(p, p + cfg_.shard_size_bytes);
+                               cfg_->group_size * cfg_->shard_size_bytes;
+      for (int i = 0; i < cfg_->group_size; ++i) {
+        const auto* p = payload_.data() + base + i * cfg_->shard_size_bytes;
+        data[i].assign(p, p + cfg_->shard_size_bytes);
       }
       grp.encoder = std::make_unique<fec::GroupEncoder>(codec_, std::move(data));
     } else if (grp.complete) {
@@ -242,9 +235,13 @@ std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
       return nullptr;
     }
   }
-  // Parity is encoded straight into the shared buffer the message will
-  // carry (one SIMD row-pass in the codec, no intermediate copy).
-  return grp.encoder->shard_shared(index);
+  // Parity is encoded straight into a pooled buffer the message will carry
+  // (one codec row-pass, no intermediate copy). The buffer returns to the
+  // freelist when the last in-flight packet copy releases it.
+  auto buf =
+      shard_pool_.acquire(static_cast<std::size_t>(cfg_->shard_size_bytes));
+  grp.encoder->shard_into(index, *buf);
+  return buf;
 }
 
 void TransferEngine::source_send_next() {
@@ -254,7 +251,7 @@ void TransferEngine::source_send_next() {
     // Decide this group's proactive redundancy h from the EWMA-predicted
     // ZLC of the largest zone (zero when injection is disabled).
     int h = 0;
-    if (cfg_.injection) {
+    if (cfg_->injection) {
       // Size up ("sufficient redundancy to guarantee delivery", §3.2):
       // fractional predicted loss still means some receiver usually needs
       // that shard, and an unneeded proactive shard merely suppresses.
@@ -262,21 +259,21 @@ void TransferEngine::source_send_next() {
       // Initial parity lives in the root zone's slice of the parity space.
       h = std::clamp(h, 0, slice_width() - 1);
     }
-    grp.initial_shards = cfg_.group_size + h;
+    grp.initial_shards = cfg_->group_size + h;
     max_group_seen_ = std::max(max_group_seen_, grp.id);
     seen_any_ = true;
   }
-  auto msg = std::make_shared<DataMsg>();
+  auto msg = data_pool_.make();
   msg->group = grp.id;
   msg->index = send_index_;
-  msg->k = cfg_.group_size;
+  msg->k = cfg_->group_size;
   msg->initial_shards = grp.initial_shards;
   msg->groups_total = groups_total_;
   msg->bytes = shard_bytes(grp, send_index_);
-  const bool is_parity = send_index_ >= cfg_.group_size;
+  const bool is_parity = send_index_ >= cfg_->group_size;
   net_.send(node_, hier_.data_channel(),
             is_parity ? net::TrafficClass::kRepair : net::TrafficClass::kData,
-            cfg_.shard_size_bytes, msg);
+            cfg_->shard_size_bytes, msg);
   if (is_parity) {
     ++preemptive_sent_;
     // Initial parity is injected at root scope (the whole session).
@@ -292,10 +289,11 @@ void TransferEngine::source_send_next() {
     // Group fully transmitted: the sender enters the repair phase for it
     // immediately (paper RP rule 1) and flushes any queued repairs.
     grp.ldp_done = true;
-    if (!grp.reply_timer->pending()) {
+    if (!grp.reply_timer.pending()) {
+      const ChainLevel* lv = chain_lv(grp);
       int level = -1;
-      for (std::size_t l = grp.pending_repairs.size(); l-- > 0;) {
-        if (grp.pending_repairs[l] > 0) level = static_cast<int>(l);
+      for (std::size_t l = chain_levels_; l-- > 0;) {
+        if (lv[l].pending > 0) level = static_cast<int>(l);
       }
       if (level >= 0) {
         grp.reply_level = level;
@@ -322,7 +320,7 @@ bool TransferEngine::handle(const net::Packet& packet) {
     // mangled message must bump the reject counter, not hang the backfill
     // loops or inflate per-group bookkeeping.
     if (d->index < 0 || d->index >= codec_->max_shards() ||
-        d->k != cfg_.group_size || d->initial_shards > codec_->max_shards() ||
+        d->k != cfg_->group_size || d->initial_shards > codec_->max_shards() ||
         !sane_group_id(d->group)) {
       ++malformed_rejects_;
       if (m_malformed_) m_malformed_->inc();
@@ -363,7 +361,7 @@ void TransferEngine::fix_join_point(std::uint32_t first_heard_group,
                                     bool at_group_start) {
   if (join_point_fixed_ || is_source_) return;
   join_point_fixed_ = true;
-  if (cfg_.late_join_full_history) return;  // contract covers everything
+  if (cfg_->late_join_full_history) return;  // contract covers everything
   // Live-only contract: skip all earlier groups, and the partially-heard
   // one unless we caught its very first shard.
   skip_before_ = at_group_start ? first_heard_group : first_heard_group + 1;
@@ -384,7 +382,7 @@ void TransferEngine::note_remote_progress(std::uint32_t remote_max_group) {
   }
   for (std::uint32_t g = skip_before_; g <= remote_max_group; ++g) {
     Group& grp = ensure_group(g);
-    if (grp.ldp_done || grp.ldp_timer->pending()) continue;
+    if (grp.ldp_done || grp.ldp_timer.pending()) continue;
     if (g < remote_max_group) {
       // Groups below the advertised max have certainly finished at the
       // source.
@@ -395,8 +393,8 @@ void TransferEngine::note_remote_progress(std::uint32_t remote_max_group) {
       // duration plus slack; a live arrival re-arms this timer, a late
       // joiner's silence finalizes it and starts recovery.
       const sim::Time grace =
-          std::max(0.5, 2.0 * cfg_.group_size * inter_arrival_estimate());
-      grp.ldp_timer->arm(grace, [this, g] {
+          std::max(0.5, 2.0 * cfg_->group_size * inter_arrival_estimate());
+      grp.ldp_timer.arm(grace, [this, g] {
         auto it = groups_.find(g);
         if (it != groups_.end() && !it->second.ldp_done) {
           finish_ldp(it->second, "timer");
@@ -430,7 +428,7 @@ void TransferEngine::on_data(const DataMsg& msg, net::TrafficClass) {
   if (msg.group > max_group_seen_ || !seen_any_) {
     for (std::uint32_t g = skip_before_; g < msg.group; ++g) {
       Group& prev = ensure_group(g);
-      if (!prev.ldp_done && !prev.ldp_timer->pending()) finish_ldp(prev);
+      if (!prev.ldp_done && !prev.ldp_timer.pending()) finish_ldp(prev);
     }
     max_group_seen_ = std::max(max_group_seen_, msg.group);
   }
@@ -456,7 +454,7 @@ void TransferEngine::on_data(const DataMsg& msg, net::TrafficClass) {
   const sim::Time eta =
       (static_cast<double>(std::max(remaining, 0)) * 1.5 + 2.0) *
       inter_arrival_estimate();
-  grp.ldp_timer->arm(eta, [this, g = grp.id] {
+  grp.ldp_timer.arm(eta, [this, g = grp.id] {
     auto it = groups_.find(g);
     if (it != groups_.end() && !it->second.ldp_done) {
       finish_ldp(it->second, "timer");
@@ -475,7 +473,7 @@ void TransferEngine::note_initial_progress(Group& grp, int index) {
   if (index <= grp.last_initial_seen) return;
   int newly_missing_originals = 0;
   for (int j = grp.last_initial_seen + 1; j < index; ++j) {
-    if (!grp.decoder.has(j) && j < cfg_.group_size) ++newly_missing_originals;
+    if (!grp.decoder.has(j) && j < cfg_->group_size) ++newly_missing_originals;
   }
   grp.last_initial_seen = index;
   grp.max_id_seen = std::max(grp.max_id_seen, index);
@@ -500,11 +498,11 @@ void TransferEngine::raise_llc(Group& grp, int newly_missing,
 void TransferEngine::finish_ldp(Group& grp, const char* via) {
   if (grp.ldp_done) return;
   grp.ldp_done = true;
-  grp.ldp_timer->cancel();
+  grp.ldp_timer.cancel();
   // Shards of the initial tranche we never saw are lost.
   int missing_originals = 0;
   for (int j = grp.last_initial_seen + 1; j < grp.initial_shards; ++j) {
-    if (!grp.decoder.has(j) && j < cfg_.group_size) ++missing_originals;
+    if (!grp.decoder.has(j) && j < cfg_->group_size) ++missing_originals;
   }
   grp.last_initial_seen = grp.initial_shards - 1;
   grp.max_id_seen = std::max(grp.max_id_seen, grp.initial_shards - 1);
@@ -527,15 +525,15 @@ void TransferEngine::add_shard(
     Group& grp, int index,
     const std::shared_ptr<const std::vector<std::uint8_t>>& bytes) {
   std::vector<std::uint8_t> copy;
-  if (cfg_.real_payload && bytes) copy = *bytes;
+  if (cfg_->real_payload && bytes) copy = *bytes;
   note_parity_seen(grp, index);
   if (!grp.decoder.add(index, std::move(copy))) return;
-  if (index >= cfg_.group_size) {
+  if (index >= cfg_->group_size) {
     // Parity actually received, attributed to the level that emitted it
     // (used to size incremental injection from below).
-    const int gl = std::min((index - cfg_.group_size) / slice_width(),
+    const int gl = std::min((index - cfg_->group_size) / slice_width(),
                             hier_.depth() - 1);
-    ++grp.parity_seen_by_level[gl];
+    ++slice_lv(grp)[gl].seen;
   }
   grp.max_id_seen = std::max(grp.max_id_seen, index);
   if (!grp.complete && grp.decoder.complete()) on_group_complete(grp);
@@ -577,8 +575,11 @@ bool TransferEngine::covered_by_zlc(const Group& grp) const {
   // A NACK at ANY scope containing us whose announced loss count reaches
   // ours means repairs covering our deficit are on their way (repairs at
   // larger scopes reach nested zones too).
+  const ChainLevel* lv = chain_lv(grp);
   int best = 0;
-  for (int z : grp.zlc) best = std::max(best, z);
+  for (std::size_t l = 0; l < chain_levels_; ++l) {
+    best = std::max<int>(best, lv[l].zlc);
+  }
   return grp.llc <= best;
 }
 
@@ -588,21 +589,21 @@ void TransferEngine::maybe_request(Group& grp) {
   // Whether covered by someone else's NACK or not, the request timer must
   // run: if covered, it acts as a stall probe; if not, it races to be the
   // zone's NACKer. Suppression proper happens at fire time.
-  if (!grp.request_timer->pending()) arm_request_timer(grp);
+  if (!grp.request_timer.pending()) arm_request_timer(grp);
 }
 
 void TransferEngine::arm_request_timer(Group& grp, stats::EventId cause) {
   const double d = dist_to_source();
-  rm::TimerPolicy policy = cfg_.timers;
-  if (cfg_.adaptive_timers) {
+  rm::TimerPolicy policy = cfg_->timers;
+  if (cfg_->adaptive_timers) {
     policy.c1 = c1_adapt_;
     policy.c2 = c2_adapt_;
   }
   rm::TimerPolicy::RequestDraw draw;
   const sim::Time delay =
-      policy.request_delay(rng_, d, std::min(grp.backoff_i, cfg_.max_backoff_stage),
+      policy.request_delay(rng_, d, std::min(grp.backoff_i, cfg_->max_backoff_stage),
                            journal_ ? &draw : nullptr);
-  grp.request_timer->arm(delay, [this, g = grp.id] { fire_request(g); });
+  grp.request_timer.arm(delay, [this, g = grp.id] { fire_request(g); });
   if (journal_) {
     // The sampled suppression window rides along so a trace shows why
     // this receiver's NACK waited as long as it did.
@@ -615,7 +616,7 @@ void TransferEngine::arm_request_timer(Group& grp, stats::EventId cause) {
 }
 
 void TransferEngine::adapt_request_window(bool heard_duplicate) {
-  if (!cfg_.adaptive_timers) return;
+  if (!cfg_->adaptive_timers) return;
   ave_dup_nack_ =
       0.75 * ave_dup_nack_ + 0.25 * (heard_duplicate ? 1.0 : 0.0);
   if (ave_dup_nack_ >= 0.5) {
@@ -625,8 +626,8 @@ void TransferEngine::adapt_request_window(bool heard_duplicate) {
     c1_adapt_ -= 0.05;
     c2_adapt_ -= 0.1;
   }
-  c1_adapt_ = std::clamp(c1_adapt_, cfg_.adaptive_c1_min, cfg_.adaptive_c1_max);
-  c2_adapt_ = std::clamp(c2_adapt_, cfg_.adaptive_c2_min, cfg_.adaptive_c2_max);
+  c1_adapt_ = std::clamp(c1_adapt_, cfg_->adaptive_c1_min, cfg_->adaptive_c1_max);
+  c2_adapt_ = std::clamp(c2_adapt_, cfg_->adaptive_c2_min, cfg_->adaptive_c2_max);
 }
 
 void TransferEngine::fire_request(std::uint32_t g) {
@@ -643,7 +644,7 @@ void TransferEngine::fire_request(std::uint32_t g) {
     const sim::Time eta = (static_cast<double>(std::max(remaining, 1)) * 1.2 +
                            1.0) *
                           inter_arrival_estimate();
-    grp.request_timer->arm(eta, [this, g] { fire_request(g); });
+    grp.request_timer.arm(eta, [this, g] { fire_request(g); });
     return;
   }
   const int level = nack_level(grp);
@@ -662,13 +663,13 @@ void TransferEngine::fire_request(std::uint32_t g) {
       suppressed_ev = jnl("nack.suppressed", grp.id, span_cause(grp),
                           {{"level", level}, {"llc", grp.llc}});
     }
-    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
+    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_->max_backoff_stage);
     arm_request_timer(grp, suppressed_ev);
     return;
   }
   const net::ZoneId zone = session_.chain()[level];
 
-  auto msg = std::make_shared<NackMsg>();
+  auto msg = nack_pool_.make();
   msg->group = g;
   msg->zone = zone;
   msg->llc = grp.llc;
@@ -689,15 +690,16 @@ void TransferEngine::fire_request(std::uint32_t g) {
                             {"zone", zone}});
     journal_->bind_uid(uid, grp.last_nack_ev);
   }
-  grp.nacked[level] = true;
-  grp.zlc[level] = std::max(grp.zlc[level], grp.llc);
+  ChainLevel& lv = chain_lv(grp)[level];
+  lv.nacked = true;
+  lv.zlc = std::max<std::int32_t>(lv.zlc, grp.llc);
 
   // Escalate to the parent scope after the configured number of attempts;
   // a fresh scope starts with a fresh backoff stage (the paper resets i on
   // repair arrival; without a reset here, escalation to a scope that can
   // actually repair would inherit minutes of accumulated backoff).
   ++grp.attempts_at_scope;
-  if (grp.attempts_at_scope >= cfg_.attempts_per_scope &&
+  if (grp.attempts_at_scope >= cfg_->attempts_per_scope &&
       level + 1 < static_cast<int>(session_.chain().size())) {
     ++grp.scope_level;
     grp.attempts_at_scope = 0;
@@ -707,7 +709,7 @@ void TransferEngine::fire_request(std::uint32_t g) {
           {{"scope_level", grp.scope_level}});
     }
   } else {
-    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
+    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_->max_backoff_stage);
   }
   arm_request_timer(grp, grp.last_nack_ev);
 }
@@ -741,14 +743,17 @@ void TransferEngine::on_nack(const NackMsg& msg) {
                     {"sender", msg.sender}});
   }
 
-  const bool increased = msg.llc > grp.zlc[level];
-  grp.zlc[level] = std::max(grp.zlc[level], msg.llc);
+  // No group-creating call happens below, so the stride reference stays
+  // valid for the rest of the handler.
+  ChainLevel& lv = chain_lv(grp)[level];
+  const bool increased = msg.llc > lv.zlc;
+  lv.zlc = std::max<std::int32_t>(lv.zlc, msg.llc);
 
   // The NACK's max-id may reveal shards we never saw (paper LDP rule 7).
   if (msg.max_id_seen > grp.max_id_seen) {
     int missing_originals = 0;
     for (int j = grp.max_id_seen + 1; j <= msg.max_id_seen; ++j) {
-      if (j < cfg_.group_size && !grp.decoder.has(j)) ++missing_originals;
+      if (j < cfg_->group_size && !grp.decoder.has(j)) ++missing_originals;
     }
     if (grp.last_initial_seen < msg.max_id_seen &&
         msg.max_id_seen < grp.initial_shards) {
@@ -763,29 +768,28 @@ void TransferEngine::on_nack(const NackMsg& msg) {
   if (!is_source_ && !grp.complete) {
     // Suppression (paper LDP rules 5/6): a NACK that covers our losses, or
     // one that does not raise the ZLC, backs our own request off.
-    if (grp.request_timer->pending() &&
-        (!increased || grp.llc <= grp.zlc[level])) {
+    if (grp.request_timer.pending() && (!increased || grp.llc <= lv.zlc)) {
       if (m_nacks_deduped_) m_nacks_deduped_->inc();
       stats::EventId dedup_ev = 0;
       if (journal_) {
         dedup_ev = jnl("nack.deduped", grp.id, heard_ev,
                        {{"level", level}, {"llc", grp.llc}});
       }
-      grp.backoff_i = std::min(grp.backoff_i + 1, cfg_.max_backoff_stage);
+      grp.backoff_i = std::min(grp.backoff_i + 1, cfg_->max_backoff_stage);
       arm_request_timer(grp, dedup_ev);
       // A NACK that didn't raise the ZLC while ours announced the same
       // losses is a duplicate in the adaptive-timer sense.
-      if (grp.nacked[level] && !increased) adapt_request_window(true);
+      if (lv.nacked && !increased) adapt_request_window(true);
     }
   }
 
   // Repairer bookkeeping: speculative repair queue for that zone. New
   // NACKs raise the queue to the worst outstanding deficit; increases do
   // not reset a pending reply timer (paper LDP rule 8).
-  grp.pending_repairs[level] = std::max(grp.pending_repairs[level], msg.needed);
+  lv.pending = std::max<std::int32_t>(lv.pending, msg.needed);
   if (!eligible_repairer(grp)) return;
-  if (cfg_.sender_only && !is_source_) return;
-  if (grp.reply_timer->pending()) {
+  if (cfg_->sender_only && !is_source_) return;
+  if (grp.reply_timer.pending()) {
     grp.reply_level = std::max(grp.reply_level, level);
     return;
   }
@@ -804,7 +808,7 @@ void TransferEngine::on_nack(const NackMsg& msg) {
       grp.repair_sched_ev = jnl("repair.scheduled", grp.id, heard_ev,
                                 {{"level", level}, {"via", "deferred"}});
     }
-    arm_reply_timer(grp, level, d * cfg_.fallback_reply_defer);
+    arm_reply_timer(grp, level, d * cfg_->fallback_reply_defer);
   }
 }
 
@@ -816,8 +820,8 @@ bool TransferEngine::eligible_repairer(const Group& grp) const {
 void TransferEngine::arm_reply_timer(Group& grp, int level,
                                      double dist_to_requester) {
   grp.reply_level = level;
-  const sim::Time delay = cfg_.timers.reply_delay(rng_, dist_to_requester);
-  grp.reply_timer->arm(delay, [this, g = grp.id] { fire_reply(g); });
+  const sim::Time delay = cfg_->timers.reply_delay(rng_, dist_to_requester);
+  grp.reply_timer.arm(delay, [this, g = grp.id] { fire_reply(g); });
 }
 
 void TransferEngine::fire_reply(std::uint32_t g) {
@@ -826,34 +830,40 @@ void TransferEngine::fire_reply(std::uint32_t g) {
   if (it == groups_.end()) return;
   Group& grp = it->second;
   if (!eligible_repairer(grp)) return;
-  if (cfg_.sender_only && !is_source_) return;
+  if (cfg_->sender_only && !is_source_) return;
   int level = grp.reply_level;
   if (level < 0) return;
-  if (grp.pending_repairs[level] <= 0) {
+  if (chain_lv(grp)[level].pending <= 0) {
     // This zone is served; check smaller zones we may also owe.
+    const ChainLevel* lv = chain_lv(grp);
     level = -1;
-    for (std::size_t l = grp.pending_repairs.size(); l-- > 0;) {
-      if (grp.pending_repairs[l] > 0) level = static_cast<int>(l);
+    for (std::size_t l = chain_levels_; l-- > 0;) {
+      if (lv[l].pending > 0) level = static_cast<int>(l);
     }
     if (level < 0) return;
     grp.reply_level = level;
   }
   send_one_repair(grp, level, /*preemptive=*/false);
-  grp.pending_repairs[level] = std::max(0, grp.pending_repairs[level] - 1);
-  if (grp.pending_repairs[level] > 0 ||
-      *std::max_element(grp.pending_repairs.begin(),
-                        grp.pending_repairs.end()) > 0) {
+  // Re-fetch the stride: send_one_repair can complete the group, and the
+  // completion callback may create groups (arena growth moves the data).
+  ChainLevel* lv = chain_lv(grp);
+  lv[level].pending = std::max<std::int32_t>(0, lv[level].pending - 1);
+  bool any_pending = false;
+  for (std::size_t l = 0; l < chain_levels_; ++l) {
+    any_pending = any_pending || lv[l].pending > 0;
+  }
+  if (any_pending) {
     if (is_source_ || session_.is_zcr(session_.chain()[level])) {
       // Dedicated repairers pace the rest of the burst at half the data
       // inter-packet interval (paper RP rule 1).
-      grp.reply_timer->arm(cfg_.repair_spacing_factor * packet_interval(),
+      grp.reply_timer.arm(cfg_->repair_spacing_factor * packet_interval(),
                            [this, g] { fire_reply(g); });
     } else {
       // Fallback repairers re-randomize a suppression-sized delay between
       // repairs so a dedicated repairer's burst (or another fallback's)
       // can drain the queue first.
       arm_reply_timer(grp, grp.reply_level,
-                      cfg_.default_dist * cfg_.fallback_reply_defer);
+                      cfg_->default_dist * cfg_->fallback_reply_defer);
     }
   }
 }
@@ -864,10 +874,10 @@ void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
   const int index = next_parity_index(grp, zone);
   grp.max_id_seen = std::max(grp.max_id_seen, index);
 
-  auto msg = std::make_shared<RepairMsg>();
+  auto msg = repair_pool_.make();
   msg->group = grp.id;
   msg->index = index;
-  msg->k = cfg_.group_size;
+  msg->k = cfg_->group_size;
   msg->new_max_id = index;
   msg->repairer = node_;
   msg->zone = zone;
@@ -882,7 +892,7 @@ void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
   }
   const std::uint64_t uid =
       net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kRepair,
-                cfg_.shard_size_bytes, msg);
+                cfg_->shard_size_bytes, msg);
   if (journal_) {
     const stats::EventId cause =
         preemptive ? grp.inject_ev : grp.repair_sched_ev;
@@ -950,21 +960,25 @@ void TransferEngine::on_repair(const RepairMsg& msg) {
             {{"scope_level", serving}});
       }
     }
-    if (grp.request_timer->pending() && deficit(grp) > 0) {
+    if (grp.request_timer.pending() && deficit(grp) > 0) {
       arm_request_timer(grp, grp.last_repair_recv_ev);
     }
   }
 
   // Dequeue speculative repairs for the repair's zone and every smaller
-  // zone on our chain (paper LDP rule 9).
+  // zone on our chain (paper LDP rule 9). Fetched after add_shard: the
+  // completion callback it can trigger may grow the arena.
   if (level >= 0) {
+    ChainLevel* lv = chain_lv(grp);
     for (int l = 0; l <= level; ++l) {
-      grp.pending_repairs[l] = std::max(0, grp.pending_repairs[l] - 1);
+      lv[l].pending = std::max<std::int32_t>(0, lv[l].pending - 1);
     }
-    if (grp.reply_timer->pending()) {
+    if (grp.reply_timer.pending()) {
       bool any = false;
-      for (int v : grp.pending_repairs) any = any || v > 0;
-      if (!any) grp.reply_timer->cancel();
+      for (std::size_t l = 0; l < chain_levels_; ++l) {
+        any = any || lv[l].pending > 0;
+      }
+      if (!any) grp.reply_timer.cancel();
     }
   }
 }
@@ -974,8 +988,8 @@ void TransferEngine::on_repair(const RepairMsg& msg) {
 void TransferEngine::on_group_complete(Group& grp) {
   grp.complete = true;
   grp.ldp_done = true;
-  grp.ldp_timer->cancel();
-  grp.request_timer->cancel();
+  grp.ldp_timer.cancel();
+  grp.request_timer.cancel();
   if (m_completion_ && grp.first_arrival != sim::kTimeNever) {
     m_completion_->observe(simu_.now() - grp.first_arrival);
   }
@@ -1004,12 +1018,15 @@ void TransferEngine::on_group_complete(Group& grp) {
   if (log_) log_->record(node_, grp.id, simu_.now());
   if (on_complete_) on_complete_(grp.id);
   // Becoming a repairer: serve any speculative queue (paper RP rules 2/3).
-  if (eligible_repairer(grp) && (!cfg_.sender_only || is_source_)) {
+  // Stride fetched after the completion callback above (it may create
+  // groups and grow the arena).
+  if (eligible_repairer(grp) && (!cfg_->sender_only || is_source_)) {
+    const ChainLevel* lv = chain_lv(grp);
     int level = -1;
-    for (std::size_t l = grp.pending_repairs.size(); l-- > 0;) {
-      if (grp.pending_repairs[l] > 0) level = static_cast<int>(l);
+    for (std::size_t l = chain_levels_; l-- > 0;) {
+      if (lv[l].pending > 0) level = static_cast<int>(l);
     }
-    if (level >= 0 && !grp.reply_timer->pending()) {
+    if (level >= 0 && !grp.reply_timer.pending()) {
       const net::ZoneId zone = session_.chain()[level];
       if (journal_) {
         grp.repair_sched_ev =
@@ -1021,7 +1038,7 @@ void TransferEngine::on_group_complete(Group& grp) {
         fire_reply(grp.id);
       } else {
         arm_reply_timer(grp, level,
-                        std::max(1e-3, cfg_.default_dist * 1.0));
+                        std::max(1e-3, cfg_->default_dist * 1.0));
       }
     }
   }
@@ -1030,14 +1047,15 @@ void TransferEngine::on_group_complete(Group& grp) {
 }
 
 void TransferEngine::schedule_injection(Group& grp) {
-  if (!cfg_.injection) return;
-  if (cfg_.sender_only && !is_source_) return;
+  if (!cfg_->injection) return;
+  if (cfg_->sender_only && !is_source_) return;
   const auto& chain = session_.chain();
   // The source's root-level proactive FEC is the initial tranche; ZCRs of
   // smaller zones top up their zone to the predicted ZLC.
+  ChainLevel* lv = chain_lv(grp);
   for (std::size_t l = 0; l + 1 < chain.size(); ++l) {
-    if (!session_.is_zcr(chain[l]) || grp.injected[l]) continue;
-    grp.injected[l] = true;
+    if (!session_.is_zcr(chain[l]) || lv[l].injected) continue;
+    lv[l].injected = true;
     // Incremental redundancy: predicted zone loss minus the coverage the
     // larger scopes are predicted to deliver into this zone (paper §3.2:
     // each zone compensates only for its own incremental loss; "should
@@ -1056,7 +1074,7 @@ void TransferEngine::schedule_injection(Group& grp) {
     // the ZCR transmits without waiting for NACKs).
     for (int i = 0; i < extra; ++i) {
       simu_.after(
-          cfg_.repair_spacing_factor * packet_interval() * i,
+          cfg_->repair_spacing_factor * packet_interval() * i,
           [this, g = grp.id, level] {
             auto it = groups_.find(g);
             if (it == groups_.end()) return;
@@ -1068,7 +1086,7 @@ void TransferEngine::schedule_injection(Group& grp) {
 }
 
 void TransferEngine::schedule_zlc_measurement(Group& grp) {
-  if (grp.measured || grp.measure_timer->pending()) return;
+  if (grp.measured || grp.measure_timer.pending()) return;
   const auto& chain = session_.chain();
   bool responsible = is_source_;
   for (std::size_t l = 0; !responsible && l < chain.size(); ++l) {
@@ -1091,15 +1109,17 @@ void TransferEngine::schedule_zlc_measurement(Group& grp) {
   // RTT): that member's request timer is the last NACK we must wait for.
   const double d_src = std::max(dist_to_source(), max_rtt / 2.0);
   const double nack_window =
-      2.0 * (cfg_.timers.c1 + cfg_.timers.c2) * std::max(d_src, 1e-3);
+      2.0 * (cfg_->timers.c1 + cfg_->timers.c2) * std::max(d_src, 1e-3);
   const sim::Time wait =
-      cfg_.zlc_measure_rtt_factor * std::max(max_rtt, nack_window);
-  grp.measure_timer->arm(wait, [this, g = grp.id] {
+      cfg_->zlc_measure_rtt_factor * std::max(max_rtt, nack_window);
+  grp.measure_timer.arm(wait, [this, g = grp.id] {
     auto it = groups_.find(g);
     if (it == groups_.end()) return;
     Group& grp2 = it->second;
     grp2.measured = true;
     const auto& ch = session_.chain();
+    const ChainLevel* lv = chain_lv(grp2);
+    const SliceLevel* sl = slice_lv(grp2);
     for (std::size_t l = 0; l < ch.size(); ++l) {
       const bool mine =
           (is_source_ && l + 1 == ch.size()) || session_.is_zcr(ch[l]);
@@ -1107,9 +1127,9 @@ void TransferEngine::schedule_zlc_measurement(Group& grp) {
       // True ZLC if NACKs announced it; otherwise our own LLC stands in
       // (paper: "the EWMA filter will use the receiver's LLC in cases
       // where no NACKs are received").
-      const int measured = std::max(grp2.zlc[l], grp2.llc);
+      const int measured = std::max<int>(lv[l].zlc, grp2.llc);
       zlc_pred_[l] =
-          cfg_.ewma_old * zlc_pred_[l] + cfg_.ewma_new * measured;
+          cfg_->ewma_old * zlc_pred_[l] + cfg_->ewma_new * measured;
       if (!m_zlc_pred_.empty() && l < m_zlc_pred_.size()) {
         m_zlc_pred_[l]->set(zlc_pred_[l]);
       }
@@ -1118,10 +1138,10 @@ void TransferEngine::schedule_zlc_measurement(Group& grp) {
       const int my_glevel = hier_.level(ch[l]);
       int from_above = 0;
       for (int gl = 0; gl < my_glevel && gl < hier_.depth(); ++gl) {
-        from_above += grp2.parity_seen_by_level[gl];
+        from_above += sl[gl].seen;
       }
       cov_pred_[l] =
-          cfg_.ewma_old * cov_pred_[l] + cfg_.ewma_new * from_above;
+          cfg_->ewma_old * cov_pred_[l] + cfg_->ewma_new * from_above;
     }
   });
 }

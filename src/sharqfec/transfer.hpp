@@ -13,6 +13,7 @@
 #include "sharqfec/hierarchy.hpp"
 #include "sharqfec/messages.hpp"
 #include "sharqfec/session_manager.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "stats/journal.hpp"
 #include "stats/metrics.hpp"
@@ -29,8 +30,8 @@ namespace sharq::sfq {
 class TransferEngine {
  public:
   TransferEngine(net::Network& net, Hierarchy& hier, SessionManager& session,
-                 const Config& cfg, net::NodeId node, bool is_source,
-                 rm::DeliveryLog* log);
+                 std::shared_ptr<const Config> cfg, net::NodeId node,
+                 bool is_source, rm::DeliveryLog* log);
 
   /// Source API: stream `group_count` groups of k shards each, starting at
   /// `start_at`. With real_payload set, `payload` supplies the bytes
@@ -79,7 +80,28 @@ class TransferEngine {
   double arrival_ewma() const { return arrival_ewma_; }
 
  private:
-  /// Per-group receiver/repairer state.
+  /// Per chain-level state, indexed like the session manager's chain.
+  /// Packed in the engine's `chain_arena_` (one stride per group) so a
+  /// mostly-idle group carries no per-level heap allocations.
+  struct ChainLevel {
+    std::int32_t zlc = 0;      ///< highest loss count heard for this zone
+    std::int32_t pending = 0;  ///< speculative repair queue size
+    bool nacked = false;       ///< we announced our LLC at this level
+    bool injected = false;     ///< preemptive injection done at this level
+  };
+  /// Parity-index coordination state, one entry per *global* hierarchy
+  /// level (packed in `slice_arena_`): the parity space is partitioned
+  /// into one slice per level so repairers in nested zones never emit the
+  /// same shard; within a slice, repairs heard advance the cursor (the
+  /// paper's max-identifier announcements).
+  struct SliceLevel {
+    std::int32_t next = 0;  ///< next parity index to emit in this slice
+    std::int32_t seen = 0;  ///< repair shards heard that originated here
+  };
+
+  /// Per-group receiver/repairer state. Constructed in place inside
+  /// `groups_` (never moved): the four timers are direct members whose
+  /// armed callbacks capture only the engine and a group id.
   struct Group {
     std::uint32_t id = 0;
     fec::GroupDecoder decoder;
@@ -92,27 +114,17 @@ class TransferEngine {
     bool complete = false;
     bool repairer_active = false;
     sim::Time first_arrival = sim::kTimeNever;
-    // Per chain-level state, indexed like the session manager's chain.
-    std::vector<int> zlc;               ///< highest loss count heard per zone
-    std::vector<int> pending_repairs;   ///< speculative repair queue sizes
-    std::vector<bool> nacked;           ///< we announced our LLC at level
+    /// Stride index into the engine's level arenas (chain_lv()/slice_lv()).
+    std::uint32_t arena_slot = 0;
     int backoff_i = 1;                  ///< paper: i starts at 1
     int scope_level = 0;                ///< current NACK escalation level
     int attempts_at_scope = 0;
-    std::unique_ptr<sim::Timer> ldp_timer;
-    std::unique_ptr<sim::Timer> request_timer;
-    std::unique_ptr<sim::Timer> reply_timer;
-    std::unique_ptr<sim::Timer> measure_timer;
-    std::unique_ptr<sim::Timer> inject_timer;
+    sim::Timer ldp_timer;
+    sim::Timer request_timer;
+    sim::Timer reply_timer;
+    sim::Timer measure_timer;
     int reply_level = -1;               ///< level the reply timer serves
     bool measured = false;
-    std::vector<bool> injected;         ///< per level: injection done
-    // Parity-index coordination: the parity space is partitioned into one
-    // slice per hierarchy level so repairers in nested zones never emit
-    // the same shard; within a slice, repairs heard advance the cursor
-    // (the paper's max-identifier announcements).
-    std::vector<int> slice_next;        ///< per global zone level
-    std::vector<int> parity_seen_by_level;  ///< repairs heard, by origin level
     int last_fire_distinct = -1;        ///< progress marker for stall NACKs
     // Flight-recorder causal anchors (all 0 when the journal is detached):
     // the most recent event of each kind, used as the `cause` of whatever
@@ -128,9 +140,35 @@ class TransferEngine {
     stats::EventId complete_ev = 0;
     // Sender-side extras
     std::unique_ptr<fec::GroupEncoder> encoder;  // real-payload repair source
-    explicit Group(std::shared_ptr<const fec::ReedSolomon> codec)
-        : decoder(std::move(codec)) {}
+    Group(std::shared_ptr<const fec::ReedSolomon> codec, sim::Simulator& simu)
+        : decoder(std::move(codec)),
+          ldp_timer(simu),
+          request_timer(simu),
+          reply_timer(simu),
+          measure_timer(simu) {
+      ldp_timer.set_tag("transfer.ldp");
+      request_timer.set_tag("transfer.request");
+      reply_timer.set_tag("transfer.reply");
+      measure_timer.set_tag("transfer.measure");
+    }
   };
+
+  /// A group's per-chain-level stride in the packed arena. The pointer is
+  /// invalidated by ensure_group() (arena growth): re-fetch after any call
+  /// that may create a group — including user completion callbacks.
+  ChainLevel* chain_lv(const Group& grp) {
+    return chain_arena_.data() +
+           static_cast<std::size_t>(grp.arena_slot) * chain_levels_;
+  }
+  const ChainLevel* chain_lv(const Group& grp) const {
+    return chain_arena_.data() +
+           static_cast<std::size_t>(grp.arena_slot) * chain_levels_;
+  }
+  /// Same for the per-global-level parity-slice stride.
+  SliceLevel* slice_lv(const Group& grp) {
+    return slice_arena_.data() +
+           static_cast<std::size_t>(grp.arena_slot) * slice_levels_;
+  }
 
   Group& ensure_group(std::uint32_t g);
   bool sane_group_id(std::uint32_t g) const;
@@ -183,7 +221,8 @@ class TransferEngine {
   sim::Simulator& simu_;
   Hierarchy& hier_;
   SessionManager& session_;
-  Config cfg_;
+  // Shared with every other agent in the session (see SessionManager).
+  std::shared_ptr<const Config> cfg_;
   net::NodeId node_;
   bool is_source_;
   rm::DeliveryLog* log_;
@@ -195,6 +234,20 @@ class TransferEngine {
   std::shared_ptr<const fec::ReedSolomon> codec_;
 
   std::map<std::uint32_t, Group> groups_;
+  // Packed per-level state for every tracked group (SoA arenas, one
+  // fixed-size stride per group, appended by ensure_group and never
+  // freed — groups_ never erases). Strides are sized on first use.
+  std::vector<ChainLevel> chain_arena_;
+  std::vector<SliceLevel> slice_arena_;
+  std::size_t chain_levels_ = 0;  ///< session chain length (arena stride)
+  std::size_t slice_levels_ = 0;  ///< hierarchy depth (arena stride)
+  // Message/buffer pools: per-send bodies and shard payloads come from
+  // freelists instead of the global heap; packets in flight keep pooled
+  // nodes alive past the engine via the pools' shared cores (sim/pool.hpp).
+  sim::ObjectPool<DataMsg> data_pool_;
+  sim::ObjectPool<RepairMsg> repair_pool_;
+  sim::ObjectPool<NackMsg> nack_pool_;
+  sim::BufferPool shard_pool_;
   std::uint32_t max_group_seen_ = 0;
   bool seen_any_ = false;
   /// Groups below this id are outside our delivery contract (late join

@@ -1,5 +1,8 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "stats/metrics.hpp"
@@ -8,7 +11,26 @@ namespace sharq::sim {
 
 namespace {
 constexpr const char* kUntagged = "untagged";
+constexpr std::size_t kMinBuckets = 16;  // power of two
+// Calendar span in "years" before an event is parked in the overflow
+// heap; also keeps bucket numbers (time / width) well inside uint64.
+constexpr double kOverflowYears = 1024.0;
 }  // namespace
+
+EventQueue::Backend EventQueue::default_backend() {
+  const char* env = std::getenv("SHARQFEC_EVENT_QUEUE");
+  if (env != nullptr && std::strcmp(env, "heap") == 0) return Backend::kHeap;
+  return Backend::kCalendar;
+}
+
+EventQueue::EventQueue(Backend backend) : backend_(backend) {
+  if (backend_ == Backend::kCalendar) {
+    nbuckets_ = kMinBuckets;
+    buckets_.assign(nbuckets_, {});
+    width_ = 1.0;
+    overflow_limit_ = static_cast<double>(nbuckets_) * kOverflowYears * width_;
+  }
+}
 
 void EventQueue::set_metrics(stats::Metrics* metrics) {
   metrics_ = metrics;
@@ -29,54 +51,255 @@ EventQueue::TagCounters& EventQueue::counters_for(const char* tag) {
 }
 
 EventId EventQueue::schedule(Time at, Callback fn, const char* tag) {
+  // A staged key may no longer be the minimum once this event is in;
+  // return it to the backend and let the next pop re-derive the min.
+  if (staged_) {
+    backend_push(*staged_);
+    staged_.reset();
+  }
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.tag = tag;
+  s.live = true;
   const std::uint64_t seq = next_seq_++;
-  auto entry = std::make_shared<Entry>();
-  entry->at = at;
-  entry->seq = seq;
-  entry->fn = std::move(fn);
-  entry->tag = tag;
-  pending_.emplace(seq, entry);
-  heap_.push(std::move(entry));
+  backend_push(Key{at, seq, slot, s.gen});
+  ++live_;
   if (metrics_) {
     counters_for(tag).scheduled->inc();
-    high_water_->set_max(static_cast<double>(pending_.size()));
+    high_water_->set_max(static_cast<double>(live_));
   }
-  return EventId{seq};
+  if (backend_ == Backend::kCalendar && stored_ > 2 * nbuckets_) {
+    cal_rebuild(nbuckets_ * 2);
+  }
+  return EventId{(static_cast<std::uint64_t>(s.gen) << 32) | slot};
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = pending_.find(id.value);
-  if (it == pending_.end()) return false;
-  if (metrics_) counters_for(it->second->tag).cancelled->inc();
-  it->second->cancelled = true;
-  it->second->fn = nullptr;  // release captured state promptly
-  pending_.erase(it);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return false;
+  if (metrics_) counters_for(s.tag).cancelled->inc();
+  // The ordering key stays behind (in a backend or staged_) and is
+  // skipped as stale when it surfaces — the generation has moved on.
+  free_slot(slot);
+  --live_;
   return true;
 }
 
-void EventQueue::skim() {
-  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+void EventQueue::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // release captured state promptly
+  s.tag = nullptr;
+  s.live = false;
+  ++s.gen;
+  free_slots_.push_back(slot);
+}
+
+bool EventQueue::take_min(Key* out) {
+  if (staged_) {
+    const Key k = *staged_;
+    staged_.reset();
+    if (!stale(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  Key k;
+  while (backend_raw_pop(&k)) {
+    if (stale(k)) continue;
+    *out = k;
+    return true;
+  }
+  return false;
 }
 
 Time EventQueue::next_time() {
-  skim();
-  if (heap_.empty()) return kTimeInfinity;
-  return heap_.top()->at;
+  Key k;
+  if (!take_min(&k)) return kTimeInfinity;
+  staged_ = k;
+  return k.at;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skim();
-  if (heap_.empty()) return Fired{kTimeInfinity, nullptr};
-  std::shared_ptr<Entry> top = heap_.top();
-  heap_.pop();
-  pending_.erase(top->seq);
-  if (metrics_) counters_for(top->tag).fired->inc();
-  return Fired{top->at, std::move(top->fn)};
+  Key k;
+  if (!take_min(&k)) return Fired{kTimeInfinity, nullptr};
+  Slot& s = slots_[k.slot];
+  Fired fired{k.at, std::move(s.fn)};
+  if (metrics_) counters_for(s.tag).fired->inc();
+  free_slot(k.slot);
+  --live_;
+  if (backend_ == Backend::kCalendar && nbuckets_ > kMinBuckets &&
+      stored_ < nbuckets_ / 2) {
+    cal_rebuild(nbuckets_ / 2);
+  }
+  return fired;
 }
 
 void EventQueue::clear() {
+  for (Slot& s : slots_) {
+    if (s.live) {
+      s.fn = nullptr;
+      s.tag = nullptr;
+      s.live = false;
+      ++s.gen;
+    }
+  }
+  free_slots_.clear();
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
+  live_ = 0;
+  staged_.reset();
   heap_ = {};
-  pending_.clear();
+  for (auto& b : buckets_) b.clear();
+  overflow_ = {};
+  stored_ = 0;
+}
+
+void EventQueue::backend_push(const Key& k) {
+  if (backend_ == Backend::kHeap) {
+    heap_.push(k);
+  } else {
+    cal_push(k);
+  }
+}
+
+bool EventQueue::backend_raw_pop(Key* out) {
+  if (backend_ == Backend::kHeap) {
+    if (heap_.empty()) return false;
+    *out = heap_.top();
+    heap_.pop();
+    return true;
+  }
+  return cal_raw_pop(out);
+}
+
+void EventQueue::cal_push(const Key& k) {
+  if (k.at >= overflow_limit_) {
+    overflow_.push(k);
+    ++stored_;
+    return;
+  }
+  const std::uint64_t eb = static_cast<std::uint64_t>(k.at / width_);
+  if (stored_ == 0 || eb < bucket_b_) {
+    // Empty calendar: jump the cursor straight to the event. Event before
+    // the cursor window (can't happen from monotone pops, but rebuilds
+    // and rewinds keep the invariant explicit): rewind.
+    bucket_b_ = eb;
+  }
+  auto& b = buckets_[eb & (nbuckets_ - 1)];
+  b.push_back(k);
+  std::push_heap(b.begin(), b.end(), Later{});
+  ++stored_;
+}
+
+bool EventQueue::cal_raw_pop(Key* out) {
+  if (stored_ == 0) return false;
+  const std::size_t mask = nbuckets_ - 1;
+  // Fast path: scan at most one full "year" of windows from the cursor.
+  // The invariant (no stored bucket key has a bucket number below the
+  // cursor) means the first bucket whose head lies in its current window
+  // holds the global bucket minimum. The window test reuses the insert
+  // mapping (time / width) so float rounding cannot disagree with it.
+  for (std::size_t i = 0; i < nbuckets_; ++i) {
+    auto& b = buckets_[bucket_b_ & mask];
+    if (!b.empty() &&
+        static_cast<std::uint64_t>(b.front().at / width_) == bucket_b_) {
+      if (!overflow_.empty() && Later{}(b.front(), overflow_.top())) {
+        *out = overflow_.top();
+        overflow_.pop();
+      } else {
+        *out = b.front();
+        std::pop_heap(b.begin(), b.end(), Later{});
+        b.pop_back();
+      }
+      --stored_;
+      return true;
+    }
+    ++bucket_b_;
+  }
+  // Slow path (sparse far-apart events): direct search over bucket heads
+  // and the overflow top, then jump the cursor to the minimum.
+  const Key* best = nullptr;
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < nbuckets_; ++i) {
+    const auto& b = buckets_[i];
+    if (!b.empty() && (best == nullptr || Later{}(*best, b.front()))) {
+      best = &b.front();
+      best_i = i;
+    }
+  }
+  if (!overflow_.empty() &&
+      (best == nullptr || Later{}(*best, overflow_.top()))) {
+    *out = overflow_.top();
+    overflow_.pop();
+    --stored_;
+    if (out->at < overflow_limit_) {
+      bucket_b_ = static_cast<std::uint64_t>(out->at / width_);
+    }
+    return true;
+  }
+  if (best == nullptr) return false;  // unreachable while stored_ > 0
+  auto& b = buckets_[best_i];
+  *out = b.front();
+  std::pop_heap(b.begin(), b.end(), Later{});
+  b.pop_back();
+  --stored_;
+  bucket_b_ = static_cast<std::uint64_t>(out->at / width_);
+  return true;
+}
+
+void EventQueue::cal_rebuild(std::size_t nbuckets) {
+  // Collect live keys (purging stale ones — this is where lazily
+  // cancelled events are finally reclaimed) and re-estimate the bucket
+  // width from the actual event spread: ~2x the mean gap, so a year of
+  // buckets covers the populated span with a few events per bucket.
+  std::vector<Key> keep;
+  keep.reserve(stored_);
+  for (auto& b : buckets_) {
+    for (const Key& k : b) {
+      if (!stale(k)) keep.push_back(k);
+    }
+    b.clear();
+  }
+  while (!overflow_.empty()) {
+    if (!stale(overflow_.top())) keep.push_back(overflow_.top());
+    overflow_.pop();
+  }
+  nbuckets_ = nbuckets;
+  buckets_.assign(nbuckets_, {});
+  Time lo = kTimeInfinity;
+  Time hi = 0.0;
+  for (const Key& k : keep) {
+    lo = std::min(lo, k.at);
+    hi = std::max(hi, k.at);
+  }
+  if (keep.size() >= 2 && hi > lo) {
+    width_ = 2.0 * (hi - lo) / static_cast<double>(keep.size());
+  } else {
+    width_ = 1.0;
+  }
+  // Keep bucket numbers (time / width) far from uint64 range even for
+  // large absolute times with tight event spacing.
+  width_ = std::max(width_, hi / 1e15);
+  bucket_b_ = (lo < kTimeInfinity)
+                  ? static_cast<std::uint64_t>(lo / width_)
+                  : 0;
+  overflow_limit_ = (static_cast<double>(bucket_b_) +
+                     static_cast<double>(nbuckets_) * kOverflowYears) *
+                    width_;
+  stored_ = 0;
+  for (const Key& k : keep) cal_push(k);
 }
 
 }  // namespace sharq::sim

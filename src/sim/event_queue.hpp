@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace sharq::stats {
@@ -19,8 +19,9 @@ namespace sharq::sim {
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
 ///
-/// Handles are never reused within a run, so a stale handle is harmless:
-/// cancelling it is a no-op.
+/// Encodes (generation, slot) into the event slab; a stale handle —
+/// the event already fired or was cancelled — is harmless: cancelling it
+/// is a no-op, because the slot's generation has moved on.
 struct EventId {
   std::uint64_t value = 0;
 
@@ -28,15 +29,41 @@ struct EventId {
   friend bool operator==(const EventId&, const EventId&) = default;
 };
 
-/// Time-ordered queue of callbacks with O(log n) insert/pop and O(1)
-/// (lazy) cancellation.
+/// Time-ordered queue of callbacks with O(1) (lazy) cancellation and two
+/// interchangeable ordering backends:
 ///
-/// Ties in time are broken by insertion order, which keeps runs
-/// deterministic: two events scheduled for the same instant fire in the
-/// order they were scheduled.
+///  - **calendar** (default): a calendar queue (Brown 1988) — buckets of
+///    width `width_` indexed by `time / width`, each bucket a small
+///    min-heap on `(time, seq)`. Near-uniform event flows (link
+///    serialize/propagate at 10⁵–10⁶ receivers) dequeue in O(1)
+///    amortized instead of the binary heap's O(log n). Far-future events
+///    live in an overflow heap; the bucket array resizes and re-estimates
+///    its width when occupancy drifts.
+///  - **heap**: the classic binary heap, kept as the determinism
+///    cross-check (tests run both and require byte-identical traces).
+///
+/// Both backends order strictly by `(time, seq)`: ties in time fire in
+/// scheduling order, which is what keeps same-seed runs byte-identical
+/// regardless of backend (docs/ARCHITECTURE.md, docs/PERFORMANCE.md).
+///
+/// Storage is a slab: callbacks live in recycled slots, ordering
+/// structures hold 24-byte keys, and the callback type itself
+/// (sim::Callback) stores captures inline — so scheduling an event
+/// performs no heap allocation in steady state.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
+
+  enum class Backend { kCalendar, kHeap };
+
+  /// Backend chosen by the SHARQFEC_EVENT_QUEUE environment variable
+  /// ("calendar" or "heap"); calendar when unset.
+  static Backend default_backend();
+
+  explicit EventQueue(Backend backend = default_backend());
+
+  /// Backend this queue was constructed with.
+  Backend backend() const { return backend_; }
 
   /// Schedule `fn` to run at absolute time `at`. Returns a handle that can
   /// be passed to cancel(). `tag` names the event's purpose for the
@@ -49,10 +76,10 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events still pending.
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; kTimeInfinity when empty.
   Time next_time();
@@ -76,19 +103,26 @@ class EventQueue {
   void set_metrics(stats::Metrics* metrics);
 
  private:
-  struct Entry {
+  /// Ordering key held by the backends; the callback stays in its slot.
+  /// A key is stale once its slot's generation has moved on (the event
+  /// fired or was cancelled); stale keys are skipped on pop.
+  struct Key {
     Time at = 0.0;
-    std::uint64_t seq = 0;  // tie-break + identity
-    Callback fn;
-    const char* tag = nullptr;
-    bool cancelled = false;
+    std::uint64_t seq = 0;   // global tie-break
+    std::uint32_t slot = 0;  // index into slots_
+    std::uint32_t gen = 0;   // generation the key was minted under
   };
   struct Later {
-    bool operator()(const std::shared_ptr<Entry>& a,
-                    const std::shared_ptr<Entry>& b) const {
-      if (a->at != b->at) return a->at > b->at;
-      return a->seq > b->seq;
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
+  };
+  struct Slot {
+    Callback fn;
+    const char* tag = nullptr;
+    std::uint32_t gen = 1;  // starts at 1 so EventId.value is never 0
+    bool live = false;
   };
   struct TagCounters {
     stats::Counter* scheduled = nullptr;
@@ -96,16 +130,47 @@ class EventQueue {
     stats::Counter* cancelled = nullptr;
   };
 
-  /// Pop cancelled entries off the heap head so top() is live.
-  void skim();
+  bool stale(const Key& k) const {
+    const Slot& s = slots_[k.slot];
+    return !s.live || s.gen != k.gen;
+  }
+  void free_slot(std::uint32_t slot);
+
+  /// Remove and return the earliest live key (staged or from the
+  /// backend), skipping stale ones. False when nothing live remains.
+  bool take_min(Key* out);
+
+  void backend_push(const Key& k);
+  bool backend_raw_pop(Key* out);
+
+  // Calendar backend internals (see class comment for the design).
+  void cal_push(const Key& k);
+  bool cal_raw_pop(Key* out);
+  void cal_rebuild(std::size_t nbuckets);
 
   TagCounters& counters_for(const char* tag);
 
-  std::priority_queue<std::shared_ptr<Entry>, std::vector<std::shared_ptr<Entry>>,
-                      Later>
-      heap_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> pending_;
+  Backend backend_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
+  /// Key removed from the backend by next_time() but not yet consumed by
+  /// pop(); re-inserted if a schedule() could outdate it.
+  std::optional<Key> staged_;
+
+  // heap backend
+  std::priority_queue<Key, std::vector<Key>, Later> heap_;
+
+  // calendar backend
+  std::vector<std::vector<Key>> buckets_;  // each a min-heap on (at, seq)
+  std::priority_queue<Key, std::vector<Key>, Later> overflow_;
+  std::size_t nbuckets_ = 0;
+  double width_ = 1.0;
+  std::uint64_t bucket_b_ = 0;      // cursor: current global bucket number
+  double overflow_limit_ = 0.0;     // times >= this go to overflow_
+  std::size_t stored_ = 0;          // keys in buckets_ + overflow_ (incl. stale)
 
   stats::Metrics* metrics_ = nullptr;
   stats::Gauge* high_water_ = nullptr;

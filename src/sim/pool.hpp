@@ -1,0 +1,272 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sharq::sim {
+
+/// Allocation statistics shared by the pool types below. `live` is
+/// acquired - released; `high_water` tracks the peak of `live`;
+/// `capacity` counts nodes ever carved (live + free).
+struct PoolStats {
+  std::uint64_t acquired = 0;
+  std::uint64_t released = 0;
+  std::size_t live = 0;
+  std::size_t capacity = 0;
+  std::size_t high_water = 0;
+};
+
+/// Grow-only size-class freelist allocator — the memory substrate of the
+/// simulator's pools (docs/PERFORMANCE.md, docs/ARCHITECTURE.md).
+///
+/// allocate(bytes) hands out a node from the matching size class,
+/// carving a new geometrically-growing chunk when the freelist is empty;
+/// deallocate returns the node to its class. Nothing is returned to the
+/// system before destruction, so steady-state acquire/release cycles
+/// never touch malloc. Every node carries a one-word header used to
+/// abort (in every build type) on double release or release of foreign
+/// pointers — the failure mode that silently corrupts freelists.
+///
+/// Determinism: freelists are LIFO and size classes live in a std::map,
+/// so a deterministic acquire/release sequence sees deterministic reuse;
+/// no behavior depends on node addresses.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    SizeClass& sc = class_for(round_up(bytes));
+    if (sc.free.empty()) grow(sc);
+    Header* h = sc.free.back();
+    sc.free.pop_back();
+    if (h->magic != kFreeMagic) misuse("allocating a node not marked free");
+    h->magic = kLiveMagic;
+    ++stats_.acquired;
+    ++stats_.live;
+    if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+    return h + 1;
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    if (p == nullptr) return;
+    Header* h = static_cast<Header*>(p) - 1;
+    if (h->magic == kFreeMagic) misuse("double release of a pooled node");
+    if (h->magic != kLiveMagic) misuse("release of a pointer this arena never handed out");
+    SizeClass& sc = class_for(round_up(bytes));
+    if (h->node_bytes != sc.node_bytes) misuse("release with mismatched size");
+    h->magic = kFreeMagic;
+    sc.free.push_back(h);
+    ++stats_.released;
+    --stats_.live;
+  }
+
+  const PoolStats& stats() const { return stats_; }
+
+  /// Nodes currently on freelists (capacity - live).
+  std::size_t free_count() const { return stats_.capacity - stats_.live; }
+
+ private:
+  static constexpr std::uint64_t kLiveMagic = 0x5641'4C49'4C49'5645ull;
+  static constexpr std::uint64_t kFreeMagic = 0x4652'4545'4652'4545ull;
+
+  struct Header {
+    std::uint64_t magic = 0;
+    std::uint64_t node_bytes = 0;
+  };
+  struct SizeClass {
+    std::size_t node_bytes = 0;       ///< payload bytes per node
+    std::size_t next_chunk_nodes = 4; ///< geometric growth, from small
+    std::vector<std::unique_ptr<unsigned char[]>> chunks;
+    std::vector<Header*> free;
+  };
+
+  static std::size_t round_up(std::size_t bytes) {
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    if (bytes == 0) bytes = 1;
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+  }
+
+  SizeClass& class_for(std::size_t node_bytes) {
+    SizeClass& sc = classes_[node_bytes];
+    sc.node_bytes = node_bytes;
+    return sc;
+  }
+
+  void grow(SizeClass& sc) {
+    const std::size_t stride = sizeof(Header) + sc.node_bytes;
+    const std::size_t nodes = sc.next_chunk_nodes;
+    sc.next_chunk_nodes *= 2;
+    sc.chunks.push_back(std::make_unique<unsigned char[]>(stride * nodes));
+    unsigned char* base = sc.chunks.back().get();
+    for (std::size_t i = 0; i < nodes; ++i) {
+      Header* h = ::new (base + i * stride) Header;
+      h->magic = kFreeMagic;
+      h->node_bytes = sc.node_bytes;
+      sc.free.push_back(h);
+    }
+    stats_.capacity += nodes;
+  }
+
+  [[noreturn]] static void misuse(const char* what) {
+    std::fprintf(stderr, "sharq::sim::Arena: %s\n", what);
+    std::abort();
+  }
+
+  // std::map: deterministic, and size classes are few (one per node type).
+  std::map<std::size_t, SizeClass> classes_;
+  PoolStats stats_;
+};
+
+/// Shared-ownership object pool: make() behaves like std::make_shared<T>
+/// but draws the combined control-block + object node from a freelist
+/// Arena, so per-message allocation on the packet path is a vector
+/// pop/push instead of a malloc/free pair.
+///
+/// The arena is internally reference-counted (the allocator stored in
+/// each control block keeps it alive), so outstanding objects — packets
+/// still in flight after their sender was destroyed — remain valid even
+/// when the pool itself is gone.
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() : core_(std::make_shared<Core>()) {}
+
+  template <typename... Args>
+  std::shared_ptr<T> make(Args&&... args) {
+    return std::allocate_shared<T>(Alloc<T>{core_},
+                                   std::forward<Args>(args)...);
+  }
+
+  const PoolStats& stats() const { return core_->arena.stats(); }
+
+ private:
+  struct Core {
+    Arena arena;
+  };
+
+  template <typename U>
+  struct Alloc {
+    using value_type = U;
+    std::shared_ptr<Core> core;
+
+    explicit Alloc(std::shared_ptr<Core> c) : core(std::move(c)) {}
+    template <typename V>
+    Alloc(const Alloc<V>& o) : core(o.core) {}  // NOLINT
+
+    U* allocate(std::size_t n) {
+      return static_cast<U*>(core->arena.allocate(sizeof(U) * n));
+    }
+    void deallocate(U* p, std::size_t n) {
+      core->arena.deallocate(p, sizeof(U) * n);
+    }
+    friend bool operator==(const Alloc& a, const Alloc& b) {
+      return a.core == b.core;
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+/// Pool of byte buffers that keeps each vector's heap capacity across
+/// reuses: acquire(n) returns a shared, zero-filled n-byte buffer whose
+/// backing store is recycled when the last reference drops. Repair and
+/// payload shards are the main customers — in steady state a shard send
+/// costs no allocation at all (buffer object, its capacity, and the
+/// shared_ptr control block all come from freelists).
+///
+/// Reuse is deterministic: a fresh acquire always sees exactly n zero
+/// bytes regardless of what the previous user wrote (assign() overwrites
+/// the reused capacity), so pooled buffers cannot leak state between
+/// packets — the byte-identical same-seed contract holds.
+class BufferPool {
+ public:
+  using Buffer = std::vector<std::uint8_t>;
+
+  BufferPool() : core_(std::make_shared<Core>()) {}
+
+  std::shared_ptr<Buffer> acquire(std::size_t size) {
+    Core& c = *core_;
+    Node* node;
+    if (c.free.empty()) {
+      c.owned.push_back(std::make_unique<Node>());
+      node = c.owned.back().get();
+      ++c.stats.capacity;
+    } else {
+      node = c.free.back();
+      c.free.pop_back();
+    }
+    if (!node->in_free && node != c.owned.back().get()) {
+      std::fprintf(stderr, "sharq::sim::BufferPool: node on freelist twice\n");
+      std::abort();
+    }
+    node->in_free = false;
+    node->buf.assign(size, 0);
+    ++c.stats.acquired;
+    ++c.stats.live;
+    if (c.stats.live > c.stats.high_water) c.stats.high_water = c.stats.live;
+    // Control block comes from the core's arena; the captured core keeps
+    // the pool state alive until the last buffer is released.
+    return std::shared_ptr<Buffer>(&node->buf, Deleter{core_, node},
+                                   CtrlAlloc<void>{core_});
+  }
+
+  const PoolStats& stats() const { return core_->stats; }
+  std::size_t free_count() const { return core_->free.size(); }
+
+ private:
+  struct Node {
+    Buffer buf;
+    bool in_free = false;
+  };
+  struct Core {
+    std::vector<std::unique_ptr<Node>> owned;
+    std::vector<Node*> free;
+    Arena ctrl_arena;  ///< shared_ptr control blocks
+    PoolStats stats;
+  };
+  struct Deleter {
+    std::shared_ptr<Core> core;
+    Node* node;
+    void operator()(Buffer*) {
+      if (node->in_free) {
+        std::fprintf(stderr, "sharq::sim::BufferPool: double release\n");
+        std::abort();
+      }
+      node->in_free = true;
+      core->free.push_back(node);
+      ++core->stats.released;
+      --core->stats.live;
+    }
+  };
+  template <typename U>
+  struct CtrlAlloc {
+    using value_type = U;
+    std::shared_ptr<Core> core;
+
+    explicit CtrlAlloc(std::shared_ptr<Core> c) : core(std::move(c)) {}
+    template <typename V>
+    CtrlAlloc(const CtrlAlloc<V>& o) : core(o.core) {}  // NOLINT
+
+    U* allocate(std::size_t n) {
+      return static_cast<U*>(core->ctrl_arena.allocate(sizeof(U) * n));
+    }
+    void deallocate(U* p, std::size_t n) {
+      core->ctrl_arena.deallocate(p, sizeof(U) * n);
+    }
+    friend bool operator==(const CtrlAlloc& a, const CtrlAlloc& b) {
+      return a.core == b.core;
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace sharq::sim

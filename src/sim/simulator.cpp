@@ -37,21 +37,23 @@ void Simulator::run() {
   }
 }
 
-void Timer::arm(Time delay, std::function<void()> fn) {
+void Timer::arm(Time delay, Callback fn) {
   cancel();
   pending_ = true;
   deadline_ = simu_->now() + std::max(delay, 0.0);
-  id_ = simu_->after(
-      delay,
-      [this, fn = std::move(fn)] {
-        pending_ = false;
-        deadline_ = kTimeNever;
-        fn();
-      },
-      tag_);
+  fn_ = std::move(fn);
+  id_ = simu_->after(delay, [this] { fire(); }, tag_);
 }
 
-void Timer::arm_if_idle(Time delay, std::function<void()> fn) {
+void Timer::fire() {
+  pending_ = false;
+  deadline_ = kTimeNever;
+  // Move to a local first so the callback can rearm this very timer.
+  Callback fn = std::move(fn_);
+  fn();
+}
+
+void Timer::arm_if_idle(Time delay, Callback fn) {
   if (!pending_) arm(delay, std::move(fn));
 }
 
@@ -61,6 +63,7 @@ void Timer::cancel() {
     pending_ = false;
     deadline_ = kTimeNever;
   }
+  fn_ = nullptr;  // release captured state promptly
 }
 
 }  // namespace sharq::sim

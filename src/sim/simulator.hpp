@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -23,7 +22,13 @@ namespace sharq::sim {
 /// ```
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  /// `backend` selects the event-queue implementation (calendar by
+  /// default, binary heap as the determinism cross-check; overridable via
+  /// SHARQFEC_EVENT_QUEUE=heap|calendar). Both produce byte-identical
+  /// same-seed runs — see docs/PERFORMANCE.md.
+  explicit Simulator(std::uint64_t seed = 1,
+                     EventQueue::Backend backend = EventQueue::default_backend())
+      : queue_(backend), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -63,6 +68,9 @@ class Simulator {
   /// Root random stream for this run.
   Rng& rng() { return rng_; }
 
+  /// Event-queue backend this run was constructed with.
+  EventQueue::Backend backend() const { return queue_.backend(); }
+
   /// Attach a metrics registry to the event queue (per-tag event counters
   /// and the queue high-water mark). Pass nullptr to detach.
   void set_metrics(stats::Metrics* metrics) { queue_.set_metrics(metrics); }
@@ -90,10 +98,10 @@ class Timer {
 
   /// (Re)arm the timer to fire `delay` seconds from now. Any previously
   /// armed firing is cancelled first.
-  void arm(Time delay, std::function<void()> fn);
+  void arm(Time delay, Callback fn);
 
   /// Arm only if not already pending.
-  void arm_if_idle(Time delay, std::function<void()> fn);
+  void arm_if_idle(Time delay, Callback fn);
 
   /// Cancel a pending firing, if any.
   void cancel();
@@ -109,8 +117,14 @@ class Timer {
   void set_tag(const char* tag) { tag_ = tag; }
 
  private:
+  void fire();
+
   Simulator* simu_;
   EventId id_{};
+  /// The armed callable lives here, not in the scheduled event: the event
+  /// captures only `this` (8 bytes), so timers with large captures never
+  /// outgrow the queue's inline Callback storage.
+  Callback fn_;
   bool pending_ = false;
   Time deadline_ = kTimeNever;
   const char* tag_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace sharq::topo {
 
@@ -129,6 +130,55 @@ ExampleTree make_figure1_tree(net::Network& net) {
   const double y = 1.0 - std::pow(0.270 / survive, 1.0 / kR4Leaves);
   for (int i = 0; i < kR4Leaves; ++i) leaf(r4, y);
 
+  return t;
+}
+
+DeepTree make_deep_tree(net::Network& net, const DeepTreeParams& p) {
+  DeepTree t;
+  net::ZoneHierarchy& zones = net.zones();
+
+  t.source = net.add_node();
+  t.root_zone = zones.add_root();
+  zones.assign(t.source, t.root_zone);
+
+  // Frontier of the previous hub level: (node, zone) pairs. One pass per
+  // level keeps the build O(total nodes) — no path queries.
+  std::vector<std::pair<net::NodeId, net::ZoneId>> frontier{
+      {t.source, t.root_zone}};
+  net::LinkConfig hub_link;
+  hub_link.bandwidth_bps = p.hub_bps;
+  hub_link.delay = p.hub_delay;
+  net::LinkConfig leaf_link;
+  leaf_link.bandwidth_bps = p.leaf_bps;
+  leaf_link.delay = p.leaf_delay;
+  leaf_link.loss_rate = p.leaf_loss;
+
+  for (int level = 1; level <= p.zone_depth; ++level) {
+    std::vector<std::pair<net::NodeId, net::ZoneId>> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(p.fanout));
+    for (const auto& [parent, pzone] : frontier) {
+      for (int c = 0; c < p.fanout; ++c) {
+        const net::NodeId hub = net.add_node();
+        net.add_duplex_link(parent, hub, hub_link);
+        const net::ZoneId z = zones.add_zone(pzone);
+        zones.assign(hub, z);
+        t.hubs.push_back(hub);
+        t.zone_hubs.emplace_back(z, hub);
+        next.emplace_back(hub, z);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (const auto& [hub, z] : frontier) {
+    for (int u = 0; u < p.leaves_per_hub; ++u) {
+      const net::NodeId leaf = net.add_node();
+      net.add_duplex_link(hub, leaf, leaf_link);
+      zones.assign(leaf, z);
+      t.leaves.push_back(leaf);
+    }
+  }
+  t.receivers = t.hubs;
+  t.receivers.insert(t.receivers.end(), t.leaves.begin(), t.leaves.end());
   return t;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -58,5 +59,38 @@ struct ExampleTree {
 };
 
 ExampleTree make_figure1_tree(net::Network& net);
+
+/// Parameters for a deep nested-zone hierarchy (macro-scale benchmarks).
+///
+/// A uniform tree of hub/cache receivers `zone_depth` levels below the
+/// source, `fanout` hubs per hub, and `leaves_per_hub` subscribers under
+/// each deepest hub. Every hub owns a zone nested in its parent's, so the
+/// zone hierarchy is `zone_depth + 1` levels deep including the root —
+/// the generalization of the 4-level national topology to arbitrary
+/// depth, built in O(nodes).
+struct DeepTreeParams {
+  int zone_depth = 3;      ///< hub levels below the source (>= 1)
+  int fanout = 4;          ///< child hubs per hub
+  int leaves_per_hub = 8;  ///< subscribers under each deepest hub
+  double hub_bps = 100e6;
+  double leaf_bps = 10e6;
+  sim::Time hub_delay = 0.005;
+  sim::Time leaf_delay = 0.002;
+  double leaf_loss = 0.0;  ///< loss on subscriber access links
+};
+
+/// A built deep hierarchy. `receivers` is hubs + leaves (everything but
+/// the source); `zone_hubs` maps each zone to the hub that owns it, for
+/// static-ZCR placement (the paper's dedicated caches).
+struct DeepTree {
+  net::NodeId source = net::kNoNode;
+  std::vector<net::NodeId> hubs;       ///< all hub receivers, BFS order
+  std::vector<net::NodeId> leaves;     ///< subscribers
+  std::vector<net::NodeId> receivers;  ///< hubs then leaves
+  net::ZoneId root_zone = net::kNoZone;
+  std::vector<std::pair<net::ZoneId, net::NodeId>> zone_hubs;
+};
+
+DeepTree make_deep_tree(net::Network& net, const DeepTreeParams& p);
 
 }  // namespace sharq::topo

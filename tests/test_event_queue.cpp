@@ -8,8 +8,24 @@
 namespace sharq::sim {
 namespace {
 
-TEST(EventQueue, OrdersByTime) {
-  EventQueue q;
+// Every EventQueue contract test runs against BOTH ordering backends —
+// the calendar queue (default) and the binary heap (determinism
+// cross-check). See tests/test_event_backends.cpp for whole-protocol
+// byte-identity between the two.
+class EventQueueTest : public testing::TestWithParam<EventQueue::Backend> {
+ protected:
+  EventQueue q{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothBackends, EventQueueTest,
+    testing::Values(EventQueue::Backend::kCalendar,
+                    EventQueue::Backend::kHeap),
+    [](const testing::TestParamInfo<EventQueue::Backend>& info) {
+      return info.param == EventQueue::Backend::kHeap ? "heap" : "calendar";
+    });
+
+TEST_P(EventQueueTest, OrdersByTime) {
   std::vector<int> order;
   q.schedule(3.0, [&] { order.push_back(3); });
   q.schedule(1.0, [&] { order.push_back(1); });
@@ -18,8 +34,7 @@ TEST(EventQueue, OrdersByTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, TiesBreakByInsertionOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, TiesBreakByInsertionOrder) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     q.schedule(5.0, [&order, i] { order.push_back(i); });
@@ -28,8 +43,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, CancelPreventsExecution) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelPreventsExecution) {
   bool ran = false;
   EventId id = q.schedule(1.0, [&] { ran = true; });
   EXPECT_TRUE(q.cancel(id));
@@ -38,8 +52,7 @@ TEST(EventQueue, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
-TEST(EventQueue, CancelMiddleOfHeap) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelMiddleOfHeap) {
   std::vector<int> order;
   q.schedule(1.0, [&] { order.push_back(1); });
   EventId id = q.schedule(2.0, [&] { order.push_back(2); });
@@ -49,33 +62,29 @@ TEST(EventQueue, CancelMiddleOfHeap) {
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
-TEST(EventQueue, NextTimeSkipsCancelled) {
-  EventQueue q;
+TEST_P(EventQueueTest, NextTimeSkipsCancelled) {
   EventId id = q.schedule(1.0, [] {});
   q.schedule(2.0, [] {});
   q.cancel(id);
   EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
 }
 
-TEST(EventQueue, NextTimeInfinityWhenEmpty) {
-  EventQueue q;
+TEST_P(EventQueueTest, NextTimeInfinityWhenEmpty) {
   EXPECT_EQ(q.next_time(), kTimeInfinity);
 }
 
-TEST(EventQueue, PopOnEmptyReturnsInertFired) {
+TEST_P(EventQueueTest, PopOnEmptyReturnsInertFired) {
   // Regression: pop() on an empty queue used to be guarded by an assert
   // only, so a Release build would pop from an empty heap (UB). It must
   // return an inert entry in every build type.
-  EventQueue q;
   const EventQueue::Fired f = q.pop();
   EXPECT_EQ(f.at, kTimeInfinity);
   EXPECT_FALSE(f.fn);
 }
 
-TEST(EventQueue, PopAfterCancellingEverythingIsInert) {
+TEST_P(EventQueueTest, PopAfterCancellingEverythingIsInert) {
   // The heap still physically holds the cancelled entry; pop() must drain
   // it and then report empty rather than returning a dead callback.
-  EventQueue q;
   EventId id = q.schedule(1.0, [] {});
   EXPECT_TRUE(q.cancel(id));
   const EventQueue::Fired f = q.pop();
