@@ -108,6 +108,10 @@ CaseResult run_case(const SweepPoint& pt) {
   p.fanout = pt.fanout;
   p.leaves_per_hub = pt.leaves_per_hub;
   p.leaf_loss = pt.leaf_loss;
+  // Finite but generous: real routers have finite buffers, and an
+  // unexpected queue blow-up should surface as counted drops rather than
+  // unbounded memory. Never reached in the committed BENCH cases.
+  p.queue_limit_pkts = 1024;
   topo::DeepTree tree = topo::make_deep_tree(net, p);
   res.receivers = static_cast<int>(tree.receivers.size());
   res.nodes = static_cast<int>(net.node_count());

@@ -2,6 +2,7 @@
 """Validate a macro-sim benchmark baseline (BENCH_sim.json from macro_sim).
 
 Usage: check_bench.py BENCH_sim.json [--min-receivers N] [--require-complete]
+       [--max-kb-per-receiver X]
 
 Checks, in order:
   parse     the file is a single JSON object
@@ -15,6 +16,9 @@ Checks, in order:
             (the committed baseline must include a macro-scale point)
   complete  with --require-complete, every case delivered every group to
             every receiver (complete_receivers == receivers)
+  memory    with --max-kb-per-receiver X, no case spends more than X KiB
+            of RSS growth per receiver (the per-receiver memory budget;
+            guards against protocol-state regressions at macro scale)
 
 Exit status 0 on success; prints one line per failure otherwise.
 """
@@ -46,7 +50,7 @@ CASE_FIELDS = {
 }
 
 
-def check(doc, min_receivers, require_complete):
+def check(doc, min_receivers, require_complete, max_kb_per_receiver=None):
     errors = []
 
     def bad(msg):
@@ -100,6 +104,12 @@ def check(doc, min_receivers, require_complete):
         if require_complete and case["complete_receivers"] != case["receivers"]:
             bad(f"{where}: only {case['complete_receivers']}/"
                 f"{case['receivers']} receivers completed every group")
+        if max_kb_per_receiver is not None:
+            limit = max_kb_per_receiver * 1024
+            if case["bytes_per_receiver"] > limit:
+                bad(f"{where}: bytes_per_receiver "
+                    f"{case['bytes_per_receiver']:.0f} exceeds the "
+                    f"{max_kb_per_receiver} KiB/receiver budget")
 
     if min_receivers is not None and not errors:
         best = max(c["receivers"] for c in cases if isinstance(c, dict))
@@ -112,6 +122,7 @@ def check(doc, min_receivers, require_complete):
 def main(argv):
     args = list(argv[1:])
     min_receivers = None
+    max_kb_per_receiver = None
     require_complete = False
     if "--require-complete" in args:
         args.remove("--require-complete")
@@ -122,6 +133,15 @@ def main(argv):
             min_receivers = int(args[at + 1])
         except (IndexError, ValueError):
             print("check_bench: --min-receivers needs an integer", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if "--max-kb-per-receiver" in args:
+        at = args.index("--max-kb-per-receiver")
+        try:
+            max_kb_per_receiver = float(args[at + 1])
+        except (IndexError, ValueError):
+            print("check_bench: --max-kb-per-receiver needs a number",
+                  file=sys.stderr)
             return 2
         del args[at:at + 2]
     if len(args) != 1:
@@ -135,7 +155,7 @@ def main(argv):
         print(f"check_bench: {args[0]}: {exc}", file=sys.stderr)
         return 1
 
-    errors = check(doc, min_receivers, require_complete)
+    errors = check(doc, min_receivers, require_complete, max_kb_per_receiver)
     for err in errors:
         print(f"check_bench: {err}", file=sys.stderr)
     if not errors:

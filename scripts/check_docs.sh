@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.." || exit 2
 
 DOCS=(README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md CHANGES.md ROADMAP.md
       docs/ARCHITECTURE.md docs/OBSERVABILITY.md docs/DETERMINISM.md
-      docs/PERFORMANCE.md)
+      docs/PERFORMANCE.md docs/ROBUSTNESS.md)
 fail=0
 
 note_fail() {

@@ -18,6 +18,10 @@ const char* to_keyword(EventKind kind) {
     case EventKind::kNodeRestart: return "restart";
     case EventKind::kPartition: return "partition";
     case EventKind::kHeal: return "heal";
+    case EventKind::kNackStorm: return "nack-storm";
+    case EventKind::kFlashCrowd: return "flash-crowd";
+    case EventKind::kBandwidth: return "bandwidth";
+    case EventKind::kQueueLimit: return "queue-limit";
   }
   return "?";
 }
@@ -62,6 +66,18 @@ std::string FaultPlan::to_spec() const {
       case EventKind::kNodeKill:
       case EventKind::kNodeRestart:
         os << ' ' << e.from;
+        break;
+      case EventKind::kNackStorm:
+        os << ' ' << e.from << ' ' << e.copies << ' ' << fmt(e.jitter);
+        break;
+      case EventKind::kFlashCrowd:
+        os << ' ' << e.from << ' ' << e.to << ' ' << fmt(e.jitter);
+        break;
+      case EventKind::kBandwidth:
+        os << ' ' << e.from << ' ' << e.to << ' ' << fmt(e.rate);
+        break;
+      case EventKind::kQueueLimit:
+        os << ' ' << e.from << ' ' << e.to << ' ' << e.copies;
         break;
     }
     os << '\n';
@@ -130,10 +146,41 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
     } else if (verb == "kill" || verb == "restart") {
       e.kind = verb == "kill" ? EventKind::kNodeKill : EventKind::kNodeRestart;
       if (!need_nodes(1)) return fail(verb + " needs <node>");
+    } else if (verb == "nack-storm") {
+      e.kind = EventKind::kNackStorm;
+      if (!need_nodes(1) || !(ls >> e.copies >> e.jitter)) {
+        return fail("nack-storm needs <node> <count> <spacing>");
+      }
+      if (e.copies < 1) return fail("nack-storm count must be >= 1");
+      if (e.jitter < 0.0) return fail("negative nack-storm spacing");
+    } else if (verb == "flash-crowd") {
+      e.kind = EventKind::kFlashCrowd;
+      if (!need_nodes(2) || !(ls >> e.jitter)) {
+        return fail("flash-crowd needs <first> <last> <spacing>");
+      }
+      if (e.to < e.from) return fail("flash-crowd last before first");
+      if (e.jitter < 0.0) return fail("negative flash-crowd spacing");
+    } else if (verb == "bandwidth") {
+      e.kind = EventKind::kBandwidth;
+      if (!need_nodes(2) || !(ls >> e.rate)) {
+        return fail("bandwidth needs <from> <to> <bps>");
+      }
+      if (e.rate <= 0.0) return fail("bandwidth must be > 0");
+    } else if (verb == "queue-limit") {
+      e.kind = EventKind::kQueueLimit;
+      if (!need_nodes(2) || !(ls >> e.copies)) {
+        return fail("queue-limit needs <from> <to> <pkts>");
+      }
+      if (e.copies < -1) return fail("queue-limit pkts must be >= -1");
     } else {
       return fail("unknown verb '" + verb + "'");
     }
-    if (e.rate < 0.0 || e.rate > 1.0) return fail("rate outside [0,1]");
+    // Probability-shaped kinds keep the [0,1] check; bandwidth reuses
+    // `rate` as bit/s and validates above.
+    if (e.kind != EventKind::kBandwidth &&
+        (e.rate < 0.0 || e.rate > 1.0)) {
+      return fail("rate outside [0,1]");
+    }
     std::string extra;
     if (ls >> extra) return fail("trailing garbage '" + extra + "'");
     plan.events.push_back(e);

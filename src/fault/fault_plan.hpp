@@ -27,6 +27,10 @@ enum class EventKind {
   kNodeRestart,   ///< restart a crashed node (network up + protocol rejoin)
   kPartition,     ///< cut both directions between the endpoints
   kHeal,          ///< restore both directions
+  kNackStorm,     ///< node emits `copies` synthetic NACKs spaced `jitter` s
+  kFlashCrowd,    ///< nodes from..to join the session, spaced `jitter` s
+  kBandwidth,     ///< set the link's bandwidth to `rate` bit/s
+  kQueueLimit,    ///< set the link's queue bound to `copies` pkts (-1 = off)
 };
 
 /// Keyword form of an EventKind (the spec grammar's verb).
@@ -70,6 +74,10 @@ struct FaultPlan {
   ///   at <t> restart <node>
   ///   at <t> partition <a> <b>
   ///   at <t> heal <a> <b>
+  ///   at <t> nack-storm <node> <count> <spacing>
+  ///   at <t> flash-crowd <first> <last> <spacing>
+  ///   at <t> bandwidth <from> <to> <bps>
+  ///   at <t> queue-limit <from> <to> <pkts>
   ///
   /// Returns nullopt (with a message in *error if given) on any malformed
   /// statement; a fault plan that silently half-parses would make chaos

@@ -83,6 +83,48 @@ void Injector::apply(const FaultEvent& e) {
       on_link(e.from, e.to, [this](net::LinkId l) { net_.set_link_up(l, true); });
       on_link(e.to, e.from, [this](net::LinkId l) { net_.set_link_up(l, true); });
       break;
+    case EventKind::kNackStorm:
+      if (!valid_node(e.from) || !hooks_.nack_storm) {
+        ++skipped_;
+        break;
+      }
+      hooks_.nack_storm(e.from, e.copies, e.jitter);
+      ++applied_;
+      break;
+    case EventKind::kFlashCrowd: {
+      if (!hooks_.join) {
+        ++skipped_;
+        break;
+      }
+      sim::Simulator& simu = net_.simulator();
+      int idx = 0;
+      for (net::NodeId n = e.from; n <= e.to; ++n, ++idx) {
+        if (!valid_node(n)) {
+          ++skipped_;
+          continue;
+        }
+        simu.after(static_cast<sim::Time>(idx) * e.jitter,
+                   [this, n] { hooks_.join(n); }, "fault.inject");
+        ++applied_;
+      }
+      break;
+    }
+    case EventKind::kBandwidth:
+      on_link(e.from, e.to, [this, &e](net::LinkId l) {
+        net_.set_link_bandwidth(l, e.rate);
+      });
+      on_link(e.to, e.from, [this, &e](net::LinkId l) {
+        net_.set_link_bandwidth(l, e.rate);
+      });
+      break;
+    case EventKind::kQueueLimit:
+      on_link(e.from, e.to, [this, &e](net::LinkId l) {
+        net_.set_link_queue_limit(l, e.copies);
+      });
+      on_link(e.to, e.from, [this, &e](net::LinkId l) {
+        net_.set_link_queue_limit(l, e.copies);
+      });
+      break;
   }
 }
 

@@ -1,5 +1,7 @@
 #include "fault/random_plan.hpp"
 
+#include <algorithm>
+
 namespace sharq::fault {
 
 namespace {
@@ -67,6 +69,66 @@ FaultPlan make_random_plan(sim::Rng& rng, const PlanShape& shape,
           plan.events.push_back(
               {t1, EventKind::kReorderRate, e.a, e.b, 0.0, 0.0, 1});
           break;
+      }
+    }
+  }
+
+  // Exhaustion pressure: every draw below is gated on its count, so legacy
+  // shapes (all counts zero) consume the exact same rng sequence as before
+  // and stay byte-identical.
+  if (!shape.edges.empty()) {
+    for (int i = 0; i < shape.bw_squeezes; ++i) {
+      const FaultyEdge& e = pick_edge();
+      const auto [t0, t1] = draw_window(rng, shape.horizon);
+      const double fraction =
+          rng.uniform(shape.min_squeeze_fraction,
+                      std::max(shape.min_squeeze_fraction, 0.5));
+      if (e.baseline_bps <= 0.0) continue;  // no restore target: skip edge
+      plan.events.push_back({t0, EventKind::kBandwidth, e.a, e.b,
+                             fraction * e.baseline_bps, 0.0, 1});
+      plan.events.push_back(
+          {t1, EventKind::kBandwidth, e.a, e.b, e.baseline_bps, 0.0, 1});
+    }
+    for (int i = 0; i < shape.queue_squeezes; ++i) {
+      const FaultyEdge& e = pick_edge();
+      const auto [t0, t1] = draw_window(rng, shape.horizon);
+      const int pkts = static_cast<int>(rng.uniform_int(
+          shape.min_squeeze_pkts,
+          std::max(shape.min_squeeze_pkts, shape.max_squeeze_pkts)));
+      plan.events.push_back(
+          {t0, EventKind::kQueueLimit, e.a, e.b, 0.0, 0.0, pkts});
+      plan.events.push_back({t1, EventKind::kQueueLimit, e.a, e.b, 0.0, 0.0,
+                             shape.baseline_queue_pkts});
+    }
+  }
+
+  if (!shape.stormers.empty()) {
+    for (int i = 0; i < shape.nack_storms; ++i) {
+      const net::NodeId from = shape.stormers[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(shape.stormers.size()) - 1))];
+      const sim::Time t0 = rng.uniform(0.05 * shape.horizon,
+                                       0.60 * shape.horizon);
+      const int count = static_cast<int>(rng.uniform_int(
+          std::max(1, shape.max_storm_nacks / 2), shape.max_storm_nacks));
+      const sim::Time spacing =
+          rng.uniform(shape.min_storm_spacing, shape.max_storm_spacing);
+      plan.events.push_back(
+          {t0, EventKind::kNackStorm, from, net::kNoNode, 0.0, spacing, count});
+    }
+  }
+
+  if (!shape.joinable.empty()) {
+    for (int i = 0; i < shape.flash_crowds; ++i) {
+      // Per-node events (from == to): joinable ids need not be contiguous.
+      const sim::Time t0 = rng.uniform(0.05 * shape.horizon,
+                                       0.50 * shape.horizon);
+      const sim::Time spacing = rng.uniform(0.001, 0.010);
+      int idx = 0;
+      for (const net::NodeId n : shape.joinable) {
+        plan.events.push_back({t0 + static_cast<sim::Time>(idx) * spacing,
+                               EventKind::kFlashCrowd, n, n, 0.0, 0.0, 1});
+        ++idx;
       }
     }
   }

@@ -14,6 +14,7 @@ struct FaultyEdge {
   net::NodeId a = net::kNoNode;
   net::NodeId b = net::kNoNode;
   double baseline_loss = 0.0;
+  double baseline_bps = 0.0;  ///< restore target for bandwidth squeezes
 };
 
 /// Bounds for a generated plan. Every fault a random plan opens, it also
@@ -31,6 +32,24 @@ struct PlanShape {
   double max_reorder_jitter = 0.050;  ///< seconds
   std::vector<FaultyEdge> edges;      ///< candidate edges for link faults
   std::vector<net::NodeId> killable;  ///< candidate crash victims (no source)
+
+  // --- Exhaustion campaign knobs (all default off, so legacy shapes draw
+  // --- the same rng sequence and yield byte-identical plans).
+  int nack_storms = 0;      ///< synthetic NACK bursts from `stormers`
+  int bw_squeezes = 0;      ///< bandwidth clamp windows on `edges`
+  int queue_squeezes = 0;   ///< queue-limit clamp windows on `edges`
+  int flash_crowds = 0;     ///< late-join waves over `joinable`
+  int max_storm_nacks = 32;          ///< peak NACKs per storm
+  double min_storm_spacing = 0.002;  ///< seconds between storm NACKs
+  double max_storm_spacing = 0.020;
+  double min_squeeze_fraction = 0.05;  ///< bandwidth floor as a fraction
+                                       ///< of the edge baseline
+  int min_squeeze_pkts = 2;   ///< tightest queue-limit clamp
+  int max_squeeze_pkts = 16;
+  int baseline_queue_pkts = -1;  ///< restore target when a squeeze closes
+  std::vector<net::NodeId> joinable;  ///< flash-crowd candidates (not yet
+                                      ///< in the session)
+  std::vector<net::NodeId> stormers;  ///< nack-storm candidates (receivers)
 };
 
 /// Generate a seeded random plan inside `shape`'s bounds. Deterministic:

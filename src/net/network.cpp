@@ -62,10 +62,14 @@ void Network::count_drop(DropReason reason) {
 void Network::journal_drop(LinkId link, const Packet& packet,
                            DropReason reason) {
   if (!journal_) return;
-  // Only recovery traffic: a lost NACK or repair breaks a causal chain the
-  // analyzer would otherwise call "stuck", so the drop itself is the
-  // explanation. Data loss is ordinary here and surfaces as loss.detected.
-  if (packet.cls != TrafficClass::kNack && packet.cls != TrafficClass::kRepair)
+  // Recovery traffic always journals: a lost NACK or repair breaks a
+  // causal chain the analyzer would otherwise call "stuck", so the drop
+  // itself is the explanation. Data loss from the conditioner is ordinary
+  // here and surfaces as loss.detected — but a queue-full drop journals
+  // for every class, because overflow is an overload symptom the
+  // robustness campaign must be able to narrate (docs/ROBUSTNESS.md).
+  if (reason != DropReason::kQueueFull &&
+      packet.cls != TrafficClass::kNack && packet.cls != TrafficClass::kRepair)
     return;
   journal_->emit("net.dropped", simu_.now(), links_[link].to, -1,
                  journal_->uid_event(packet.uid),
@@ -116,6 +120,23 @@ std::pair<LinkId, LinkId> Network::add_duplex_link(NodeId a, NodeId b,
 void Network::set_loss_model(LinkId link, std::unique_ptr<LossModel> model) {
   assert(link >= 0 && link < link_count());
   links_[link].cond.set_loss(std::move(model));
+}
+
+void Network::set_link_bandwidth(LinkId link, double bandwidth_bps) {
+  assert(link >= 0 && link < link_count());
+  assert(bandwidth_bps > 0.0);
+  // Takes effect at the next hand-off: packets already serializing keep
+  // their computed busy window. Routing is delay-based, so no cache
+  // invalidation is needed.
+  links_[link].bandwidth_bps = bandwidth_bps;
+}
+
+void Network::set_link_queue_limit(LinkId link, int queue_limit_pkts) {
+  assert(link >= 0 && link < link_count());
+  // Already-queued packets are not evicted; a tighter limit applies to
+  // subsequent hand-offs only (a squeeze narrows the door, it does not
+  // throw out whoever is inside).
+  links_[link].queue_limit_pkts = queue_limit_pkts;
 }
 
 LinkId Network::find_link(NodeId from, NodeId to) const {

@@ -157,6 +157,17 @@ class Network {
   void set_link_up(LinkId l, bool up);
   bool link_up(LinkId l) const { return links_[l].up; }
 
+  /// Retune a link's serialization rate mid-run (fault plans: slow-receiver
+  /// drag). Effective from the next hand-off; in-flight packets keep their
+  /// computed serialization window.
+  void set_link_bandwidth(LinkId l, double bandwidth_bps);
+  double link_bandwidth(LinkId l) const { return links_[l].bandwidth_bps; }
+
+  /// Retune a link's FIFO cap mid-run (fault plans: queue-limit squeeze);
+  /// -1 = unbounded. Applies to subsequent hand-offs only.
+  void set_link_queue_limit(LinkId l, int queue_limit_pkts);
+  int link_queue_limit(LinkId l) const { return links_[l].queue_limit_pkts; }
+
   /// Crash a node (all incident links kill in-flight packets, every channel
   /// subscription is lost, sends from it become no-ops, and routing steers
   /// around it) or bring it back up. Rejoining is the protocol's job: a

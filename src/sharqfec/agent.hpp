@@ -7,6 +7,7 @@
 
 #include "net/network.hpp"
 #include "rm/delivery_log.hpp"
+#include "sharqfec/budget.hpp"
 #include "sharqfec/config.hpp"
 #include "sharqfec/hierarchy.hpp"
 #include "sharqfec/session_manager.hpp"
@@ -65,6 +66,17 @@ class Agent final : public net::Agent {
   /// duplication; the multicast tree itself delivers each uid once).
   std::uint64_t duplicate_rejects() const { return duplicate_rejects_; }
 
+  /// This node's runtime budget state (docs/ROBUSTNESS.md), shared with
+  /// the session manager and transfer engine.
+  BudgetTracker& budget() { return *budget_; }
+  const BudgetTracker& budget() const { return *budget_; }
+  /// Current / high-water dedup-window occupancy (exhaustion invariant:
+  /// high water never exceeds ResourceBudget::dedup_entries).
+  std::size_t dedup_entries() const { return seen_order_.size(); }
+  std::size_t dedup_high_water() const { return dedup_high_water_; }
+  /// Entries aged out beyond normal window rotation (state pressure).
+  std::uint64_t dedup_shed() const { return dedup_shed_; }
+
   /// Name of the GF(256) kernel every agent's FEC work dispatches to
   /// ("scalar", "ssse3", "avx2", "neon"); fixed for the process lifetime.
   /// See README "Debugging aids" for the SHARQFEC_FORCE_SCALAR contract.
@@ -72,21 +84,28 @@ class Agent final : public net::Agent {
 
  private:
   /// True exactly once per uid within the sliding window; duplicated
-  /// deliveries (conditioner copies) return false. Bounded so a soak run
-  /// cannot grow it without limit.
+  /// deliveries (conditioner copies) return false. Bounded by
+  /// ResourceBudget::dedup_entries (and shrunk under state pressure) so a
+  /// soak run cannot grow it without limit.
   bool first_sighting(std::uint64_t uid);
 
-  static constexpr std::size_t kDedupWindow = 8192;
+  /// Accounted bytes per dedup entry (set node + order deque, with
+  /// container overhead) for the state-bytes ledger.
+  static constexpr std::size_t kDedupEntryBytes = 48;
 
   bool is_source_;
+  std::unique_ptr<BudgetTracker> budget_;
   std::unique_ptr<SessionManager> session_;
   std::unique_ptr<TransferEngine> transfer_;
   std::unordered_set<std::uint64_t> seen_uids_;
   std::deque<std::uint64_t> seen_order_;
+  std::size_t dedup_high_water_ = 0;
+  std::uint64_t dedup_shed_ = 0;
   std::uint64_t corrupt_rejects_ = 0;
   std::uint64_t duplicate_rejects_ = 0;
   stats::Counter* m_corrupt_rejects_ = nullptr;
   stats::Counter* m_duplicate_rejects_ = nullptr;
+  stats::Counter* m_dedup_shed_ = nullptr;
   stats::Journal* journal_ = nullptr;  ///< cfg.journal, cached
 };
 

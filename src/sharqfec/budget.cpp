@@ -1,0 +1,93 @@
+#include "sharqfec/budget.hpp"
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "stats/journal.hpp"
+#include "stats/metrics.hpp"
+
+namespace sharq::sfq {
+
+BudgetTracker::BudgetTracker(const ResourceBudget& limits, net::NodeId node,
+                             sim::Simulator& simu, stats::Metrics* metrics,
+                             stats::Journal* journal)
+    : limits_(limits),
+      node_(node),
+      simu_(simu),
+      metrics_(metrics),
+      journal_(journal),
+      min_spacing_(sim::kTimeNever) {
+  // The state gauge is only registered when a budget is actually enabled:
+  // macro runs with budgets off must not pay one extra metric child per
+  // node (100k+ nodes).
+  if (metrics_ && limits_.any_enabled()) {
+    m_state_bytes_ = &metrics_->gauge("sharqfec.budget_state_bytes",
+                                      {{"node", std::to_string(node_)}});
+  }
+}
+
+void BudgetTracker::add_state(std::size_t bytes) {
+  state_bytes_ += bytes;
+  if (state_bytes_ > state_high_water_) state_high_water_ = state_bytes_;
+  if (m_state_bytes_) m_state_bytes_->set_max(static_cast<double>(state_bytes_));
+}
+
+void BudgetTracker::sub_state(std::size_t bytes) {
+  state_bytes_ = bytes > state_bytes_ ? 0 : state_bytes_ - bytes;
+}
+
+bool BudgetTracker::repair_due() const {
+  if (limits_.repair_rate_per_s <= 0.0) return true;
+  return simu_.now() >= next_repair_ok_;
+}
+
+sim::Time BudgetTracker::repair_wait() const {
+  if (limits_.repair_rate_per_s <= 0.0) return 0.0;
+  const sim::Time wait = next_repair_ok_ - simu_.now();
+  return wait > 0.0 ? wait : 0.0;
+}
+
+void BudgetTracker::note_repair_sent() {
+  const sim::Time now = simu_.now();
+  if (any_repair_sent_) {
+    const sim::Time spacing = now - last_repair_sent_;
+    if (min_spacing_ == sim::kTimeNever || spacing < min_spacing_) {
+      min_spacing_ = spacing;
+    }
+  }
+  any_repair_sent_ = true;
+  last_repair_sent_ = now;
+  if (limits_.repair_rate_per_s > 0.0) {
+    const sim::Time base = next_repair_ok_ > now ? next_repair_ok_ : now;
+    next_repair_ok_ = base + 1.0 / limits_.repair_rate_per_s;
+  }
+}
+
+void BudgetTracker::note_shed(const char* resource) {
+  const sim::Time now = simu_.now();
+  const bool onset = !ever_shed_ || now - last_shed_ > limits_.pressure_window;
+  ever_shed_ = true;
+  last_shed_ = now;
+  ++sheds_;
+  if (!onset) return;
+  // Trips count pressure onsets, not individual shed decisions (the
+  // per-policy counters hold those), so the lookup below only runs on the
+  // rare transition into pressure.
+  if (metrics_) {
+    metrics_
+        ->counter("sharqfec.budget_trips",
+                  {{"node", std::to_string(node_)}, {"resource", resource}})
+        .inc();
+  }
+  if (journal_) {
+    journal_->emit("budget.tripped", now, node_, /*group=*/-1, /*cause=*/0,
+                   {{"resource", resource}});
+  }
+}
+
+bool BudgetTracker::under_pressure() const {
+  if (!ever_shed_) return false;
+  return simu_.now() - last_shed_ <= limits_.pressure_window;
+}
+
+}  // namespace sharq::sfq

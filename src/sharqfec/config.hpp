@@ -4,6 +4,7 @@
 
 #include "net/types.hpp"
 #include "rm/timers.hpp"
+#include "sharqfec/budget.hpp"
 #include "sim/time.hpp"
 
 namespace sharq::stats {
@@ -96,6 +97,14 @@ struct Config {
   /// provide robustness in the event that the dedicated receiver ceases
   /// to function").
   std::unordered_map<net::ZoneId, net::NodeId> static_zcrs;
+
+  // --- resource budget (docs/ROBUSTNESS.md) ----------------------------------
+  /// Per-node deterministic resource budget. The defaults keep every
+  /// dimension disabled (except the dedup-window cap, which matches the
+  /// pre-budget constant), so default-configured runs behave — and trace —
+  /// exactly as before. Overload campaigns enable finite limits and the
+  /// graceful-degradation policies behind them.
+  ResourceBudget budget;
 
   // --- observability ---------------------------------------------------------
   /// Optional metrics registry (not owned; must outlive the protocol

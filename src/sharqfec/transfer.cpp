@@ -16,13 +16,18 @@ namespace {
 /// this would otherwise make the backfill loops materialize state for
 /// billions of phantom groups.
 constexpr std::uint32_t kMaxGroupJump = 4096;
+
+/// Accounted bytes per tracked group for the budget's state ledger
+/// (Group struct plus its arena strides, approximated; see
+/// docs/ROBUSTNESS.md on why the ledger is approximate by design).
+constexpr std::size_t kGroupStateBytes = 512;
 }  // namespace
 
 TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
                                SessionManager& session,
                                std::shared_ptr<const Config> cfg,
                                net::NodeId node, bool is_source,
-                               rm::DeliveryLog* log)
+                               rm::DeliveryLog* log, BudgetTracker* budget)
     : net_(net),
       simu_(net.simulator()),
       hier_(hier),
@@ -40,6 +45,7 @@ TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
   c2_adapt_ = cfg_->timers.c2;
   if (is_source_) source_node_ = node_;
   journal_ = cfg_->journal;
+  budget_ = budget;
   register_metrics();
 }
 
@@ -62,6 +68,11 @@ void TransferEngine::register_metrics() {
   m_malformed_ = &m->counter("sharqfec.malformed_rejects", by_node);
   m_arrival_ewma_ = &m->gauge("sharqfec.arrival_ewma", by_node);
   m_completion_ = &m->histogram("sharqfec.group_completion_seconds", by_node);
+  if (budget_ && budget_->limits().any_enabled()) {
+    m_repairs_deferred_ = &m->counter("sharqfec.repairs_deferred", by_node);
+    m_repairs_coalesced_ = &m->counter("sharqfec.repairs_coalesced", by_node);
+    m_scope_sheds_ = &m->counter("sharqfec.scope_sheds", by_node);
+  }
   const std::size_t levels = session_.chain().size();
   m_repairs_by_level_.resize(levels);
   m_preemptive_by_level_.resize(levels);
@@ -146,6 +157,10 @@ TransferEngine::Group& TransferEngine::ensure_group(std::uint32_t g) {
   grp.arena_slot = static_cast<std::uint32_t>(groups_.size() - 1);
   chain_arena_.resize(chain_arena_.size() + chain_levels_);
   slice_arena_.resize(slice_arena_.size() + slice_levels_);
+  // Group state is accounted but never shed: dropping a tracked group
+  // would break the delivery contract. It still counts against the state
+  // budget so growth here pressures the sheddable structures.
+  if (budget_) budget_->add_state(kGroupStateBytes);
   return grp;
 }
 
@@ -699,8 +714,27 @@ void TransferEngine::fire_request(std::uint32_t g) {
   // repair arrival; without a reset here, escalation to a scope that can
   // actually repair would inherit minutes of accumulated backoff).
   ++grp.attempts_at_scope;
-  if (grp.attempts_at_scope >= cfg_->attempts_per_scope &&
-      level + 1 < static_cast<int>(session_.chain().size())) {
+  const bool escalation_due =
+      grp.attempts_at_scope >= cfg_->attempts_per_scope &&
+      level + 1 < static_cast<int>(session_.chain().size());
+  if (escalation_due && budget_ && budget_->under_pressure()) {
+    // Overload shed: widening the scope would recruit a strictly larger
+    // repairer population while this node is already shedding load, so
+    // step back toward the base scope instead. The request is never
+    // dropped — recovery just stays local until pressure lifts. The shed
+    // deliberately does not refresh the pressure clock: it is a response
+    // to pressure, and refreshing would let scope sheds sustain the
+    // pressure they are meant to relieve.
+    grp.attempts_at_scope = 0;
+    if (grp.scope_level > 0) --grp.scope_level;
+    grp.backoff_i = std::min(grp.backoff_i + 1, cfg_->max_backoff_stage);
+    ++scope_sheds_;
+    if (m_scope_sheds_) m_scope_sheds_->inc();
+    if (journal_) {
+      jnl("shed.scope", grp.id, grp.last_nack_ev,
+          {{"scope_level", grp.scope_level}});
+    }
+  } else if (escalation_due) {
     ++grp.scope_level;
     grp.attempts_at_scope = 0;
     grp.backoff_i = 1;
@@ -786,7 +820,26 @@ void TransferEngine::on_nack(const NackMsg& msg) {
   // Repairer bookkeeping: speculative repair queue for that zone. New
   // NACKs raise the queue to the worst outstanding deficit; increases do
   // not reset a pending reply timer (paper LDP rule 8).
-  lv.pending = std::max<std::int32_t>(lv.pending, msg.needed);
+  std::int32_t want = std::max<std::int32_t>(lv.pending, msg.needed);
+  const std::int32_t qcap = budget_ ? budget_->limits().repair_queue_depth : 0;
+  if (qcap > 0 && want > qcap) {
+    // Queue budget: coalesce the deficit down to the cap. The capped
+    // queue still answers the worst deficit up to the budget; requesters
+    // still short after the burst re-NACK and are served next round.
+    want = qcap;
+    ++repairs_coalesced_;
+    if (m_repairs_coalesced_) m_repairs_coalesced_->inc();
+    budget_->note_shed("repair");
+    if (journal_) {
+      jnl("shed.repair", grp.id, heard_ev,
+          {{"mode", "coalesce"},
+           {"level", level},
+           {"needed", msg.needed},
+           {"queued", qcap}});
+    }
+  }
+  lv.pending = want;
+  if (lv.pending > pending_high_water_) pending_high_water_ = lv.pending;
   if (!eligible_repairer(grp)) return;
   if (cfg_->sender_only && !is_source_) return;
   if (grp.reply_timer.pending()) {
@@ -843,6 +896,22 @@ void TransferEngine::fire_reply(std::uint32_t g) {
     if (level < 0) return;
     grp.reply_level = level;
   }
+  if (budget_ && !budget_->repair_due()) {
+    // Rate budget: defer, never drop — re-arm for the pacer's next free
+    // slot. The pacer hands out slots in event order, so concurrent
+    // deferrals across groups serialize deterministically.
+    ++repairs_deferred_;
+    if (m_repairs_deferred_) m_repairs_deferred_->inc();
+    budget_->note_shed("repair");
+    if (journal_) {
+      jnl("shed.repair", grp.id, grp.repair_sched_ev,
+          {{"mode", "defer"},
+           {"level", level},
+           {"wait", budget_->repair_wait()}});
+    }
+    grp.reply_timer.arm(budget_->repair_wait(), [this, g] { fire_reply(g); });
+    return;
+  }
   send_one_repair(grp, level, /*preemptive=*/false);
   // Re-fetch the stride: send_one_repair can complete the group, and the
   // completion callback may create groups (arena growth moves the data).
@@ -870,6 +939,20 @@ void TransferEngine::fire_reply(std::uint32_t g) {
 
 void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
   if (stopped_) return;
+  if (budget_ && preemptive && !budget_->repair_due()) {
+    // Preemptive injection is speculative redundancy: when the rate
+    // budget has no slot, skipping the shard is the graceful choice —
+    // anyone who actually needed it will NACK and be served through the
+    // (deferring, never-dropping) reactive path.
+    ++repairs_deferred_;
+    if (m_repairs_deferred_) m_repairs_deferred_->inc();
+    budget_->note_shed("repair");
+    if (journal_) {
+      jnl("shed.repair", grp.id, grp.inject_ev,
+          {{"mode", "skip_preemptive"}, {"level", level}});
+    }
+    return;
+  }
   const net::ZoneId zone = session_.chain()[level];
   const int index = next_parity_index(grp, zone);
   grp.max_id_seen = std::max(grp.max_id_seen, index);
@@ -893,6 +976,7 @@ void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
   const std::uint64_t uid =
       net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kRepair,
                 cfg_->shard_size_bytes, msg);
+  if (budget_) budget_->note_repair_sent();
   if (journal_) {
     const stats::EventId cause =
         preemptive ? grp.inject_ev : grp.repair_sched_ev;
@@ -1144,6 +1228,59 @@ void TransferEngine::schedule_zlc_measurement(Group& grp) {
           cfg_->ewma_old * cov_pred_[l] + cfg_->ewma_new * from_above;
     }
   });
+}
+
+// --- overload-testing hooks ---------------------------------------------------
+
+void TransferEngine::nack_storm(int count, sim::Time spacing) {
+  if (stopped_ || is_source_ || count <= 0) return;
+  for (int i = 0; i < count; ++i) {
+    simu_.after(
+        spacing * static_cast<double>(i), [this] { send_storm_nack(); },
+        "transfer.storm");
+  }
+}
+
+void TransferEngine::send_storm_nack() {
+  if (stopped_) return;
+  // Lowest incomplete tracked group, else the stream head: the storm must
+  // reference a real group so repairers actually queue encodes for it.
+  std::uint32_t g = max_group_seen_;
+  for (const auto& [id, grp2] : groups_) {
+    if (!grp2.complete) {
+      g = id;
+      break;
+    }
+  }
+  Group& grp = ensure_group(g);
+  const auto& chain = session_.chain();
+  if (chain.empty()) return;
+  // Root scope on purpose: a root NACK recruits every repairer in the
+  // session — the worst-case feedback implosion the budgets must absorb.
+  const int level = static_cast<int>(chain.size()) - 1;
+  const net::ZoneId zone = chain[level];
+  auto msg = nack_pool_.make();
+  msg->group = g;
+  msg->zone = zone;
+  msg->llc = std::max(grp.llc, 1);
+  msg->needed = std::max(deficit(grp), 1);
+  msg->max_id_seen = grp.max_id_seen;
+  msg->sender = node_;
+  msg->hints = session_.make_hints();
+  ++nacks_sent_;
+  if (m_nacks_sent_) m_nacks_sent_->inc();
+  const std::uint64_t uid =
+      net_.send(node_, hier_.repair_channel(zone), net::TrafficClass::kNack,
+                nack_size(msg->hints.size()), msg, /*lossless=*/true);
+  if (journal_) {
+    grp.last_nack_ev = jnl("nack.sent", g, span_cause(grp),
+                           {{"level", level},
+                            {"llc", msg->llc},
+                            {"needed", msg->needed},
+                            {"storm", 1},
+                            {"zone", zone}});
+    journal_->bind_uid(uid, grp.last_nack_ev);
+  }
 }
 
 }  // namespace sharq::sfq

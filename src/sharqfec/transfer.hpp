@@ -29,9 +29,15 @@ namespace sharq::sfq {
 /// EWMA of past Zone Loss Counts).
 class TransferEngine {
  public:
+  /// `budget` (optional, not owned) is the node's shared budget tracker:
+  /// when set, repair sends are paced to ResourceBudget::repair_rate_per_s,
+  /// pending-repair queues clamp to repair_queue_depth, and due scope
+  /// escalations de-escalate while the node is under pressure
+  /// (docs/ROBUSTNESS.md).
   TransferEngine(net::Network& net, Hierarchy& hier, SessionManager& session,
                  std::shared_ptr<const Config> cfg, net::NodeId node,
-                 bool is_source, rm::DeliveryLog* log);
+                 bool is_source, rm::DeliveryLog* log,
+                 BudgetTracker* budget = nullptr);
 
   /// Source API: stream `group_count` groups of k shards each, starting at
   /// `start_at`. With real_payload set, `payload` supplies the bytes
@@ -78,6 +84,27 @@ class TransferEngine {
   std::uint32_t first_tracked_group() const { return skip_before_; }
   /// Raw inter-arrival EWMA slot (kEwmaUnset until the first sample).
   double arrival_ewma() const { return arrival_ewma_; }
+
+  /// Overload-testing hook (chaos exhaustion campaigns): send `count`
+  /// root-scope NACKs for the lowest incomplete group, spaced `spacing`
+  /// apart, bypassing suppression — the worst-case feedback implosion the
+  /// budget layer must absorb. No-op on the source or a stopped engine.
+  void nack_storm(int count, sim::Time spacing);
+
+  /// Repair sends pushed later by the rate budget (shed decisions).
+  std::uint64_t repairs_deferred() const { return repairs_deferred_; }
+  /// NACK deficits clamped down to the repair-queue budget.
+  std::uint64_t repairs_coalesced() const { return repairs_coalesced_; }
+  /// Due scope escalations converted to de-escalations under pressure.
+  std::uint64_t scope_sheds() const { return scope_sheds_; }
+  /// Largest pending-repair queue ever held at one (group, level)
+  /// (exhaustion invariant: never exceeds repair_queue_depth when set).
+  std::int32_t pending_high_water() const { return pending_high_water_; }
+  /// Message/buffer pool accounting for this engine (exhaustion probes).
+  sim::PoolStats data_pool_stats() const { return data_pool_.stats(); }
+  sim::PoolStats repair_pool_stats() const { return repair_pool_.stats(); }
+  sim::PoolStats nack_pool_stats() const { return nack_pool_.stats(); }
+  sim::PoolStats shard_pool_stats() const { return shard_pool_.stats(); }
 
  private:
   /// Per chain-level state, indexed like the session manager's chain.
@@ -189,6 +216,7 @@ class TransferEngine {
   void on_group_complete(Group& grp);
   void arm_reply_timer(Group& grp, int level, double dist_to_requester);
   void fire_reply(std::uint32_t g);
+  void send_storm_nack();
   void send_one_repair(Group& grp, int level, bool preemptive);
   void schedule_injection(Group& grp);
   void schedule_zlc_measurement(Group& grp);
@@ -275,6 +303,11 @@ class TransferEngine {
   std::uint64_t preemptive_sent_ = 0;
   std::uint64_t malformed_rejects_ = 0;
   bool stopped_ = false;
+  BudgetTracker* budget_ = nullptr;  ///< shared per-node tracker, not owned
+  std::uint64_t repairs_deferred_ = 0;
+  std::uint64_t repairs_coalesced_ = 0;
+  std::uint64_t scope_sheds_ = 0;
+  std::int32_t pending_high_water_ = 0;
 
   // Metrics registry children, cached at construction (all null when
   // cfg_.metrics is null). Indexed like the session chain where per-level.
@@ -288,6 +321,9 @@ class TransferEngine {
   std::vector<stats::Gauge*> m_zlc_pred_;
   stats::Gauge* m_arrival_ewma_ = nullptr;
   stats::Histogram* m_completion_ = nullptr;
+  stats::Counter* m_repairs_deferred_ = nullptr;
+  stats::Counter* m_repairs_coalesced_ = nullptr;
+  stats::Counter* m_scope_sheds_ = nullptr;
 
   // Adaptive request-window state (Config::adaptive_timers).
   double c1_adapt_;

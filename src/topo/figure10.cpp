@@ -36,6 +36,7 @@ Figure10 make_figure10(net::Network& net, const Figure10Options& opt) {
     cfg.bandwidth_bps = opt.backbone_bandwidth_bps;
     cfg.delay = opt.backbone_delay[m];
     cfg.loss_rate = opt.backbone_loss[m];
+    cfg.queue_limit_pkts = opt.queue_limit_pkts;
     net.add_duplex_link(t.source, t.mesh[m], cfg);
   }
   // Mesh interconnect: a ring among the 7 backbone receivers. Shortest
@@ -46,6 +47,7 @@ Figure10 make_figure10(net::Network& net, const Figure10Options& opt) {
     cfg.bandwidth_bps = opt.backbone_bandwidth_bps;
     cfg.delay = 0.030;
     cfg.loss_rate = 0.01;
+    cfg.queue_limit_pkts = opt.queue_limit_pkts;
     net.add_duplex_link(t.mesh[m], t.mesh[(m + 1) % 7], cfg);
   }
   // Mesh -> middle links (8% loss) and middle -> leaf links (4% loss).
@@ -56,12 +58,14 @@ Figure10 make_figure10(net::Network& net, const Figure10Options& opt) {
       cfg.bandwidth_bps = opt.tree_bandwidth_bps;
       cfg.delay = opt.tree_link_delay;
       cfg.loss_rate = opt.mesh_child_loss;
+      cfg.queue_limit_pkts = opt.queue_limit_pkts;
       net.add_duplex_link(t.mesh[m], t.middles[c], cfg);
       for (int i = 0; i < 4; ++i) {
         net::LinkConfig leaf_cfg;
         leaf_cfg.bandwidth_bps = opt.tree_bandwidth_bps;
         leaf_cfg.delay = opt.tree_link_delay;
         leaf_cfg.loss_rate = opt.child_leaf_loss;
+        leaf_cfg.queue_limit_pkts = opt.queue_limit_pkts;
         net.add_duplex_link(t.middles[c], t.leaves[4 * c + i], leaf_cfg);
       }
     }

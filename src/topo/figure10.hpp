@@ -54,6 +54,7 @@ struct Figure10Options {
   sim::Time tree_link_delay = 0.020;  ///< paper: 20 ms per intra-tree link
   double backbone_bandwidth_bps = 45e6;  ///< paper: 45 Mbit/s
   double tree_bandwidth_bps = 10e6;      ///< paper: 10 Mbit/s
+  int queue_limit_pkts = -1;  ///< per-link queue bound (-1 = unbounded)
   bool build_zones = true;  ///< overlay the 3-level scope hierarchy
 };
 

@@ -148,10 +148,12 @@ DeepTree make_deep_tree(net::Network& net, const DeepTreeParams& p) {
   net::LinkConfig hub_link;
   hub_link.bandwidth_bps = p.hub_bps;
   hub_link.delay = p.hub_delay;
+  hub_link.queue_limit_pkts = p.queue_limit_pkts;
   net::LinkConfig leaf_link;
   leaf_link.bandwidth_bps = p.leaf_bps;
   leaf_link.delay = p.leaf_delay;
   leaf_link.loss_rate = p.leaf_loss;
+  leaf_link.queue_limit_pkts = p.queue_limit_pkts;
 
   for (int level = 1; level <= p.zone_depth; ++level) {
     std::vector<std::pair<net::NodeId, net::ZoneId>> next;

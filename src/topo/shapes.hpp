@@ -77,6 +77,7 @@ struct DeepTreeParams {
   sim::Time hub_delay = 0.005;
   sim::Time leaf_delay = 0.002;
   double leaf_loss = 0.0;  ///< loss on subscriber access links
+  int queue_limit_pkts = -1;  ///< per-link queue bound (-1 = unbounded)
 };
 
 /// A built deep hierarchy. `receivers` is hubs + leaves (everything but

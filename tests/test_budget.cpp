@@ -1,0 +1,372 @@
+// Overload-robustness tests: the per-node ResourceBudget and its graceful
+// degradation policies (docs/ROBUSTNESS.md). The contract under test is
+// that every budgeted dimension is a deterministic cap — high waters never
+// exceed it — and that shedding degrades recovery without ever breaking
+// delivery: transfers still complete, duplicates still reject exactly
+// once, and same-seed runs stay byte-identical.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "rm/delivery_log.hpp"
+#include "sharqfec/budget.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "stats/journal.hpp"
+#include "stats/journal_reader.hpp"
+#include "stats/metrics.hpp"
+#include "topo/shapes.hpp"
+
+namespace sharq::sfq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BudgetTracker unit behaviour: state ledger, repair pacer, pressure clock.
+
+TEST(BudgetTracker, StateLedgerTracksHighWaterAndPressure) {
+  sim::Simulator simu(1);
+  ResourceBudget limits;
+  limits.state_bytes = 1000;
+  BudgetTracker bt(limits, /*node=*/3, simu, nullptr, nullptr);
+  EXPECT_FALSE(bt.over_state());
+  bt.add_state(600);
+  bt.add_state(600);
+  EXPECT_TRUE(bt.over_state());
+  EXPECT_EQ(bt.state_bytes(), 1200u);
+  EXPECT_EQ(bt.state_high_water(), 1200u);
+  bt.sub_state(600);
+  EXPECT_FALSE(bt.over_state());
+  EXPECT_EQ(bt.state_bytes(), 600u);
+  EXPECT_EQ(bt.state_high_water(), 1200u);
+}
+
+TEST(BudgetTracker, RepairPacerEnforcesMinimumSpacing) {
+  sim::Simulator simu(1);
+  ResourceBudget limits;
+  limits.repair_rate_per_s = 100.0;  // min spacing 10 ms
+  BudgetTracker bt(limits, /*node=*/1, simu, nullptr, nullptr);
+
+  EXPECT_TRUE(bt.repair_due());
+  EXPECT_DOUBLE_EQ(bt.repair_wait(), 0.0);
+  bt.note_repair_sent();  // t = 0
+  EXPECT_FALSE(bt.repair_due());
+  EXPECT_NEAR(bt.repair_wait(), 0.010, 1e-12);
+  // Only one send so far: the spacing probe is still unset.
+  EXPECT_EQ(bt.min_repair_spacing(), sim::kTimeNever);
+
+  bool sent_at_10ms = false;
+  simu.at(0.010, [&] {
+    EXPECT_TRUE(bt.repair_due());
+    bt.note_repair_sent();
+    sent_at_10ms = true;
+  }, "test.budget");
+  simu.at(0.012, [&] {
+    // 2 ms after a send: paced out again.
+    EXPECT_FALSE(bt.repair_due());
+    EXPECT_NEAR(bt.repair_wait(), 0.008, 1e-12);
+  }, "test.budget");
+  simu.run_until(1.0);
+  EXPECT_TRUE(sent_at_10ms);
+  EXPECT_NEAR(bt.min_repair_spacing(), 0.010, 1e-12);
+}
+
+TEST(BudgetTracker, PressureWindowExpires) {
+  sim::Simulator simu(1);
+  ResourceBudget limits;
+  limits.state_bytes = 1;  // any_enabled, though irrelevant to the clock
+  limits.pressure_window = 0.5;
+  BudgetTracker bt(limits, /*node=*/2, simu, nullptr, nullptr);
+  EXPECT_FALSE(bt.under_pressure());
+  bt.note_shed("dedup");
+  EXPECT_TRUE(bt.under_pressure());
+  EXPECT_EQ(bt.sheds(), 1u);
+  bool checked = false;
+  simu.at(0.6, [&] {
+    EXPECT_FALSE(bt.under_pressure());
+    checked = true;
+  }, "test.budget");
+  simu.run_until(1.0);
+  EXPECT_TRUE(checked);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fixtures: a small lossy/duplicating tree with budgets on.
+
+struct TreeFixture {
+  sim::Simulator simu;
+  net::Network net;
+  topo::BalancedTree tree;
+  std::vector<net::NodeId> receivers;
+
+  explicit TreeFixture(std::uint64_t seed, double loss, int depth = 2,
+                       int fanout = 3)
+      : simu(seed), net(simu) {
+    net::LinkConfig link;
+    link.loss_rate = loss;
+    tree = topo::make_balanced_tree(net, depth, fanout, link);
+    receivers.assign(tree.all.begin() + 1, tree.all.end());
+    auto& z = net.zones();
+    const net::ZoneId root = z.add_root();
+    z.assign(tree.root, root);
+    for (std::size_t i = 0; i < tree.levels[1].size(); ++i) {
+      const net::ZoneId sub = z.add_zone(root);
+      z.assign(tree.levels[1][i], sub);
+      for (int leaf = 0; leaf < fanout; ++leaf) {
+        z.assign(tree.levels[2][i * fanout + leaf], sub);
+      }
+    }
+  }
+};
+
+/// Regression: entries aged out of a tiny dedup window must not let a
+/// late-arriving duplicate resurrect a second application delivery. The
+/// wire duplicates aggressively and the window holds only 4 uids, so
+/// duplicates routinely outlive their dedup entry — the group/shard state
+/// machine is the layer that must stay idempotent.
+TEST(BudgetDedup, AgedOutEntriesCannotResurrectDuplicateDelivery) {
+  TreeFixture f(913, /*loss=*/0.03);
+  for (net::LinkId l = 0; l < f.net.link_count(); ++l) {
+    f.net.conditioner(l).set_duplicate(0.8, 2);
+    f.net.conditioner(l).set_reorder(0.3, 0.040);
+  }
+  std::ostringstream jos;
+  stats::Journal journal(jos);
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.scoping = true;
+  cfg.journal = &journal;
+  cfg.budget.dedup_entries = 4;
+  Session s(f.net, f.tree.root, f.receivers, cfg, &log);
+  s.start();
+  const std::uint32_t kGroups = 6;
+  s.send_stream(kGroups, 6.0);
+  f.simu.run_until(120.0);
+
+  std::uint64_t dup_rejects = 0;
+  for (const auto& a : s.agents()) {
+    EXPECT_LE(a->dedup_high_water(), 4u) << "node " << a->node();
+    dup_rejects += a->duplicate_rejects();
+  }
+  // The tiny window still catches back-to-back duplicates...
+  EXPECT_GT(dup_rejects, 0u);
+  // ...and every receiver completed every group exactly once.
+  for (net::NodeId r : f.receivers) {
+    EXPECT_TRUE(log.complete(r, kGroups)) << "receiver " << r;
+  }
+  std::istringstream jis(jos.str());
+  std::string error;
+  const auto events = stats::read_journal(jis, &error);
+  ASSERT_TRUE(events.has_value()) << error;
+  std::map<std::pair<int, std::int64_t>, int> completions;
+  for (const auto& ev : *events) {
+    if (ev.ev == "group.complete") ++completions[{ev.node, ev.group}];
+  }
+  for (const auto& [key, count] : completions) {
+    EXPECT_EQ(count, 1) << "node " << key.first << " group " << key.second
+                        << " delivered more than once";
+  }
+}
+
+/// Peer tables age deterministically at their cap and the session keeps
+/// functioning: elections, beacons, and recovery all continue with only
+/// the `peers_per_level` most recently heard peers retained.
+TEST(BudgetPeers, PeerTablesStayAtCapAndSessionCompletes) {
+  TreeFixture f(527, /*loss=*/0.08);
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.scoping = true;
+  cfg.budget.peers_per_level = 2;
+  Session s(f.net, f.tree.root, f.receivers, cfg, &log);
+  s.start();
+  const std::uint32_t kGroups = 8;
+  s.send_stream(kGroups, 6.0);
+  f.simu.run_until(120.0);
+
+  std::uint64_t shed = 0;
+  for (const auto& a : s.agents()) {
+    EXPECT_LE(a->session().peer_table_high_water(), 2u)
+        << "node " << a->node();
+    EXPECT_LE(a->session().bridge_table_high_water(), 2u)
+        << "node " << a->node();
+    shed += a->session().peers_shed();
+  }
+  EXPECT_GT(shed, 0u);  // 13 members per root zone: the cap must bite
+  for (net::NodeId r : f.receivers) {
+    EXPECT_TRUE(log.complete(r, kGroups)) << "receiver " << r;
+  }
+}
+
+/// Repair-queue depth and send rate stay bounded under loss: deficits
+/// beyond the cap coalesce, paced-out sends defer, and transfers still
+/// complete.
+TEST(BudgetRepairs, QueueDepthAndRateStayBounded) {
+  TreeFixture f(308, /*loss=*/0.12);
+  rm::DeliveryLog log;
+  Config cfg;
+  cfg.scoping = true;
+  cfg.budget.repair_queue_depth = 2;
+  cfg.budget.repair_rate_per_s = 80.0;
+  Session s(f.net, f.tree.root, f.receivers, cfg, &log);
+  s.start();
+  const std::uint32_t kGroups = 10;
+  s.send_stream(kGroups, 6.0);
+  f.simu.run_until(180.0);
+
+  std::uint64_t deferred = 0, coalesced = 0;
+  for (const auto& a : s.agents()) {
+    EXPECT_LE(a->transfer().pending_high_water(), 2) << "node " << a->node();
+    const sim::Time spacing = a->budget().min_repair_spacing();
+    if (spacing != sim::kTimeNever) {
+      EXPECT_GE(spacing, 1.0 / 80.0 - 1e-9) << "node " << a->node();
+    }
+    deferred += a->transfer().repairs_deferred();
+    coalesced += a->transfer().repairs_coalesced();
+  }
+  EXPECT_GT(deferred + coalesced, 0u);
+  for (net::NodeId r : f.receivers) {
+    EXPECT_TRUE(log.complete(r, kGroups)) << "receiver " << r;
+  }
+}
+
+/// Same seed, budgets enabled, hostile wire: two runs must produce
+/// byte-identical journals and metric exports. Shedding decisions are part
+/// of the deterministic state machine, not a best-effort heuristic.
+TEST(BudgetDeterminism, SameSeedRunsAreByteIdentical) {
+  auto run = [] {
+    TreeFixture f(777, /*loss=*/0.10);
+    for (net::LinkId l = 0; l < f.net.link_count(); ++l) {
+      f.net.conditioner(l).set_duplicate(0.5, 1);
+    }
+    std::ostringstream jos;
+    stats::Journal journal(jos);
+    stats::Metrics metrics;
+    rm::DeliveryLog log;
+    Config cfg;
+    cfg.scoping = true;
+    cfg.metrics = &metrics;
+    cfg.journal = &journal;
+    cfg.budget.state_bytes = 8 * 1024;
+    cfg.budget.dedup_entries = 64;
+    cfg.budget.peers_per_level = 2;
+    cfg.budget.repair_queue_depth = 2;
+    cfg.budget.repair_rate_per_s = 100.0;
+    Session s(f.net, f.tree.root, f.receivers, cfg, &log);
+    s.start();
+    s.send_stream(8, 6.0);
+    f.simu.run_until(150.0);
+    std::ostringstream mos;
+    metrics.write_totals_json(mos);
+    return jos.str() + "\n---\n" + mos.str();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("shed."), std::string::npos)
+      << "campaign never exercised a shed path";
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustion-plan grammar.
+
+TEST(FaultPlanGrammar, ExhaustionVerbsRoundTrip) {
+  const std::string text =
+      "plan exhaust\n"
+      "at 1.5 nack-storm 7 16 0.005\n"
+      "at 2 flash-crowd 29 33 0.01\n"
+      "at 3 bandwidth 0 1 1000000\n"
+      "at 4 queue-limit 1 8 4\n"
+      "at 9 queue-limit 1 8 -1\n";
+  std::string error;
+  const auto plan = fault::FaultPlan::parse(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->events.size(), 5u);
+  EXPECT_EQ(plan->events[0].kind, fault::EventKind::kNackStorm);
+  EXPECT_EQ(plan->events[0].from, 7);
+  EXPECT_EQ(plan->events[0].copies, 16);
+  EXPECT_DOUBLE_EQ(plan->events[0].jitter, 0.005);
+  EXPECT_EQ(plan->events[1].kind, fault::EventKind::kFlashCrowd);
+  EXPECT_EQ(plan->events[1].from, 29);
+  EXPECT_EQ(plan->events[1].to, 33);
+  EXPECT_EQ(plan->events[2].kind, fault::EventKind::kBandwidth);
+  EXPECT_DOUBLE_EQ(plan->events[2].rate, 1e6);
+  EXPECT_EQ(plan->events[3].kind, fault::EventKind::kQueueLimit);
+  EXPECT_EQ(plan->events[3].copies, 4);
+  EXPECT_EQ(plan->events[4].copies, -1);  // -1 = remove the bound
+
+  // to_spec round-trips exactly.
+  const auto again = fault::FaultPlan::parse(plan->to_spec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_spec(), plan->to_spec());
+}
+
+TEST(FaultPlanGrammar, RejectsMalformedExhaustionStatements) {
+  std::string error;
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 nack-storm 7 0 0.005\n", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 nack-storm 7 4 -0.1\n", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 flash-crowd 9 5 0.01\n", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 bandwidth 0 1 0\n", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 bandwidth 0 1 -5\n", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 queue-limit 0 1 -2\n", &error));
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 nack-storm 7\n", &error));
+  // The [0,1] probability check still guards the probabilistic verbs.
+  EXPECT_FALSE(fault::FaultPlan::parse("at 1 loss 0 1 1.5\n", &error));
+}
+
+// ---------------------------------------------------------------------------
+// Queue overflow observability: drops of *data* traffic journal too.
+
+struct Probe final : net::MessageBase {};
+
+/// Swallows deliveries so the queue-overflow fixture has a live endpoint.
+class NullAgent final : public net::Agent {
+ public:
+  void on_receive(const net::Packet&) override {}
+};
+
+TEST(QueueOverflow, DataClassDropsAreJournaledAndCounted) {
+  sim::Simulator simu(5);
+  net::Network net(simu);
+  stats::Metrics metrics;
+  net.set_metrics(&metrics);
+  std::ostringstream jos;
+  stats::Journal journal(jos);
+  net.set_journal(&journal);
+
+  const net::NodeId a = net.add_node();
+  const net::NodeId b = net.add_node();
+  net::LinkConfig link;
+  link.bandwidth_bps = 8e3;  // 1000 bytes -> 1 s serialization
+  link.queue_limit_pkts = 2;
+  net.add_duplex_link(a, b, link);
+  const net::ChannelId ch = net.create_channel();
+  NullAgent rx;
+  net.attach(b, &rx);
+  net.subscribe(ch, b);
+  for (int i = 0; i < 10; ++i) {
+    net.send(a, ch, net::TrafficClass::kData, 1000, std::make_shared<Probe>());
+  }
+  simu.run();
+
+  const double dropped =
+      metrics.counter("net.drops", {{"reason", "queue-full"}}).value();
+  EXPECT_GT(dropped, 0.0);
+  std::istringstream jis(jos.str());
+  std::string error;
+  const auto events = stats::read_journal(jis, &error);
+  ASSERT_TRUE(events.has_value()) << error;
+  int journaled = 0;
+  for (const auto& ev : *events) {
+    if (ev.ev != "net.dropped") continue;
+    EXPECT_EQ(ev.attrs.at("reason"), "queue-full");
+    EXPECT_EQ(ev.attrs.at("class"), "data");
+    ++journaled;
+  }
+  EXPECT_EQ(static_cast<double>(journaled), dropped);
+}
+
+}  // namespace
+}  // namespace sharq::sfq

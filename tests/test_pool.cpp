@@ -83,6 +83,29 @@ TEST(ObjectPool, SteadyStateRecyclesNodes) {
   EXPECT_LE(pool.stats().capacity, 4u);  // first chunk only
 }
 
+TEST(ObjectPool, ExhaustionGrowsThenDrainsConsistently) {
+  // Overload shape: hold far more live objects than any chunk, forcing
+  // repeated arena growth, then drain. The ledger must stay exact at
+  // every phase: live = acquired - released, high_water = the peak, and
+  // capacity (nodes carved) never shrinks on drain — it is the freelist.
+  ObjectPool<std::uint64_t> pool;
+  std::vector<std::shared_ptr<std::uint64_t>> held;
+  for (int i = 0; i < 500; ++i) held.push_back(pool.make(i));
+  EXPECT_EQ(pool.stats().acquired, 500u);
+  EXPECT_EQ(pool.stats().live, 500u);
+  EXPECT_EQ(pool.stats().high_water, 500u);
+  EXPECT_GE(pool.stats().capacity, 500u);
+  held.clear();
+  EXPECT_EQ(pool.stats().released, 500u);
+  EXPECT_EQ(pool.stats().live, 0u);
+  EXPECT_EQ(pool.stats().high_water, 500u);
+  const std::size_t cap = pool.stats().capacity;
+  // Post-drain steady state serves from the freelist without growing.
+  for (int i = 0; i < 500; ++i) pool.make(i);
+  EXPECT_EQ(pool.stats().capacity, cap);
+  EXPECT_EQ(pool.stats().high_water, 500u);
+}
+
 TEST(ObjectPool, ObjectOutlivesPool) {
   // A packet can still be in flight (queued in the event loop) after its
   // sending agent — and the agent's pools — are destroyed. The shared
@@ -130,6 +153,24 @@ TEST(BufferPool, StatsTrackLiveAndHighWater) {
   EXPECT_EQ(pool.stats().live, 0u);
   EXPECT_EQ(pool.stats().acquired, 2u);
   EXPECT_EQ(pool.stats().released, 2u);
+}
+
+TEST(BufferPool, ExhaustionGrowsThenDrainsConsistently) {
+  BufferPool pool;
+  std::vector<std::shared_ptr<BufferPool::Buffer>> held;
+  for (int i = 0; i < 300; ++i) held.push_back(pool.acquire(256));
+  EXPECT_EQ(pool.stats().live, 300u);
+  EXPECT_EQ(pool.stats().high_water, 300u);
+  EXPECT_EQ(pool.stats().capacity, 300u);
+  EXPECT_EQ(pool.free_count(), 0u);
+  held.clear();
+  EXPECT_EQ(pool.stats().live, 0u);
+  EXPECT_EQ(pool.stats().released, 300u);
+  EXPECT_EQ(pool.free_count(), 300u);
+  // Drained capacity is reused, not re-carved.
+  for (int i = 0; i < 300; ++i) pool.acquire(256);
+  EXPECT_EQ(pool.stats().capacity, 300u);
+  EXPECT_EQ(pool.stats().high_water, 300u);
 }
 
 TEST(BufferPool, BufferOutlivesPool) {

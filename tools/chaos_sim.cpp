@@ -15,11 +15,21 @@
 // byte-identical for the same --seed (the acceptance bar for reproducing
 // chaos failures). Exit status 0 iff every invariant held on every plan.
 //
+// --exhaustion layers an overload campaign on top (docs/ROBUSTNESS.md):
+// finite per-node resource budgets, NACK storms, flash-crowd joins,
+// bandwidth/queue squeezes — and a fifth invariant:
+//
+//   budget    every budgeted dimension stayed at or under its cap and the
+//             repair pacer never beat its minimum spacing
+//
 //   chaos_sim --plans 20 --seed 1
 //   chaos_sim --plans 1 --seed 7 --dump-plans   # show the plan spec text
+//   chaos_sim --plans 5 --seed 3 --exhaustion   # overload campaign
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +55,8 @@ struct Options {
   double horizon = 40.0;           // faults all recover before this
   double until = 90.0;             // completion deadline
   double grace = 5.0;              // post-stop drain window
+  int queue_limit = 512;           // per-link queue bound (-1 = unbounded)
+  bool exhaustion = false;         // overload campaign + finite budgets
   bool dump_plans = false;
 };
 
@@ -57,6 +69,11 @@ struct Options {
       "  --horizon T     all faults recover before T (default 40)\n"
       "  --until T       completion deadline per plan (default 90)\n"
       "  --grace T       post-stop drain window (default 5)\n"
+      "  --queue-limit N per-link queue bound in packets, -1 = unbounded\n"
+      "                  (default 512)\n"
+      "  --exhaustion    overload campaign: finite per-node budgets plus\n"
+      "                  NACK storms, flash crowds, bandwidth and queue\n"
+      "                  squeezes (adds the budget invariant)\n"
       "  --dump-plans    print each plan's spec text before running it\n",
       argv0);
   std::exit(2);
@@ -76,6 +93,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--horizon") o.horizon = std::atof(need(i));
     else if (a == "--until") o.until = std::atof(need(i));
     else if (a == "--grace") o.grace = std::atof(need(i));
+    else if (a == "--queue-limit") o.queue_limit = std::atoi(need(i));
+    else if (a == "--exhaustion") o.exhaustion = true;
     else if (a == "--dump-plans") o.dump_plans = true;
     else usage(argv[0]);
   }
@@ -96,11 +115,17 @@ struct PlanResult {
   std::uint64_t peers_expired = 0, zcr_expiries = 0;
   std::size_t max_tracked_groups = 0, max_tracked_peers = 0;
   std::uint64_t drops_link_down = 0, drops_epoch_kill = 0;
+  std::uint64_t drops_queue_full = 0;
   std::uint64_t events = 0;
   std::uint64_t nacks = 0, repairs = 0, preemptive = 0;
+  bool budget_ok = true;  // vacuous when no budget dimension is enabled
+  std::uint64_t dedup_shed = 0, peers_shed = 0, bridge_skips = 0;
+  std::uint64_t repairs_deferred = 0, repairs_coalesced = 0, scope_sheds = 0;
   std::string metrics_json;  // per-plan registry totals, deterministic
 
-  bool ok() const { return complete && drained && bounded && ledger; }
+  bool ok() const {
+    return complete && drained && bounded && ledger && budget_ok;
+  }
 };
 
 PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
@@ -112,7 +137,9 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   net::Network net(simu);
   simu.set_metrics(&metrics);
   net.set_metrics(&metrics);
-  const topo::Figure10 t = topo::make_figure10(net);
+  topo::Figure10Options topt;
+  topt.queue_limit_pkts = o.queue_limit;
+  const topo::Figure10 t = topo::make_figure10(net, topt);
   stats::TrafficRecorder rec(net.node_count());
   net.set_sink(&rec);
   rm::DeliveryLog log;
@@ -124,7 +151,35 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   // 2^10 backoff factors that outlive any reasonable soak budget).
   cfg.max_backoff_stage = 5;
   cfg.late_join_full_history = true;  // restarted receivers recover history
-  sfq::Session session(net, t.source, t.receivers, cfg, &log);
+  if (o.exhaustion) {
+    // Finite budgets, sized so the storms/crowds below actually trip them
+    // while leaving enough headroom that transfers still complete once
+    // pressure lifts (docs/ROBUSTNESS.md rationale).
+    cfg.budget.state_bytes = 64 * 1024;
+    cfg.budget.dedup_entries = 2048;
+    cfg.budget.peers_per_level = 4;
+    cfg.budget.repair_queue_depth = 8;
+    cfg.budget.repair_rate_per_s = 150.0;
+  }
+
+  // Exhaustion campaigns hold out one leaf per middle node as flash-crowd
+  // joiners: they join mid-stream (via the fault plan) and must still
+  // complete, proving overload shedding does not wedge late catch-up.
+  std::vector<net::NodeId> receivers;
+  std::vector<net::NodeId> joiners;
+  if (o.exhaustion) {
+    std::set<net::NodeId> held;
+    for (std::size_t c = 0; c < t.middles.size(); ++c) {
+      held.insert(t.leaves[4 * c + 3]);
+    }
+    for (net::NodeId n : t.receivers) {
+      (held.count(n) ? joiners : receivers).push_back(n);
+    }
+  } else {
+    receivers = t.receivers;
+  }
+
+  sfq::Session session(net, t.source, receivers, cfg, &log);
   session.start();
   session.send_stream(o.groups, o.data_start);
 
@@ -132,32 +187,65 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   // with their configured baseline loss, so loss windows restore the paper's
   // rates. Backbone edges stay clean — cutting source->mesh with no mesh
   // interconnect would strand a whole tree with no alternate route.
-  const topo::Figure10Options topo_defaults;
   fault::PlanShape shape;
   shape.horizon = o.horizon;
   for (std::size_t m = 0; m < t.mesh.size(); ++m) {
     for (net::NodeId mid : t.middles_of(static_cast<int>(m))) {
-      shape.edges.push_back({t.mesh[m], mid, topo_defaults.mesh_child_loss});
+      shape.edges.push_back({t.mesh[m], mid, topt.mesh_child_loss,
+                             topt.tree_bandwidth_bps});
     }
   }
   for (std::size_t c = 0; c < t.middles.size(); ++c) {
     for (net::NodeId leaf : t.leaves_of(static_cast<int>(c))) {
-      shape.edges.push_back({t.middles[c], leaf, topo_defaults.child_leaf_loss});
+      shape.edges.push_back({t.middles[c], leaf, topt.child_leaf_loss,
+                             topt.tree_bandwidth_bps});
     }
   }
-  shape.killable = t.leaves;  // churn victims; middles/ZCRs churn via tests
+  // Churn victims; middles/ZCRs churn via tests. Held-out joiners are
+  // excluded: killing a node before it ever joined is meaningless churn.
+  for (net::NodeId n : t.leaves) {
+    if (!o.exhaustion ||
+        std::find(joiners.begin(), joiners.end(), n) == joiners.end()) {
+      shape.killable.push_back(n);
+    }
+  }
   shape.partitions = 1;
   shape.degrade_windows = 3;
   shape.node_churns = 2;
+  if (o.exhaustion) {
+    shape.nack_storms = 3;
+    shape.bw_squeezes = 2;
+    shape.queue_squeezes = 2;
+    shape.flash_crowds = 1;
+    shape.baseline_queue_pkts = o.queue_limit;
+    shape.joinable = joiners;
+    shape.stormers = shape.killable;  // in-session leaves
+  }
 
   sim::Rng plan_rng(plan_seed ^ 0xc4a05fau);
   const fault::FaultPlan plan =
       fault::make_random_plan(plan_rng, shape, plan_name);
   if (dump) std::fputs(plan.to_spec().c_str(), stdout);
 
+  auto member = [&](net::NodeId n) -> sfq::Agent* {
+    for (const auto& a : session.agents()) {
+      if (a->node() == n) return a.get();
+    }
+    return nullptr;
+  };
   fault::Injector inject(
       net, {.kill = [&](net::NodeId n) { session.remove_receiver(n); },
-            .restart = [&](net::NodeId n) { session.add_receiver(n); }});
+            .restart = [&](net::NodeId n) { session.add_receiver(n); },
+            .join =
+                [&](net::NodeId n) {
+                  if (net.node_up(n) && !member(n)) session.add_receiver(n);
+                },
+            .nack_storm =
+                [&](net::NodeId n, int count, sim::Time spacing) {
+                  if (sfq::Agent* a = member(n)) {
+                    a->transfer().nack_storm(count, spacing);
+                  }
+                }});
   inject.schedule(plan);
 
 #ifdef CHAOS_DEBUG_SERIES
@@ -172,20 +260,56 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
 
   PlanResult r;
   r.complete = session.all_complete(o.groups);
-  for (const auto& a : session.agents()) {
-    r.corrupt_rejects += a->corrupt_rejects();
-    r.duplicate_rejects += a->duplicate_rejects();
-    r.malformed_rejects += a->transfer().malformed_rejects();
-    r.nacks += a->transfer().nacks_sent();
-    r.repairs += a->transfer().repairs_sent();
-    r.preemptive += a->transfer().preemptive_repairs_sent();
-    r.peers_expired += a->session().peers_expired();
-    r.zcr_expiries += a->session().zcr_expiries();
+  // Budget invariants: every budgeted dimension's high water stayed at or
+  // under its cap, and the repair pacer kept its minimum spacing. The
+  // state ledger is a soft target with one-allocation overshoot before
+  // the next dedup insert sheds, hence the small slack.
+  const sfq::ResourceBudget& bud = cfg.budget;
+  constexpr std::size_t kStateSlack = 4096;
+  auto tally = [&](const sfq::Agent& a) {
+    r.corrupt_rejects += a.corrupt_rejects();
+    r.duplicate_rejects += a.duplicate_rejects();
+    r.malformed_rejects += a.transfer().malformed_rejects();
+    r.nacks += a.transfer().nacks_sent();
+    r.repairs += a.transfer().repairs_sent();
+    r.preemptive += a.transfer().preemptive_repairs_sent();
+    r.peers_expired += a.session().peers_expired();
+    r.zcr_expiries += a.session().zcr_expiries();
     r.max_tracked_groups =
-        std::max(r.max_tracked_groups, a->transfer().tracked_group_count());
+        std::max(r.max_tracked_groups, a.transfer().tracked_group_count());
     r.max_tracked_peers =
-        std::max(r.max_tracked_peers, a->session().tracked_peer_count());
-  }
+        std::max(r.max_tracked_peers, a.session().tracked_peer_count());
+    r.dedup_shed += a.dedup_shed();
+    r.peers_shed += a.session().peers_shed();
+    r.bridge_skips += a.session().bridge_skips();
+    r.repairs_deferred += a.transfer().repairs_deferred();
+    r.repairs_coalesced += a.transfer().repairs_coalesced();
+    r.scope_sheds += a.transfer().scope_sheds();
+    if (bud.dedup_entries > 0 && a.dedup_high_water() > bud.dedup_entries) {
+      r.budget_ok = false;
+    }
+    if (bud.peers_per_level > 0 &&
+        (a.session().peer_table_high_water() > bud.peers_per_level ||
+         a.session().bridge_table_high_water() > bud.peers_per_level)) {
+      r.budget_ok = false;
+    }
+    if (bud.repair_queue_depth > 0 &&
+        a.transfer().pending_high_water() > bud.repair_queue_depth) {
+      r.budget_ok = false;
+    }
+    if (bud.repair_rate_per_s > 0.0 &&
+        a.budget().min_repair_spacing() != sim::kTimeNever &&
+        a.budget().min_repair_spacing() <
+            1.0 / bud.repair_rate_per_s - 1e-9) {
+      r.budget_ok = false;
+    }
+    if (bud.state_bytes > 0 &&
+        a.budget().state_high_water() > bud.state_bytes + kStateSlack) {
+      r.budget_ok = false;
+    }
+  };
+  for (const auto& a : session.agents()) tally(*a);
+  for (const auto& a : session.retired()) tally(*a);
   // Structural bounds: an agent never tracks more groups than the transfer
   // has, and never more session peers than 3 hierarchy levels times the
   // member count (peer table + bridge RTT table per level).
@@ -207,6 +331,7 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   r.skipped = inject.skipped_events();
   r.drops_link_down = rec.drops(net::DropReason::kLinkDown);
   r.drops_epoch_kill = rec.drops(net::DropReason::kEpochKill);
+  r.drops_queue_full = rec.drops(net::DropReason::kQueueFull);
   r.events = simu.events_executed();
   std::ostringstream mos;
   metrics.write_totals_json(mos);
@@ -234,8 +359,12 @@ int main(int argc, char** argv) {
         "\"peers_expired\":%llu,\"zcr_expiries\":%llu,"
         "\"max_tracked_groups\":%zu,\"max_tracked_peers\":%zu,"
         "\"drops_link_down\":%llu,\"drops_epoch_kill\":%llu,"
+        "\"drops_queue_full\":%llu,"
         "\"events\":%llu,\"nacks\":%llu,\"repairs\":%llu,"
-        "\"preemptive\":%llu,\"ok\":%s,\"metrics\":%s}\n",
+        "\"preemptive\":%llu,\"budget_ok\":%s,"
+        "\"dedup_shed\":%llu,\"peers_shed\":%llu,\"bridge_skips\":%llu,"
+        "\"repairs_deferred\":%llu,\"repairs_coalesced\":%llu,"
+        "\"scope_sheds\":%llu,\"ok\":%s,\"metrics\":%s}\n",
         i, static_cast<unsigned long long>(plan_seed),
         static_cast<unsigned long long>(r.applied),
         static_cast<unsigned long long>(r.skipped),
@@ -249,10 +378,18 @@ int main(int argc, char** argv) {
         r.max_tracked_peers,
         static_cast<unsigned long long>(r.drops_link_down),
         static_cast<unsigned long long>(r.drops_epoch_kill),
+        static_cast<unsigned long long>(r.drops_queue_full),
         static_cast<unsigned long long>(r.events),
         static_cast<unsigned long long>(r.nacks),
         static_cast<unsigned long long>(r.repairs),
         static_cast<unsigned long long>(r.preemptive),
+        r.budget_ok ? "true" : "false",
+        static_cast<unsigned long long>(r.dedup_shed),
+        static_cast<unsigned long long>(r.peers_shed),
+        static_cast<unsigned long long>(r.bridge_skips),
+        static_cast<unsigned long long>(r.repairs_deferred),
+        static_cast<unsigned long long>(r.repairs_coalesced),
+        static_cast<unsigned long long>(r.scope_sheds),
         r.ok() ? "true" : "false", r.metrics_json.c_str());
   }
   std::printf("{\"plans\":%d,\"failed\":%d,\"ok\":%s}\n", o.plans, failed,
