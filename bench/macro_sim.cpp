@@ -6,16 +6,28 @@
 // reproduce.
 //
 // Usage:
-//   macro_sim [--smoke] [--max-receivers N] [--out PATH]
+//   macro_sim [--smoke] [--max-receivers N] [--out PATH] [--threads LIST]
+//             [--dump-metrics DIR]
 //
 //   --smoke           run only the smallest sweep point (CI smoke job)
 //   --max-receivers N skip sweep points with more receivers than N
 //   --out PATH        write JSON here (default BENCH_sim.json, or the
 //                     SHARQFEC_BENCH_SIM_JSON env var)
+//   --threads LIST    after the serial sweep, rerun the largest executed
+//                     point on the zone-sharded runtime once per
+//                     comma-separated worker count (e.g. "1,4"); those
+//                     rows get a _tN name suffix and a nonzero threads
+//                     column. The shard count comes from the topology, so
+//                     every N produces byte-identical simulation state.
+//   --dump-metrics DIR  write DIR/<case>.metrics.json per case (the
+//                     stable-ordered registry export; `cmp` two _tN dumps
+//                     to check the determinism contract)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,9 +40,12 @@
 #endif
 
 #include "sharqfec/protocol.hpp"
+#include "sim/shard_runtime.hpp"
 #include "sim/simulator.hpp"
+#include "stats/lane.hpp"
 #include "stats/metrics.hpp"
 #include "topo/shapes.hpp"
+#include "topo/shard_plan.hpp"
 
 using namespace sharq;
 
@@ -48,6 +63,9 @@ struct SweepPoint {
 
 struct CaseResult {
   SweepPoint point;
+  std::string name;  // point name, plus _tN when sharded
+  int threads = 0;   // worker count (0 = legacy serial engine)
+  int shards = 0;    // topology shard count (0 = legacy serial engine)
   int receivers = 0;
   int nodes = 0;
   int zone_levels = 0;  // zone hierarchy depth including root
@@ -88,9 +106,17 @@ long long peak_rss_bytes() {
   return 0;
 }
 
-CaseResult run_case(const SweepPoint& pt) {
+/// Run one sweep point. `threads` == 0 uses the legacy serial engine;
+/// >= 1 partitions by zone subtree and runs the conservative-lookahead
+/// shard runtime with that many workers. `dump_dir`, when non-null, gets
+/// a <case>.metrics.json registry export for byte-identity checks.
+CaseResult run_case(const SweepPoint& pt, int threads,
+                    const char* dump_dir) {
   CaseResult res;
   res.point = pt;
+  res.name = pt.name;
+  if (threads > 0) res.name += "_t" + std::to_string(threads);
+  res.threads = threads;
 #if defined(__GLIBC__)
   // Return freed arenas to the OS so each point's RSS delta reflects its
   // own footprint, not the high-water of the previous (larger) point.
@@ -117,6 +143,30 @@ CaseResult run_case(const SweepPoint& pt) {
   res.nodes = static_cast<int>(net.node_count());
   res.zone_levels = pt.zone_depth + 1;
 
+  // Sharding must be enabled before any agent is constructed: agents bind
+  // their node's per-shard Simulator (clock, timers, RNG stream) at
+  // construction time.
+  std::unique_ptr<sim::ShardRuntime> rt;
+  if (threads > 0) {
+    net::ShardMap map = topo::make_zone_shard_map(net, stats::kMaxLanes);
+    if (map.nshards > 1) {
+      rt = std::make_unique<sim::ShardRuntime>(simu, map.nshards,
+                                               map.lookahead,
+                                               /*seed=*/7, threads);
+      res.shards = rt->nshards();
+      net.enable_sharding(*rt, std::move(map));
+      rt->set_metrics(&metrics);
+    } else {
+      // The threads column reports the engine that actually ran (0 =
+      // serial); the _tN name suffix still records what was asked for.
+      res.threads = 0;
+      std::fprintf(stderr,
+                   "  %s: topology yields no shardable partition; "
+                   "running serial\n",
+                   pt.name);
+    }
+  }
+
   sfq::Config cfg;
   cfg.scoping = true;
   // Dedicated caches at every bifurcation point (paper §5.2): static ZCRs
@@ -126,11 +176,15 @@ CaseResult run_case(const SweepPoint& pt) {
   sfq::Session session(net, tree.source, tree.receivers, cfg);
   session.start();
   session.send_stream(pt.groups, /*start_at=*/2.0);
-  simu.run_until(pt.horizon);
+  if (rt) {
+    rt->run_until(pt.horizon);
+  } else {
+    simu.run_until(pt.horizon);
+  }
 
   const auto wall1 = std::chrono::steady_clock::now();
   res.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
-  res.events = simu.events_executed();
+  res.events = rt ? rt->events_executed() : simu.events_executed();
   res.events_per_sec =
       res.wall_s > 0 ? static_cast<double>(res.events) / res.wall_s : 0.0;
   res.queue_high_water = metrics.gauge("sim.queue_high_water").value();
@@ -154,6 +208,16 @@ CaseResult run_case(const SweepPoint& pt) {
     }
     res.complete_receivers += all ? 1 : 0;
   }
+  if (dump_dir != nullptr) {
+    const std::string path =
+        std::string(dump_dir) + "/" + res.name + ".metrics.json";
+    std::ofstream os(path);
+    if (os) {
+      metrics.write_json(os);
+    } else {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+    }
+  }
   return res;
 }
 
@@ -170,7 +234,9 @@ void write_json(std::FILE* f, const std::vector<CaseResult>& results) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
     std::fprintf(f, "    {\n");
-    std::fprintf(f, "      \"name\": \"%s\",\n", r.point.name);
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"threads\": %d,\n", r.threads);
+    std::fprintf(f, "      \"shards\": %d,\n", r.shards);
     std::fprintf(f, "      \"zone_depth\": %d,\n", r.point.zone_depth);
     std::fprintf(f, "      \"zone_levels\": %d,\n", r.zone_levels);
     std::fprintf(f, "      \"fanout\": %d,\n", r.point.fanout);
@@ -200,6 +266,8 @@ void write_json(std::FILE* f, const std::vector<CaseResult>& results) {
 int main(int argc, char** argv) {
   bool smoke = false;
   long max_receivers = -1;
+  std::vector<int> thread_counts;
+  const char* dump_dir = nullptr;
   const char* out = std::getenv("SHARQFEC_BENCH_SIM_JSON");
   if (out == nullptr) out = "BENCH_sim.json";
   for (int i = 1; i < argc; ++i) {
@@ -209,10 +277,23 @@ int main(int argc, char** argv) {
       max_receivers = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      for (const char* s = argv[++i]; *s != '\0';) {
+        char* end = nullptr;
+        const long n = std::strtol(s, &end, 10);
+        if (end == s || n < 1) {
+          std::fprintf(stderr, "--threads wants counts >= 1 (got %s)\n", s);
+          return 2;
+        }
+        thread_counts.push_back(static_cast<int>(n));
+        s = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strcmp(argv[i], "--dump-metrics") == 0 && i + 1 < argc) {
+      dump_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: macro_sim [--smoke] [--max-receivers N] "
-                   "[--out PATH]\n");
+                   "[--out PATH] [--threads LIST] [--dump-metrics DIR]\n");
       return 2;
     }
   }
@@ -225,6 +306,16 @@ int main(int argc, char** argv) {
       {"d3_f8_8k",           3,  8,   16, 0.01,      2, 20.0},
       {"d4_f8_70k",          4,  8,   16, 0.005,     1, 12.0},
       {"d5_f6_100k",         5,  6,   12, 0.0,       1, 10.0},
+  };
+
+  auto report = [](const CaseResult& r) {
+    std::printf(
+        "  %d receivers, %llu events in %.1f s wall  (%.2fM ev/s, "
+        "%.0f B/receiver, queue hw %.0f, %u/%d complete)\n",
+        r.receivers, static_cast<unsigned long long>(r.events), r.wall_s,
+        r.events_per_sec / 1e6, r.bytes_per_receiver, r.queue_high_water,
+        r.complete_receivers, r.receivers);
+    std::fflush(stdout);
   };
 
   std::vector<CaseResult> results;
@@ -240,16 +331,24 @@ int main(int argc, char** argv) {
     std::printf("running %-14s depth=%d fanout=%d (~%ld receivers)...\n",
                 pt.name, pt.zone_depth, pt.fanout, receivers);
     std::fflush(stdout);
-    results.push_back(run_case(pt));
-    const CaseResult& r = results.back();
-    std::printf(
-        "  %d receivers, %llu events in %.1f s wall  (%.2fM ev/s, "
-        "%.0f B/receiver, queue hw %.0f, %u/%d complete)\n",
-        r.receivers, static_cast<unsigned long long>(r.events), r.wall_s,
-        r.events_per_sec / 1e6, r.bytes_per_receiver, r.queue_high_water,
-        r.complete_receivers, r.receivers);
-    std::fflush(stdout);
+    results.push_back(run_case(pt, /*threads=*/0, dump_dir));
+    report(results.back());
     if (smoke) break;
+  }
+
+  // Sharded reruns of the largest executed point, one per requested
+  // worker count. The shard count is the topology's, not N's, so every
+  // rerun simulates the same history; the rows differ only in wall-clock
+  // columns.
+  if (!thread_counts.empty() && !results.empty()) {
+    const SweepPoint pt = results.back().point;
+    for (int n : thread_counts) {
+      std::printf("running %s on the shard runtime, %d worker%s...\n",
+                  pt.name, n, n == 1 ? "" : "s");
+      std::fflush(stdout);
+      results.push_back(run_case(pt, n, dump_dir));
+      report(results.back());
+    }
   }
 
   if (std::FILE* f = std::fopen(out, "w")) {

@@ -8,10 +8,20 @@ Checks, in order:
   parse     the file is a single JSON object
   schema    it carries schema/backend/peak_rss_bytes/cases with the right
             types, schema is "sharqfec-macro-sim-v1", and every case has
-            the full column set (see CASE_FIELDS)
+            the full column set (see CASE_FIELDS); non-finite numbers
+            (NaN/Infinity, which the JSON parser happily accepts) are
+            rejected wherever they appear
+  labels    case names are unique — a sweep that writes two rows under
+            one label would let one silently shadow the other in any
+            name-keyed comparison
   sanity    per case: receivers/nodes/events positive, wall_s positive,
             events_per_sec consistent with events/wall_s (10% slack),
-            complete_receivers <= receivers, zone_levels = zone_depth + 1
+            complete_receivers <= receivers, zone_levels = zone_depth + 1,
+            threads/shards columns coherent. A point where *no* receiver
+            completed is a hard error even without --require-complete: a
+            killed or wedged benchmark run must never be committed as a
+            baseline. Sanity is evaluated per case — a schema error in an
+            earlier case no longer hides sanity failures in later ones.
   scale     with --min-receivers N, at least one case reaches N receivers
             (the committed baseline must include a macro-scale point)
   complete  with --require-complete, every case delivered every group to
@@ -24,6 +34,7 @@ Exit status 0 on success; prints one line per failure otherwise.
 """
 
 import json
+import math
 import sys
 
 SCHEMA = "sharqfec-macro-sim-v1"
@@ -32,6 +43,8 @@ BACKENDS = ("calendar", "heap")
 # field -> (type(s), must_be_positive)
 CASE_FIELDS = {
     "name": (str, False),
+    "threads": (int, False),   # 0 = serial engine, >= 1 = shard runtime
+    "shards": (int, False),    # 0 = serial engine, >= 2 when sharded
     "zone_depth": (int, True),
     "zone_levels": (int, True),
     "fanout": (int, True),
@@ -69,6 +82,13 @@ def check(doc, min_receivers, require_complete, max_kb_per_receiver=None):
     if not isinstance(cases, list) or not cases:
         return errors + ["cases is missing, not a list, or empty"]
 
+    names = [c.get("name") for c in cases
+             if isinstance(c, dict) and isinstance(c.get("name"), str)]
+    dups = sorted({n for n in names if names.count(n) > 1})
+    if dups:
+        bad(f"duplicate case names {dups}: every benchmark point must "
+            f"carry a unique label")
+
     for i, case in enumerate(cases):
         where = f"case {i}"
         if not isinstance(case, dict):
@@ -76,17 +96,20 @@ def check(doc, min_receivers, require_complete, max_kb_per_receiver=None):
             continue
         if isinstance(case.get("name"), str):
             where = f"case {case['name']!r}"
+        before = len(errors)
         for field, (types, positive) in CASE_FIELDS.items():
             val = case.get(field)
             if not isinstance(val, types) or isinstance(val, bool):
                 bad(f"{where}: {field} is {val!r}, expected {types}")
+            elif isinstance(val, float) and not math.isfinite(val):
+                bad(f"{where}: {field} is {val!r}, expected a finite number")
             elif positive and val <= 0:
                 bad(f"{where}: {field} must be positive, got {val!r}")
         extra = set(case) - set(CASE_FIELDS)
         if extra:
             bad(f"{where}: unknown fields {sorted(extra)}")
-        if errors:
-            continue  # sanity checks below assume the schema held
+        if len(errors) > before:
+            continue  # this case's sanity checks assume its schema held
 
         if case["zone_levels"] != case["zone_depth"] + 1:
             bad(f"{where}: zone_levels {case['zone_levels']} != "
@@ -101,6 +124,17 @@ def check(doc, min_receivers, require_complete, max_kb_per_receiver=None):
         if case["complete_receivers"] > case["receivers"]:
             bad(f"{where}: complete_receivers {case['complete_receivers']} > "
                 f"receivers {case['receivers']}")
+        if case["complete_receivers"] == 0:
+            bad(f"{where}: no receiver completed any transfer — a killed "
+                f"or incomplete benchmark run is not a valid baseline point")
+        if case["threads"] < 0 or case["shards"] < 0:
+            bad(f"{where}: threads/shards must be non-negative")
+        elif (case["threads"] > 0) != (case["shards"] > 0):
+            bad(f"{where}: threads {case['threads']} and shards "
+                f"{case['shards']} disagree about the engine (both zero "
+                f"for serial, both positive for the shard runtime)")
+        elif case["shards"] == 1:
+            bad(f"{where}: shards == 1 is not a real partition")
         if require_complete and case["complete_receivers"] != case["receivers"]:
             bad(f"{where}: only {case['complete_receivers']}/"
                 f"{case['receivers']} receivers completed every group")

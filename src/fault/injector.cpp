@@ -6,10 +6,17 @@
 
 namespace sharq::fault {
 
+void Injector::schedule_at(sim::Time at, std::function<void()> fn) {
+  if (scheduler_) {
+    scheduler_(at, std::move(fn));
+  } else {
+    net_.simulator().at(at, std::move(fn), "fault.inject");
+  }
+}
+
 void Injector::schedule(const FaultPlan& plan) {
-  sim::Simulator& simu = net_.simulator();
   for (const FaultEvent& e : plan.events) {
-    simu.at(e.at, [this, e] { apply(e); }, "fault.inject");
+    schedule_at(e.at, [this, e] { apply(e); });
   }
 }
 
@@ -96,15 +103,18 @@ void Injector::apply(const FaultEvent& e) {
         ++skipped_;
         break;
       }
-      sim::Simulator& simu = net_.simulator();
+      // Absolute times, not `after(now)`: the event fires at e.at, so
+      // `e.at + idx*jitter` is the same instant, and absolute scheduling
+      // also works through a barrier scheduler whose clock is the window
+      // edge rather than the event time.
       int idx = 0;
       for (net::NodeId n = e.from; n <= e.to; ++n, ++idx) {
         if (!valid_node(n)) {
           ++skipped_;
           continue;
         }
-        simu.after(static_cast<sim::Time>(idx) * e.jitter,
-                   [this, n] { hooks_.join(n); }, "fault.inject");
+        schedule_at(e.at + static_cast<sim::Time>(idx) * e.jitter,
+                    [this, n] { hooks_.join(n); });
         ++applied_;
       }
       break;

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "sharqfec/ordered.hpp"
+#include "sim/shard_runtime.hpp"
 #include "stats/journal.hpp"
+#include "stats/lane.hpp"
 #include "stats/metrics.hpp"
 
 namespace sharq::net {
@@ -32,7 +34,47 @@ const char* to_string(DropReason reason) {
   return "?";
 }
 
-Network::Network(sim::Simulator& simu) : simu_(simu) {}
+Network::Network(sim::Simulator& simu) : simu_(simu) { lanes_.resize(1); }
+
+// --- sharding ---------------------------------------------------------------
+
+Network::LaneCtx& Network::ctx() {
+  return lanes_[static_cast<std::size_t>(rt_ ? stats::lane() : 0)];
+}
+
+sim::Simulator& Network::ctx_sim() {
+  return rt_ ? rt_->sim(stats::lane()) : simu_;
+}
+
+sim::Simulator& Network::sim_of_node(NodeId node) {
+  return rt_ ? rt_->sim(shard_map_.shard(node)) : simu_;
+}
+
+TrafficSink* Network::sink() {
+  if (rt_ && !shard_sinks_.empty()) {
+    if (TrafficSink* s = shard_sinks_[static_cast<std::size_t>(stats::lane())])
+      return s;
+  }
+  return sink_;
+}
+
+void Network::enable_sharding(sim::ShardRuntime& rt, ShardMap map) {
+  assert(static_cast<int>(map.shard_of.size()) == node_count());
+  assert(map.nshards == rt.nshards());
+  rt_ = &rt;
+  shard_map_ = std::move(map);
+  lanes_.clear();
+  lanes_.resize(static_cast<std::size_t>(shard_map_.nshards));
+  shard_sinks_.assign(lanes_.size(), nullptr);
+  shard_next_uid_.assign(lanes_.size(), 1);
+}
+
+sim::Simulator& Network::simulator_for(NodeId node) { return sim_of_node(node); }
+
+void Network::set_shard_sink(int shard, TrafficSink* sink) {
+  assert(rt_ && shard >= 0 && shard < shard_map_.nshards);
+  shard_sinks_[static_cast<std::size_t>(shard)] = sink;
+}
 
 void Network::set_metrics(stats::Metrics* metrics) {
   metrics_ = metrics;
@@ -71,7 +113,7 @@ void Network::journal_drop(LinkId link, const Packet& packet,
   if (reason != DropReason::kQueueFull &&
       packet.cls != TrafficClass::kNack && packet.cls != TrafficClass::kRepair)
     return;
-  journal_->emit("net.dropped", simu_.now(), links_[link].to, -1,
+  journal_->emit("net.dropped", ctx_sim().now(), links_[link].to, -1,
                  journal_->uid_event(packet.uid),
                  {{"class", to_string(packet.cls)},
                   {"from", links_[link].from},
@@ -81,7 +123,6 @@ void Network::journal_drop(LinkId link, const Packet& packet,
 
 NodeId Network::add_node() {
   nodes_.push_back(NodeRec{});
-  routing_.push_back(Routing{});
   invalidate_routing();
   return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -156,11 +197,15 @@ ChannelId Network::create_channel(ZoneId scope) {
 
 void Network::subscribe(ChannelId ch, NodeId node) {
   assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  // Membership is shared read-only state inside a shard window; mutations
+  // (joins/leaves, fault hooks) must happen at barriers or setup.
+  assert(!rt_ || !rt_->in_window());
   if (channels_[ch].subs.insert(node).second) ++channels_[ch].version;
 }
 
 void Network::unsubscribe(ChannelId ch, NodeId node) {
   assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  assert(!rt_ || !rt_->in_window());
   if (channels_[ch].subs.erase(node) > 0) ++channels_[ch].version;
 }
 
@@ -185,12 +230,16 @@ void Network::detach(NodeId node, Agent* agent) {
 }
 
 void Network::invalidate_routing() {
-  for (Routing& r : routing_) r.valid = false;
-  fwd_cache_.clear();
+  for (LaneCtx& lc : lanes_) {
+    for (Routing& r : lc.routing) r.valid = false;
+    lc.fwd_cache.clear();
+  }
 }
 
 void Network::ensure_routing(NodeId src) {
-  Routing& r = routing_[src];
+  LaneCtx& lc = ctx();
+  if (lc.routing.size() < nodes_.size()) lc.routing.resize(nodes_.size());
+  Routing& r = lc.routing[static_cast<std::size_t>(src)];
   if (r.valid) return;
   const int n = node_count();
   r.dist.assign(n, sim::kTimeInfinity);
@@ -224,7 +273,7 @@ void Network::ensure_routing(NodeId src) {
 
 std::vector<NodeId> Network::path(NodeId a, NodeId b) {
   ensure_routing(a);
-  const Routing& r = routing_[a];
+  const Routing& r = ctx().routing[static_cast<std::size_t>(a)];
   if (b < 0 || b >= node_count() || r.dist[b] == sim::kTimeInfinity) return {};
   std::vector<NodeId> rev{b};
   NodeId cur = b;
@@ -240,13 +289,14 @@ std::vector<NodeId> Network::path(NodeId a, NodeId b) {
 sim::Time Network::path_delay(NodeId a, NodeId b) {
   if (a == b) return 0.0;
   ensure_routing(a);
-  const sim::Time d = routing_[a].dist[b];
+  const Routing& r = ctx().routing[static_cast<std::size_t>(a)];
+  const sim::Time d = r.dist[b];
   if (d == sim::kTimeInfinity) return sim::kTimeInfinity;
   // Strip the per-hop epsilon contribution by recomputing over the path.
   sim::Time total = 0.0;
   NodeId cur = b;
   while (cur != a) {
-    const LinkId pl = routing_[a].pred_link[cur];
+    const LinkId pl = r.pred_link[cur];
     total += links_[pl].delay;
     cur = links_[pl].from;
   }
@@ -256,11 +306,12 @@ sim::Time Network::path_delay(NodeId a, NodeId b) {
 double Network::path_loss(NodeId a, NodeId b) {
   if (a == b) return 0.0;
   ensure_routing(a);
-  if (routing_[a].dist[b] == sim::kTimeInfinity) return 1.0;
+  const Routing& r = ctx().routing[static_cast<std::size_t>(a)];
+  if (r.dist[b] == sim::kTimeInfinity) return 1.0;
   double deliver = 1.0;
   NodeId cur = b;
   while (cur != a) {
-    const LinkId pl = routing_[a].pred_link[cur];
+    const LinkId pl = r.pred_link[cur];
     deliver *= 1.0 - links_[pl].cond.mean_drop_rate();
     cur = links_[pl].from;
   }
@@ -312,7 +363,7 @@ void Network::pack_fwd_entry(FwdEntry& e,
 
 const Network::FwdEntry& Network::forwarding(ChannelId ch, NodeId origin) {
   const Channel& channel = channels_[ch];
-  FwdEntry& e = fwd_cache_[FwdKey{ch, origin}];
+  FwdEntry& e = ctx().fwd_cache[FwdKey{ch, origin}];
   if (e.version == channel.version + 1) return e;
 
   e.version = channel.version + 1;  // 0 marks "never built"
@@ -337,7 +388,7 @@ const Network::FwdEntry& Network::forwarding(ChannelId ch, NodeId origin) {
 void Network::build_unscoped_entry(FwdEntry& e, const Channel& channel,
                                    NodeId origin) {
   ensure_routing(origin);
-  const Routing& r = routing_[origin];
+  const Routing& r = ctx().routing[static_cast<std::size_t>(origin)];
   const int n = node_count();
   std::vector<bool> on_tree(n, false);
   on_tree[origin] = true;
@@ -430,7 +481,14 @@ std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
   assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
   if (!nodes_[origin].up) return 0;  // a crashed node's NIC sends nothing
   Packet p;
-  p.uid = next_uid_++;
+  if (rt_) {
+    const std::size_t shard =
+        static_cast<std::size_t>(shard_map_.shard(origin));
+    p.uid = (static_cast<std::uint64_t>(shard + 1) << 48) |
+            shard_next_uid_[shard]++;
+  } else {
+    p.uid = next_uid_++;
+  }
   p.origin = origin;
   p.channel = ch;
   p.cls = cls;
@@ -443,31 +501,37 @@ std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
   if (metrics_ && ci < static_cast<unsigned>(kTrafficClassCount)) {
     sends_by_class_[ci]->inc();
   }
-  // Copy the origin's out-links into member scratch (capacity retained
+  // Copy the origin's out-links into lane scratch (capacity retained
   // across packets, so no steady-state allocation): transmit() is
   // event-deferred and touches no forwarding state, but the entry itself
-  // lives in fwd_cache_ and a rebuild must not invalidate the iteration.
-  assert(!in_send_ && "Network::send is not reentrant");
-  in_send_ = true;
+  // lives in the lane's fwd cache and a rebuild must not invalidate the
+  // iteration.
+  LaneCtx& lc = ctx();
+  assert(!lc.in_send && "Network::send is not reentrant");
+  lc.in_send = true;
   const FwdEntry& fwd = forwarding(ch, origin);
-  send_outs_.clear();
+  lc.send_outs.clear();
   if (const int i = fwd.find(origin); i >= 0) {
-    send_outs_.assign(fwd.links.begin() + fwd.out_begin[i],
-                      fwd.links.begin() + fwd.out_begin[i + 1]);
+    lc.send_outs.assign(fwd.links.begin() + fwd.out_begin[i],
+                        fwd.links.begin() + fwd.out_begin[i + 1]);
   }
-  for (LinkId l : send_outs_) transmit(l, p);
-  in_send_ = false;
+  for (LinkId l : lc.send_outs) transmit(l, p);
+  lc.in_send = false;
   return p.uid;
 }
 
 void Network::set_link_up(LinkId l, bool up) {
   assert(l >= 0 && l < link_count());
+  // Link state is owned by one shard; administrative flips come from the
+  // fault injector, which runs at barriers in sharded runs (every shard
+  // clock agrees there, so ctx_sim().now() is THE time).
+  assert(!rt_ || !rt_->in_window());
   Link& lk = links_[l];
   if (lk.up == up) return;
   lk.up = up;
   if (!up) {
     ++lk.epoch;  // invalidates packets currently being serialized
-    lk.busy_until = simu_.now();
+    lk.busy_until = ctx_sim().now();
     lk.queued = 0;
   }
   invalidate_routing();
@@ -475,6 +539,7 @@ void Network::set_link_up(LinkId l, bool up) {
 
 void Network::set_node_up(NodeId node, bool up) {
   assert(node >= 0 && node < node_count());
+  assert(!rt_ || !rt_->in_window());
   NodeRec& rec = nodes_[node];
   if (rec.up == up) return;
   rec.up = up;
@@ -485,7 +550,7 @@ void Network::set_node_up(NodeId node, bool up) {
     for (Link& lk : links_) {
       if (lk.from != node && lk.to != node) continue;
       ++lk.epoch;
-      lk.busy_until = simu_.now();
+      lk.busy_until = ctx_sim().now();
       lk.queued = 0;
     }
     // Multicast membership is soft state refreshed by the member; a dead
@@ -498,40 +563,69 @@ void Network::set_node_up(NodeId node, bool up) {
   invalidate_routing();
 }
 
+void Network::deliver_after(LinkId link, const Packet& out, sim::Time arrival) {
+  // The propagate event belongs to the RECEIVING node's shard: its on_hop
+  // accounting lands in that shard's sink and arrive() runs in that
+  // shard's lane. Same-shard (and serial) hops schedule directly;
+  // mid-window cross-shard hops ride the runtime's mailbox and are merged
+  // at the barrier in (arrival, source shard, sequence) order — the
+  // conservative lookahead guarantees `arrival` is at or beyond the
+  // current window's end, so the merge never misses.
+  auto fn = [this, link, out] {
+    if (TrafficSink* s = sink()) s->on_hop(ctx_sim().now(), link, out);
+    arrive(links_[link].to, out);
+  };
+  if (!rt_) {
+    simu_.at(arrival, std::move(fn), "net.propagate");
+    return;
+  }
+  const int src_shard = shard_map_.shard(links_[link].from);
+  const int dst_shard = shard_map_.shard(links_[link].to);
+  if (dst_shard == src_shard || !rt_->in_window()) {
+    rt_->sim(dst_shard).at(arrival, std::move(fn), "net.propagate");
+  } else {
+    rt_->post(dst_shard, arrival, std::move(fn), "net.propagate");
+  }
+}
+
 void Network::transmit(LinkId link, const Packet& packet) {
   Link& l = links_[link];
+  const sim::Time now = ctx_sim().now();
   if (!l.up) {
     count_drop(DropReason::kLinkDown);
     journal_drop(link, packet, DropReason::kLinkDown);
-    if (sink_) sink_->on_drop(simu_.now(), link, packet, DropReason::kLinkDown);
+    if (TrafficSink* s = sink()) s->on_drop(now, link, packet, DropReason::kLinkDown);
     return;
   }
   if (l.queue_limit_pkts >= 0 && l.queued >= l.queue_limit_pkts) {
     count_drop(DropReason::kQueueFull);
     journal_drop(link, packet, DropReason::kQueueFull);
-    if (sink_) {
-      sink_->on_drop(simu_.now(), link, packet, DropReason::kQueueFull);
+    if (TrafficSink* s = sink()) {
+      s->on_drop(now, link, packet, DropReason::kQueueFull);
     }
     return;
   }
-  if (sink_) sink_->on_transmit(simu_.now(), link, packet);
-  const sim::Time now = simu_.now();
+  if (TrafficSink* s = sink()) s->on_transmit(now, link, packet);
   const sim::Time tx_time =
       static_cast<double>(packet.size_bytes) * 8.0 / l.bandwidth_bps;
   const sim::Time start = std::max(now, l.busy_until);
   l.busy_until = start + tx_time;
   ++l.queued;
   // The packet's fate is decided at serialization completion so stateful
-  // (bursty) conditioner stages see packets in wire order.
-  simu_.at(
+  // (bursty) conditioner stages see packets in wire order. The event
+  // runs on the shard owning the link's sending side — the same lane
+  // executing this hand-off during a window, so link state stays
+  // thread-private.
+  sim_of_node(l.from).at(
       start + tx_time,
       [this, link, packet, epoch = l.epoch] {
         Link& lk = links_[link];
+        const sim::Time snow = ctx_sim().now();
         if (!lk.up || lk.epoch != epoch) {  // link or endpoint died mid-flight
           count_drop(DropReason::kEpochKill);
           journal_drop(link, packet, DropReason::kEpochKill);
-          if (sink_) {
-            sink_->on_drop(simu_.now(), link, packet, DropReason::kEpochKill);
+          if (TrafficSink* s = sink()) {
+            s->on_drop(snow, link, packet, DropReason::kEpochKill);
           }
           return;
         }
@@ -540,8 +634,8 @@ void Network::transmit(LinkId link, const Packet& packet) {
         if (fate.drop) {
           count_drop(DropReason::kLoss);
           journal_drop(link, packet, DropReason::kLoss);
-          if (sink_) {
-            sink_->on_drop(simu_.now(), link, packet, DropReason::kLoss);
+          if (TrafficSink* s = sink()) {
+            s->on_drop(snow, link, packet, DropReason::kLoss);
           }
           return;
         }
@@ -556,14 +650,10 @@ void Network::transmit(LinkId link, const Packet& packet) {
         // Duplicates are real wire copies, so each gets its own ledger entry;
         // jitter shifts the whole burst, letting later packets overtake it.
         for (int copy = 0; copy <= fate.duplicates; ++copy) {
-          if (copy > 0 && sink_) sink_->on_transmit(simu_.now(), link, out);
-          simu_.after(
-              lk.delay + fate.extra_delay,
-              [this, link, out] {
-                if (sink_) sink_->on_hop(simu_.now(), link, out);
-                arrive(links_[link].to, out);
-              },
-              "net.propagate");
+          if (copy > 0) {
+            if (TrafficSink* s = sink()) s->on_transmit(snow, link, out);
+          }
+          deliver_after(link, out, snow + lk.delay + fate.extra_delay);
         }
       },
       "net.serialize");
@@ -573,31 +663,32 @@ void Network::arrive(NodeId at, const Packet& packet) {
   if (!nodes_[at].up) return;  // a crashed node terminates nothing
   // Copy what we need out of the cache entry first: agent callbacks may
   // send(), which can rebuild entries and invalidate references into the
-  // cache. The copies land in member scratch (capacity retained across
+  // cache. The copies land in lane scratch (capacity retained across
   // packets) — arrive() cannot reenter because every transmission is
   // deferred through the event queue.
-  assert(!in_arrive_ && "Network::arrive is not reentrant");
-  in_arrive_ = true;
+  LaneCtx& lc = ctx();
+  assert(!lc.in_arrive && "Network::arrive is not reentrant");
+  lc.in_arrive = true;
   bool deliver_here = false;
-  arrive_outs_.clear();
+  lc.arrive_outs.clear();
   {
     const FwdEntry& fwd = forwarding(packet.channel, packet.origin);
     if (const int i = fwd.find(at); i >= 0) {
       deliver_here = fwd.deliver[i];
-      arrive_outs_.assign(fwd.links.begin() + fwd.out_begin[i],
-                          fwd.links.begin() + fwd.out_begin[i + 1]);
+      lc.arrive_outs.assign(fwd.links.begin() + fwd.out_begin[i],
+                            fwd.links.begin() + fwd.out_begin[i + 1]);
     }
   }
   // Forward before delivering so downstream copies are not reordered by
   // anything an agent transmits synchronously on the same links.
-  for (LinkId l : arrive_outs_) transmit(l, packet);
+  for (LinkId l : lc.arrive_outs) transmit(l, packet);
   if (deliver_here) {
-    if (sink_) sink_->on_deliver(simu_.now(), at, packet);
+    if (TrafficSink* s = sink()) s->on_deliver(ctx_sim().now(), at, packet);
     // Copy: an agent may detach others while handling the packet.
-    arrive_agents_.assign(nodes_[at].agents.begin(), nodes_[at].agents.end());
-    for (Agent* a : arrive_agents_) a->on_receive(packet);
+    lc.arrive_agents.assign(nodes_[at].agents.begin(), nodes_[at].agents.end());
+    for (Agent* a : lc.arrive_agents) a->on_receive(packet);
   }
-  in_arrive_ = false;
+  lc.in_arrive = false;
 }
 
 }  // namespace sharq::net

@@ -10,9 +10,14 @@
 #include "net/conditioner.hpp"
 #include "net/loss.hpp"
 #include "net/packet.hpp"
+#include "net/shard_map.hpp"
 #include "net/types.hpp"
 #include "net/zone.hpp"
 #include "sim/simulator.hpp"
+
+namespace sharq::sim {
+class ShardRuntime;
+}  // namespace sharq::sim
 
 namespace sharq::stats {
 class Counter;
@@ -152,6 +157,9 @@ class Network {
     return links_[l].cond.mean_drop_rate();
   }
 
+  /// Propagation delay configured on a link.
+  sim::Time link_delay(LinkId l) const { return links_[l].delay; }
+
   /// Take a link down (packets in flight are lost; routing recomputes
   /// around it) or bring it back up. Models backbone failures.
   void set_link_up(LinkId l, bool up);
@@ -241,6 +249,31 @@ class Network {
 
   sim::Simulator& simulator() { return simu_; }
 
+  // --- sharding (docs/ARCHITECTURE.md, "Zone-sharded parallel simulation") --
+
+  /// Switch this network onto a shard runtime. Call after the topology is
+  /// built (the map is computed from it) and before any protocol agents
+  /// bind — agents must schedule into their node's shard via
+  /// simulator_for(). Link events run on the shard owning the link's
+  /// `from` node; a packet crossing into another shard is handed through
+  /// the runtime's deterministic mailbox merge. Per-lane copies of the
+  /// routing/forwarding caches keep lookups thread-private.
+  void enable_sharding(sim::ShardRuntime& rt, ShardMap map);
+
+  bool sharded() const { return rt_ != nullptr; }
+
+  const ShardMap& shard_map() const { return shard_map_; }
+
+  /// The simulator that owns `node`'s events: its shard's simulator when
+  /// sharding is enabled, the base simulator otherwise. Agents bind their
+  /// timers and RNG forks through this.
+  sim::Simulator& simulator_for(NodeId node);
+
+  /// Per-shard traffic sink (sharded runs): hop/deliver callbacks fire on
+  /// the shard executing the packet, so each shard needs its own
+  /// recorder; ledgers balance across the set, not per recorder.
+  void set_shard_sink(int shard, TrafficSink* sink);
+
   /// Drop all routing/forwarding caches (topology editing mid-run).
   void invalidate_routing();
 
@@ -304,6 +337,35 @@ class Network {
     int find(NodeId v) const;
   };
 
+  /// Per-execution-lane working state. Serial runs use exactly lane 0; a
+  /// sharded run gives every shard lane its own copy, so the lazily built
+  /// routing/forwarding caches and the per-packet scratch are written only
+  /// by the thread executing that lane — no sharing, no locks, and cache
+  /// contents stay a pure function of topology state (identical across
+  /// lanes whenever queried).
+  struct LaneCtx {
+    std::vector<Routing> routing;  // per source node, sized lazily
+    std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwd_cache;
+    // Per-packet scratch, reused across calls so the hot path performs no
+    // heap allocation in steady state. arrive()/send() are not reentrant
+    // (transmission is event-deferred); guarded by an assert in debug.
+    std::vector<LinkId> arrive_outs;
+    std::vector<Agent*> arrive_agents;
+    std::vector<LinkId> send_outs;
+    bool in_arrive = false;
+    bool in_send = false;
+  };
+
+  LaneCtx& ctx();
+  /// Simulator providing "now" for the executing context: the executing
+  /// lane's shard simulator, or the base simulator in serial runs. At
+  /// barriers every shard clock agrees, so lane 0 is always safe there.
+  sim::Simulator& ctx_sim();
+  /// Simulator owning `node`'s events (shard of the node).
+  sim::Simulator& sim_of_node(NodeId node);
+  /// The sink observing the executing lane.
+  TrafficSink* sink();
+
   void ensure_routing(NodeId src);
   const FwdEntry& forwarding(ChannelId ch, NodeId origin);
   /// Graft shortest paths from `origin` to in-scope subscribers restricted
@@ -317,6 +379,10 @@ class Network {
                              std::vector<std::pair<NodeId, LinkId>>& hops,
                              const std::vector<NodeId>& deliver_nodes);
   void transmit(LinkId link, const Packet& packet);
+  /// Schedule the propagation-complete (hop + arrive) event for `out` on
+  /// the shard owning the link's receiving side, crossing shards through
+  /// the runtime mailbox when mid-window.
+  void deliver_after(LinkId link, const Packet& out, sim::Time arrival);
   void arrive(NodeId at, const Packet& packet);
 
   sim::Simulator& simu_;
@@ -324,18 +390,17 @@ class Network {
   std::vector<Link> links_;
   std::vector<Channel> channels_;
   ZoneHierarchy zones_;
-  std::vector<Routing> routing_;  // per source node
-  std::unordered_map<FwdKey, FwdEntry, FwdKeyHash> fwd_cache_;
-  // Per-packet scratch, reused across calls so the hot path performs no
-  // heap allocation in steady state. arrive()/send() are not reentrant
-  // (transmission is event-deferred); guarded by an assert in debug.
-  std::vector<LinkId> arrive_outs_;
-  std::vector<Agent*> arrive_agents_;
-  std::vector<LinkId> send_outs_;
-  bool in_arrive_ = false;
-  bool in_send_ = false;
+  std::vector<LaneCtx> lanes_;  // [0] only in serial runs
   void count_drop(DropReason reason);
   void journal_drop(LinkId link, const Packet& packet, DropReason reason);
+
+  sim::ShardRuntime* rt_ = nullptr;
+  ShardMap shard_map_;
+  std::vector<TrafficSink*> shard_sinks_;  // by shard, sharded runs only
+  /// Per-shard uid streams: uid = (shard+1) << 48 | counter, keyed by the
+  /// origin's shard, so uids are globally unique and depend only on each
+  /// shard's own deterministic send order. Serial runs use next_uid_.
+  std::vector<std::uint64_t> shard_next_uid_;
 
   TrafficSink* sink_ = nullptr;
   stats::Metrics* metrics_ = nullptr;

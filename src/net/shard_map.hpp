@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sharq::net {
+
+/// Node -> shard assignment for the zone-sharded parallel runtime.
+///
+/// Produced by topo::make_zone_shard_map from the zone hierarchy: shard 0
+/// holds the root zone (source side and anything unassigned), shards
+/// 1..nshards-1 hold top-level zone subtrees. `lookahead` is the minimum
+/// propagation delay over links whose endpoints live in different shards —
+/// the conservative window length: a cross-shard packet sent at t cannot
+/// arrive before t + lookahead.
+///
+/// nshards == 1 means "don't shard" (the partitioner found a zero-delay
+/// cross-shard link, or the topology has no top-level zones).
+struct ShardMap {
+  int nshards = 1;
+  sim::Time lookahead = 0.0;
+  std::vector<int> shard_of;  // by node id
+
+  int shard(int node) const {
+    return node >= 0 && node < static_cast<int>(shard_of.size())
+               ? shard_of[static_cast<std::size_t>(node)]
+               : 0;
+  }
+};
+
+}  // namespace sharq::net

@@ -19,8 +19,9 @@ Agent::Agent(net::Network& net, Hierarchy& hier,
   hier.join(node);
   stats::Metrics* metrics = cfg->metrics;
   journal_ = cfg->journal;
-  budget_ = std::make_unique<BudgetTracker>(cfg->budget, node, net.simulator(),
-                                            metrics, journal_);
+  budget_ = std::make_unique<BudgetTracker>(cfg->budget, node,
+                                            net.simulator_for(node), metrics,
+                                            journal_);
   session_ = std::make_unique<SessionManager>(net, hier, cfg, node, is_source,
                                               budget_.get());
   transfer_ = std::make_unique<TransferEngine>(net, hier, *session_,
@@ -75,7 +76,7 @@ bool Agent::first_sighting(std::uint64_t uid) {
     // steady one-per-insert trickle while pressure lasts would emit one
     // line per packet.
     if (journal_ && shed > 1) {
-      journal_->emit("shed.dedup", network().simulator().now(), node(),
+      journal_->emit("shed.dedup", network().simulator_for(node()).now(), node(),
                      /*group=*/-1, /*cause=*/0,
                      {{"evicted", std::uint64_t{shed}},
                       {"target", std::uint64_t{target}}});
@@ -98,7 +99,7 @@ void Agent::on_receive(const net::Packet& packet) {
     ++corrupt_rejects_;
     if (m_corrupt_rejects_) m_corrupt_rejects_->inc();
     if (journal_) {
-      journal_->emit("pkt.rejected", network().simulator().now(), node(),
+      journal_->emit("pkt.rejected", network().simulator_for(node()).now(), node(),
                      /*group=*/-1, journal_->uid_event(packet.uid),
                      {{"class", net::to_string(packet.cls)},
                       {"reason", "corrupt"}});
@@ -109,7 +110,7 @@ void Agent::on_receive(const net::Packet& packet) {
     ++duplicate_rejects_;
     if (m_duplicate_rejects_) m_duplicate_rejects_->inc();
     if (journal_) {
-      journal_->emit("pkt.rejected", network().simulator().now(), node(),
+      journal_->emit("pkt.rejected", network().simulator_for(node()).now(), node(),
                      /*group=*/-1, journal_->uid_event(packet.uid),
                      {{"class", net::to_string(packet.cls)},
                       {"reason", "duplicate"}});

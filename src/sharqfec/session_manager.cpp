@@ -33,14 +33,14 @@ SessionManager::SessionManager(net::Network& net, Hierarchy& hier,
                                net::NodeId node, bool is_source,
                                BudgetTracker* budget)
     : net_(net),
-      simu_(net.simulator()),
+      simu_(net.simulator_for(node)),
       hier_(hier),
       cfg_(std::move(cfg)),
       node_(node),
       is_source_(is_source),
-      rng_(net.simulator().rng().fork()),
+      rng_(net.simulator_for(node).rng().fork()),
       chain_(hier.chain(node)),
-      session_timer_(net.simulator()),
+      session_timer_(net.simulator_for(node)),
       next_challenge_id_(static_cast<std::uint64_t>(node) << 32 | 1u),
       budget_(budget) {
   levels_.resize(chain_.size());

@@ -29,14 +29,14 @@ TransferEngine::TransferEngine(net::Network& net, Hierarchy& hier,
                                net::NodeId node, bool is_source,
                                rm::DeliveryLog* log, BudgetTracker* budget)
     : net_(net),
-      simu_(net.simulator()),
+      simu_(net.simulator_for(node)),
       hier_(hier),
       session_(session),
       cfg_(std::move(cfg)),
       node_(node),
       is_source_(is_source),
       log_(log),
-      rng_(net.simulator().rng().fork()),
+      rng_(net.simulator_for(node).rng().fork()),
       codec_(std::make_shared<fec::ReedSolomon>(cfg_->group_size,
                                                 cfg_->max_parity)) {
   zlc_pred_.assign(session_.chain().size(), 0.0);

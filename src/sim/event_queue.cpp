@@ -102,6 +102,11 @@ void EventQueue::free_slot(std::uint32_t slot) {
   s.tag = nullptr;
   s.live = false;
   ++s.gen;
+  // Generation wrapped: retire the slot instead of recycling it. A fresh
+  // mint would reissue generation numbers still held by stale EventIds
+  // (and gen 0 would make EventId.value == slot, colliding with the null
+  // id for slot 0). Retired slots simply never re-enter the free list.
+  if (s.gen == 0) return;
   free_slots_.push_back(slot);
 }
 
@@ -156,6 +161,7 @@ void EventQueue::clear() {
   }
   free_slots_.clear();
   for (std::size_t i = slots_.size(); i-- > 0;) {
+    if (slots_[i].gen == 0) continue;  // retired (generation wrapped)
     free_slots_.push_back(static_cast<std::uint32_t>(i));
   }
   live_ = 0;
@@ -164,6 +170,14 @@ void EventQueue::clear() {
   for (auto& b : buckets_) b.clear();
   overflow_ = {};
   stored_ = 0;
+}
+
+void EventQueue::test_set_slot_generation(std::uint32_t slot,
+                                          std::uint32_t gen) {
+  if (slot >= slots_.size() || slots_[slot].live) {
+    std::abort();  // the hook only touches existing, free slots
+  }
+  slots_[slot].gen = gen;
 }
 
 void EventQueue::backend_push(const Key& k) {

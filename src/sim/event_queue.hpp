@@ -97,6 +97,11 @@ class EventQueue {
   /// Drop every pending event.
   void clear();
 
+  /// Test-only: overwrite a *free* slot's generation counter so the
+  /// generation-wrap retirement path can be exercised without 2^32 mint
+  /// cycles (tests/test_event_queue.cpp). Aborts if the slot is live.
+  void test_set_slot_generation(std::uint32_t slot, std::uint32_t gen);
+
   /// Attach a metrics registry: per-tag scheduled/fired/cancelled counters
   /// and the queue high-water mark. Pass nullptr to detach. Events
   /// scheduled before the call are still counted at fire/cancel time.
@@ -121,7 +126,12 @@ class EventQueue {
   struct Slot {
     Callback fn;
     const char* tag = nullptr;
-    std::uint32_t gen = 1;  // starts at 1 so EventId.value is never 0
+    // Starts at 1 so EventId.value is never 0. When the counter wraps
+    // back to 0 after 2^32-1 mints the slot is *retired* (never recycled):
+    // reusing it would alias a fresh event with the oldest stale EventId
+    // still in flight, and cancel() would kill the wrong event. gen == 0
+    // marks a retired slot.
+    std::uint32_t gen = 1;
     bool live = false;
   };
   struct TagCounters {

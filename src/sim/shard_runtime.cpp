@@ -1,0 +1,206 @@
+#include "sim/shard_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+// sharq-lint: thread-unsafe-ok file (the shard runtime IS the
+// deterministic synchronization layer; docs/ARCHITECTURE.md)
+#include <thread>
+
+#include "stats/journal.hpp"
+#include "stats/lane.hpp"
+#include "stats/metrics.hpp"
+
+namespace sharq::sim {
+
+namespace {
+
+// Per-shard seed derivation (splitmix64 finalizer): shards get decorrelated
+// root streams from one run seed, independent of thread count.
+std::uint64_t shard_seed(std::uint64_t seed, int shard) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ShardRuntime::ShardRuntime(Simulator& shard0, int nshards, Time lookahead,
+                           std::uint64_t seed, int nthreads)
+    : lookahead_(lookahead),
+      nthreads_(std::clamp(nthreads, 1, std::max(nshards, 1))) {
+  assert(nshards >= 1 && nshards <= stats::kMaxLanes);
+  assert(nshards == 1 || lookahead > 0.0);
+  sims_.push_back(&shard0);
+  for (int s = 1; s < nshards; ++s) {
+    owned_.push_back(std::make_unique<Simulator>(shard_seed(seed, s),
+                                                 shard0.backend()));
+    sims_.push_back(owned_.back().get());
+  }
+  mail_.resize(static_cast<std::size_t>(nshards));
+  mail_seq_.assign(static_cast<std::size_t>(nshards), 0);
+  window_executed_.assign(static_cast<std::size_t>(nshards), 0);
+}
+
+ShardRuntime::~ShardRuntime() = default;
+
+void ShardRuntime::set_metrics(stats::Metrics* metrics) {
+  for (auto& owned : owned_) owned->set_metrics(metrics);
+  if (!metrics) {
+    lookahead_stalls_ = nullptr;
+    xshard_msgs_ = nullptr;
+    return;
+  }
+  lookahead_stalls_ = &metrics->counter("sim.shard.lookahead_stalls");
+  xshard_msgs_ = &metrics->counter("sim.shard.xshard_msgs");
+}
+
+void ShardRuntime::set_journal(stats::Journal* journal) {
+  journal_ = journal;
+  if (journal_) journal_->begin_lanes(nshards());
+}
+
+void ShardRuntime::post(int dst, Time at, Callback fn, const char* tag) {
+  assert(in_window_ && "post() is the mid-window hand-off; schedule directly at barriers");
+  const int src = stats::lane();
+  assert(src != dst);
+  auto& box = mail_[static_cast<std::size_t>(src)];
+  box.push_back(Xmsg{at, src, mail_seq_[static_cast<std::size_t>(src)]++, dst,
+                     std::move(fn), tag});
+  if (xshard_msgs_) xshard_msgs_->inc();
+}
+
+void ShardRuntime::at_global(Time t, std::function<void()> fn) {
+  assert(!in_window_ && "global ops are registered at barriers or setup");
+  ops_.push_back(GlobalOp{t, op_seq_++, std::move(fn)});
+}
+
+bool ShardRuntime::next_op(std::size_t* index) const {
+  if (ops_.empty()) return false;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ops_.size(); ++i) {
+    const GlobalOp& a = ops_[i];
+    const GlobalOp& b = ops_[best];
+    if (a.t < b.t || (a.t == b.t && a.seq < b.seq)) best = i;
+  }
+  *index = best;
+  return true;
+}
+
+void ShardRuntime::run_window(Time end, bool inclusive) {
+  const int k = nshards();
+  const int workers = std::min(nthreads_, k);
+  in_window_ = true;
+  auto run_lane_set = [this, k, workers, end, inclusive](int w) {
+    for (int s = w; s < k; s += workers) {
+      stats::ScopedLane scoped(s);
+      Simulator& sim = *sims_[static_cast<std::size_t>(s)];
+      const std::uint64_t before = sim.events_executed();
+      if (inclusive) {
+        sim.run_until(end);
+      } else {
+        sim.run_before(end);
+      }
+      window_executed_[static_cast<std::size_t>(s)] =
+          sim.events_executed() - before;
+    }
+  };
+  if (workers == 1) {
+    run_lane_set(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w) {
+      pool.emplace_back(run_lane_set, w);
+    }
+    run_lane_set(0);
+    for (std::thread& t : pool) t.join();
+  }
+  in_window_ = false;
+
+  bool stalled = false;
+  for (int s = 0; s < k; ++s) {
+    if (window_executed_[static_cast<std::size_t>(s)] == 0) stalled = true;
+  }
+  if (stalled && lookahead_stalls_) lookahead_stalls_->inc();
+  barrier();
+}
+
+void ShardRuntime::barrier() {
+  // Merge every shard's outbox in strict (arrival, source shard, sequence)
+  // order — the deterministic rank the tentpole contract names. The order
+  // keys destination-queue tie-breaking (schedule order = seq order), so
+  // it must never depend on which worker finished first.
+  std::vector<Xmsg> batch;
+  for (auto& box : mail_) {
+    for (Xmsg& m : box) batch.push_back(std::move(m));
+    box.clear();
+  }
+  std::sort(batch.begin(), batch.end(), [](const Xmsg& a, const Xmsg& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (Xmsg& m : batch) {
+    sims_[static_cast<std::size_t>(m.dst)]->at(m.at, std::move(m.fn), m.tag);
+  }
+  if (journal_) journal_->flush_lanes();
+}
+
+void ShardRuntime::run_until(Time horizon) {
+  const int k = nshards();
+  for (;;) {
+    Time h = kTimeInfinity;
+    for (int s = 0; s < k; ++s) {
+      h = std::min(h, sims_[static_cast<std::size_t>(s)]->next_event_time());
+    }
+    std::size_t oi = 0;
+    const bool have_op = next_op(&oi);
+    const Time t_op = have_op ? ops_[oi].t : kTimeInfinity;
+
+    if (have_op && t_op <= h) {
+      // Global ops run before any shard executes events at the same time.
+      if (t_op > horizon) break;
+      for (int s = 0; s < k; ++s) {
+        sims_[static_cast<std::size_t>(s)]->run_before(t_op);  // clock only
+      }
+      GlobalOp op = std::move(ops_[oi]);
+      ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(oi));
+      op.fn();
+      barrier();
+      continue;
+    }
+    if (h > horizon) break;  // also covers h == infinity
+
+    Time end = h + lookahead_;
+    if (have_op) end = std::min(end, t_op);
+    bool inclusive = false;
+    if (end > horizon) {
+      // Final stretch: every cross-shard message generated in [h, horizon]
+      // arrives at >= h + lookahead > horizon, so the whole remainder is
+      // one window. Inclusive, matching Simulator::run_until semantics.
+      end = horizon;
+      inclusive = true;
+    }
+    run_window(end, inclusive);
+    if (inclusive) break;
+  }
+  for (int s = 0; s < k; ++s) {
+    sims_[static_cast<std::size_t>(s)]->run_until(horizon);  // clocks to horizon
+  }
+  if (journal_) journal_->flush_lanes();
+}
+
+std::uint64_t ShardRuntime::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Simulator* s : sims_) total += s->events_executed();
+  return total;
+}
+
+std::size_t ShardRuntime::events_pending() const {
+  std::size_t total = 0;
+  for (const Simulator* s : sims_) total += s->events_pending();
+  return total;
+}
+
+}  // namespace sharq::sim

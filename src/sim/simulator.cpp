@@ -32,6 +32,13 @@ void Simulator::run_until(Time until) {
   now_ = std::max(now_, until);
 }
 
+void Simulator::run_before(Time t) {
+  while (!queue_.empty() && queue_.next_time() < t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
 void Simulator::run() {
   while (step()) {
   }

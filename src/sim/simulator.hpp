@@ -50,6 +50,16 @@ class Simulator {
   /// Events scheduled exactly at `until` are executed.
   void run_until(Time until);
 
+  /// Run every event strictly before `t`, then advance the clock to `t`.
+  /// The shard runtime's window primitive: windows are half-open [h, h+L)
+  /// so an event exactly at a window boundary belongs to the next window.
+  void run_before(Time t);
+
+  /// Time of the earliest pending event (kTimeInfinity when idle). The
+  /// shard runtime derives each window's horizon from the minimum across
+  /// shards.
+  Time next_event_time() { return queue_.next_time(); }
+
   /// Run until the queue drains completely.
   void run();
 

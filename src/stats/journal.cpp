@@ -1,14 +1,30 @@
 #include "stats/journal.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <ostream>
 
+#include "stats/lane.hpp"
 #include "stats/metrics.hpp"  // json_escape / json_quoted / json_double
 
 namespace sharq::stats {
 
 EventId Journal::emit(const char* ev, double t, int node, std::int64_t group,
                       EventId cause, const Attrs& attrs) {
+  if (!lanes_.empty()) {
+    LaneState& l = lanes_[static_cast<std::size_t>(lane())];
+    const EventId prov =
+        kProvBase * static_cast<EventId>(lane() + 1) + l.next_seq++;
+    l.buf.push_back(LaneRec{ev, t, node, group, cause, attrs});
+    return prov;
+  }
   const EventId id = next_++;
+  write_line(id, ev, t, node, group, cause, attrs);
+  return id;
+}
+
+void Journal::write_line(EventId id, const char* ev, double t, int node,
+                         std::int64_t group, EventId cause, const Attrs& attrs) {
   std::string line;
   line.reserve(96);
   line += "{\"id\":";
@@ -44,17 +60,84 @@ EventId Journal::emit(const char* ev, double t, int node, std::int64_t group,
   }
   line += "}}\n";
   os_ << line;
-  return id;
 }
 
 void Journal::bind_uid(std::uint64_t uid, EventId ev) {
   if (uid == 0) return;  // origin was down; nothing was sent
+  if (!lanes_.empty()) {
+    lanes_[static_cast<std::size_t>(lane())].pending_uids[uid] = ev;
+    return;
+  }
   uid_events_[uid] = ev;
 }
 
 EventId Journal::uid_event(std::uint64_t uid) const {
+  if (!lanes_.empty()) {
+    // Same-lane bindings not yet flushed (a packet delivered within its
+    // own shard's window). Cross-lane bindings always reach the shared
+    // map through at least one intervening flush.
+    const LaneState& l = lanes_[static_cast<std::size_t>(lane())];
+    auto pit = l.pending_uids.find(uid);
+    if (pit != l.pending_uids.end()) return pit->second;
+  }
   auto it = uid_events_.find(uid);
   return it == uid_events_.end() ? 0 : it->second;
+}
+
+void Journal::begin_lanes(int lanes) {
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+  // Lines already written (setup-time emissions) keep their final ids;
+  // lane buffering applies from here on.
+  lanes_.assign(static_cast<std::size_t>(lanes), LaneState{});
+}
+
+void Journal::flush_lanes() {
+  if (lanes_.empty()) return;
+  struct Item {
+    const LaneRec* rec;
+    EventId prov;
+  };
+  std::vector<Item> items;
+  std::size_t total = 0;
+  for (const LaneState& l : lanes_) total += l.buf.size();
+  items.reserve(total);
+  for (std::size_t li = 0; li < lanes_.size(); ++li) {
+    const LaneState& l = lanes_[li];
+    // The lane's buffered records carry consecutive sequence numbers
+    // ending at next_seq; recover each record's provisional id from its
+    // position.
+    const std::uint64_t first_seq = l.next_seq - l.buf.size();
+    for (std::size_t i = 0; i < l.buf.size(); ++i) {
+      items.push_back(Item{
+          &l.buf[i],
+          kProvBase * static_cast<EventId>(li + 1) + first_seq + i});
+    }
+  }
+  // Lanes were appended in lane order and each lane's buffer is in emit
+  // order, so a stable sort by time alone yields (t, lane, emit-order) —
+  // the deterministic merge rank.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.rec->t < b.rec->t; });
+  for (const Item& it : items) {
+    const EventId id = next_++;
+    prov_to_final_[it.prov] = id;
+    EventId cause = it.rec->cause;
+    if (cause >= kProvBase) {
+      // Causes point backwards, so the referenced event's final id is
+      // already assigned (this flush or an earlier one).
+      cause = prov_to_final_.at(cause);
+    }
+    write_line(id, it.rec->ev.c_str(), it.rec->t, it.rec->node, it.rec->group,
+               cause, it.rec->attrs);
+  }
+  for (LaneState& l : lanes_) {
+    // sharq-lint: unordered-iter-ok (merge into an unordered map is order-free)
+    for (const auto& [uid, ev] : l.pending_uids) {
+      uid_events_[uid] = ev >= kProvBase ? prov_to_final_.at(ev) : ev;
+    }
+    l.pending_uids.clear();
+    l.buf.clear();
+  }
 }
 
 }  // namespace sharq::stats

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace sharq::stats {
 
@@ -85,14 +86,67 @@ class Journal {
   /// Event bound to `uid`, or 0 if unknown.
   EventId uid_event(std::uint64_t uid) const;
 
-  /// Number of events emitted so far.
-  std::uint64_t events() const { return next_ - 1; }
+  /// Number of events emitted so far (in lane mode: written + buffered).
+  std::uint64_t events() const {
+    std::uint64_t n = next_ - 1;
+    for (const LaneState& l : lanes_) n += l.buf.size();
+    return n;
+  }
+
+  // --- lane mode (sharded runtime) -------------------------------------------
+  //
+  // The shard runtime switches the journal into lane-buffered mode: each
+  // worker lane appends records to its own buffer (no shared state inside
+  // a window) and emit() returns a *provisional* id. At every window
+  // barrier the runtime calls flush_lanes(), which merges the buffers in
+  // deterministic (t, lane, emit-order) order, assigns final sequential
+  // ids, rewrites provisional cause references, and writes the lines —
+  // so the bytes depend only on simulated history, never on thread
+  // interleaving. Cross-lane causality (packet uids) always crosses at
+  // least one barrier (arrival >= send + lookahead), so by the time a
+  // remote lane looks a uid up, its binding has been flushed into the
+  // shared map; same-lane lookups hit the lane's pending map directly.
+
+  /// Enter lane mode with `lanes` worker lanes (call before the run).
+  void begin_lanes(int lanes);
+
+  /// Merge and write all lane buffers (call at each window barrier and
+  /// once after the run). Single-threaded by contract.
+  void flush_lanes();
 
  private:
+  // Provisional ids live at kProvBase and above ((lane+1) << 40 | seq);
+  // final ids are sequential from 1, far below. The gap is how cause
+  // references are told apart at flush time.
+  static constexpr EventId kProvBase = EventId{1} << 40;
+
+  struct LaneRec {
+    std::string ev;
+    double t = 0.0;
+    int node = 0;
+    std::int64_t group = 0;
+    EventId cause = 0;
+    Attrs attrs;
+  };
+  struct LaneState {
+    std::vector<LaneRec> buf;
+    std::uint64_t next_seq = 0;  // per-lane, monotonic across flushes
+    // uid -> (possibly provisional) event id, merged into uid_events_ at
+    // flush. Lookup-only: exempt from the unordered-iter rule.
+    std::unordered_map<std::uint64_t, EventId> pending_uids;
+  };
+
+  void write_line(EventId id, const char* ev, double t, int node,
+                  std::int64_t group, EventId cause, const Attrs& attrs);
+
   std::ostream& os_;
   EventId next_ = 1;
   // Lookup-only (never iterated): exempt from the unordered-iter rule.
   std::unordered_map<std::uint64_t, EventId> uid_events_;
+  std::vector<LaneState> lanes_;  // empty = serial mode
+  // Provisional -> final id map; persistent because a long-lived timer
+  // may hold a cause from many windows ago. Lookup-only.
+  std::unordered_map<EventId, EventId> prov_to_final_;
 };
 
 }  // namespace sharq::stats

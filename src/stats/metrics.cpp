@@ -1,5 +1,8 @@
 #include "stats/metrics.hpp"
 
+// sharq-lint: thread-unsafe-ok file (registry registration is the one
+// cross-lane rendezvous the shard runtime allows; see metrics.hpp)
+
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -83,7 +86,8 @@ const char* type_name(Metrics::Type t) {
 
 Histogram::Histogram(double least_bound, int bucket_count)
     : least_bound_(least_bound > 0.0 ? least_bound : 1e-3),
-      buckets_(bucket_count > 0 ? static_cast<std::size_t>(bucket_count) : 1, 0) {}
+      nbuckets_(bucket_count > 0 ? bucket_count : 1),
+      buckets_(static_cast<std::size_t>(nbuckets_) * kMaxLanes, 0) {}
 
 double Histogram::bound(int i) const {
   double b = least_bound_;
@@ -92,20 +96,21 @@ double Histogram::bound(int i) const {
 }
 
 void Histogram::observe(double v) {
-  ++count_;
-  sum_ += v;
+  const int l = lane();
+  ++count_[l];
+  sum_[l] += v;
   if (v <= least_bound_) {
-    ++buckets_[0];
+    ++buckets_[slot(l, 0)];
     return;
   }
   double upper = least_bound_;
-  for (std::size_t i = 0; i < buckets_.size(); ++i, upper *= 2.0) {
+  for (int i = 0; i < nbuckets_; ++i, upper *= 2.0) {
     if (v <= upper) {
-      ++buckets_[i];
+      ++buckets_[slot(l, i)];
       return;
     }
   }
-  ++overflow_;
+  ++overflow_[l];
 }
 
 // --- Metrics: registration ---------------------------------------------------
@@ -126,6 +131,7 @@ const Metrics::Family* Metrics::find_family(const std::string& name) const {
 }
 
 Counter& Metrics::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   Family& fam = family_of(name, Type::kCounter);
   auto [it, inserted] = fam.children.try_emplace(label_key(labels));
   if (inserted) {
@@ -136,6 +142,7 @@ Counter& Metrics::counter(const std::string& name, const Labels& labels) {
 }
 
 Gauge& Metrics::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   Family& fam = family_of(name, Type::kGauge);
   auto [it, inserted] = fam.children.try_emplace(label_key(labels));
   if (inserted) {
@@ -147,6 +154,7 @@ Gauge& Metrics::gauge(const std::string& name, const Labels& labels) {
 
 Histogram& Metrics::histogram(const std::string& name, const Labels& labels,
                               double least_bound, int bucket_count) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   Family& fam = family_of(name, Type::kHistogram);
   auto [it, inserted] = fam.children.try_emplace(label_key(labels));
   if (inserted) {

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "net/shard_map.hpp"
+
+namespace sharq::net {
+class Network;
+}  // namespace sharq::net
+
+namespace sharq::topo {
+
+/// Partition a topology into shards along its top-level zone boundaries.
+///
+/// Shard 0 takes the root zone's direct members (the source side) and any
+/// node outside the hierarchy; each direct child of the root zone — a ZCR
+/// subtree — becomes its own shard, round-robined when there are more
+/// top-level zones than `max_shards - 1` slots. The paper's scoping
+/// argument is what makes this a good cut: zones interact only through
+/// their ZCR/parent links, whose propagation delays bound how soon one
+/// shard can affect another and therefore set the merge lookahead.
+///
+/// Returns a map with nshards == 1 (serial fallback) when the hierarchy
+/// has no top-level zones, when there is only one shard's worth of nodes,
+/// or when some cross-shard link has zero delay (no usable lookahead).
+/// `max_shards` is clamped to stats::kMaxLanes.
+net::ShardMap make_zone_shard_map(const net::Network& net, int max_shards);
+
+}  // namespace sharq::topo

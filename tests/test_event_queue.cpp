@@ -92,6 +92,48 @@ TEST_P(EventQueueTest, PopAfterCancellingEverythingIsInert) {
   EXPECT_FALSE(f.fn);
 }
 
+TEST_P(EventQueueTest, GenerationWrapRetiresSlotInsteadOfAliasing) {
+  // Regression (slot-generation ABA wrap): SlotMeta::gen is a uint32
+  // starting at 1 "so EventId.value is never 0". After 2^32 mint cycles
+  // on one slot the generation wraps back through 0, so (a) the next
+  // EventId minted on slot 0 had value 0 — indistinguishable from the
+  // null handle — and (b) a stale EventId from 2^32 cycles ago aliased
+  // the fresh event, letting cancel() kill the wrong one. The fix
+  // retires a slot whose generation wraps; this forces the wrap via the
+  // test hook instead of 2^32 real cycles.
+  EventId first = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(first));  // slot 0 now free, gen 2
+  q.test_set_slot_generation(0, 0xFFFFFFFFu);
+
+  EventId last_gen = q.schedule(1.0, [] {});  // minted at gen 2^32-1
+  EXPECT_TRUE(last_gen.valid());
+  EXPECT_EQ(last_gen.value >> 32, 0xFFFFFFFFu);
+  EXPECT_TRUE(q.cancel(last_gen));  // gen wraps to 0 -> slot retired
+
+  // Pre-fix: the next schedule recycled slot 0 at gen 0 and returned
+  // EventId{0} — an invalid handle for a live event. Post-fix the slot
+  // is retired and a fresh slot is allocated.
+  bool ran = false;
+  EventId fresh = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_NE(fresh.value & 0xFFFFFFFFu, 0u);  // not slot 0
+  EXPECT_NE(fresh, first);
+  EXPECT_NE(fresh, last_gen);
+
+  // The stale wrapped-era handles must not touch the live event.
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_FALSE(q.cancel(last_gen));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(ran);
+
+  // clear() must also keep retired slots out of the rebuilt free list.
+  q.clear();
+  EventId after_clear = q.schedule(1.0, [] {});
+  EXPECT_TRUE(after_clear.valid());
+  EXPECT_NE(after_clear.value & 0xFFFFFFFFu, 0u);
+}
+
 TEST(Simulator, StepOnEmptyQueueReturnsFalse) {
   Simulator simu;
   EXPECT_FALSE(simu.step());

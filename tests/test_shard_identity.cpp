@@ -1,0 +1,162 @@
+// Byte-identity of the zone-sharded parallel runtime (the determinism
+// contract in src/sim/shard_runtime.hpp): the shard count comes from the
+// topology and every merge point is ordered by simulated history, so a
+// run with N workers must produce *byte-identical* observable output to
+// the 1-worker run — the causal journal, the metrics registry export,
+// and every protocol aggregate. Thread arrival order must never leak.
+//
+// Two scenarios, each at 1, 2, and 4 workers:
+//   - a clean Figure-10 stream (the paper topology, 8 FEC groups)
+//   - the same stream under a fault plan driven through at_global
+//     barriers (link flap, loss window, node kill/restart)
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "net/shard_map.hpp"
+#include "sharqfec/protocol.hpp"
+#include "sim/shard_runtime.hpp"
+#include "sim/simulator.hpp"
+#include "stats/journal.hpp"
+#include "stats/lane.hpp"
+#include "stats/metrics.hpp"
+#include "topo/figure10.hpp"
+#include "topo/shard_plan.hpp"
+
+namespace sharq {
+namespace {
+
+constexpr std::uint32_t kGroups = 8;
+
+struct RunOutput {
+  std::string journal;
+  std::string metrics;
+  std::uint64_t events = 0;
+  int shards = 0;
+  bool complete = false;
+};
+
+RunOutput run_sharded(int workers, bool with_faults) {
+  RunOutput out;
+  std::ostringstream jos;
+  stats::Metrics metrics;
+  stats::Journal journal(jos);
+  sim::Simulator simu(4242);
+  net::Network net(simu);
+  simu.set_metrics(&metrics);
+  net.set_metrics(&metrics);
+  net.set_journal(&journal);
+  topo::Figure10 t = topo::make_figure10(net);
+
+  net::ShardMap map = topo::make_zone_shard_map(net, stats::kMaxLanes);
+  EXPECT_GT(map.nshards, 1) << "Figure 10 must partition into shards";
+  EXPECT_GT(map.lookahead, 0.0);
+  sim::ShardRuntime rt(simu, map.nshards, map.lookahead, /*seed=*/4242,
+                       workers);
+  out.shards = rt.nshards();
+  net.enable_sharding(rt, std::move(map));
+  rt.set_metrics(&metrics);
+  rt.set_journal(&journal);
+
+  sfq::Config cfg;
+  cfg.metrics = &metrics;
+  cfg.journal = &journal;
+  cfg.max_backoff_stage = 5;
+  cfg.late_join_full_history = true;
+  sfq::Session session(net, t.source, t.receivers, cfg);
+  session.start();
+  session.send_stream(kGroups, 6.0);
+
+  fault::Injector inject(
+      net, {.kill = [&](net::NodeId n) { session.remove_receiver(n); },
+            .restart = [&](net::NodeId n) { session.add_receiver(n); }});
+  if (with_faults) {
+    inject.set_scheduler([&rt](sim::Time at, std::function<void()> fn) {
+      rt.at_global(at, std::move(fn));
+    });
+    fault::FaultPlan plan;
+    const net::NodeId mid = t.middles.front();
+    const net::NodeId leaf = t.leaves_of(0).front();
+    const net::NodeId victim = t.leaves_of(0).back();
+    // A link flap, a loss window on a tree edge, and one kill/restart
+    // churn: each mutates global state (routing, conditioners,
+    // membership), so each must cross the barrier path.
+    plan.events.push_back({8.0, fault::EventKind::kLinkDown, mid, leaf,
+                           0.0, 0.0, 0});
+    plan.events.push_back({11.0, fault::EventKind::kLinkUp, mid, leaf,
+                           0.0, 0.0, 0});
+    plan.events.push_back({9.0, fault::EventKind::kLossRate, t.mesh[0], mid,
+                           0.30, 0.0, 0});
+    plan.events.push_back({14.0, fault::EventKind::kLossRate, t.mesh[0], mid,
+                           0.0, 0.0, 0});
+    plan.events.push_back({10.0, fault::EventKind::kNodeKill, victim,
+                           net::kNoNode, 0.0, 0.0, 0});
+    plan.events.push_back({16.0, fault::EventKind::kNodeRestart, victim,
+                           net::kNoNode, 0.0, 0.0, 0});
+    inject.schedule(plan);
+  }
+
+  rt.run_until(with_faults ? 60.0 : 30.0);
+
+  out.events = rt.events_executed();
+  out.complete = session.all_complete(kGroups);
+  out.journal = jos.str();
+  std::ostringstream mos;
+  metrics.write_json(mos);
+  out.metrics = mos.str();
+  return out;
+}
+
+class ShardIdentity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ShardIdentity, WorkerCountNeverChangesOutputBytes) {
+  const bool faults = GetParam();
+  const RunOutput one = run_sharded(1, faults);
+  ASSERT_GT(one.events, 0u);
+  EXPECT_TRUE(one.complete);
+  EXPECT_FALSE(one.journal.empty());
+
+  for (int workers : {2, 4}) {
+    const RunOutput many = run_sharded(workers, faults);
+    EXPECT_EQ(one.shards, many.shards)
+        << "shard count must come from the topology, not the worker count";
+    EXPECT_EQ(one.events, many.events) << "workers=" << workers;
+    EXPECT_EQ(one.complete, many.complete) << "workers=" << workers;
+    // The two byte-level contracts: the causal journal (every event line,
+    // id, cause edge, and attribute) and the metrics registry export.
+    EXPECT_EQ(one.journal, many.journal) << "workers=" << workers;
+    EXPECT_EQ(one.metrics, many.metrics) << "workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanAndFaulted, ShardIdentity,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "FaultPlan" : "CleanStream";
+                         });
+
+// The same seed on the *serial* engine is a different determinism domain
+// (different RNG stream layout), but it must still agree on protocol
+// outcome — completion is an engine-independent fact.
+TEST(ShardIdentity, ShardedRunStillCompletesLikeSerial) {
+  sim::Simulator simu(4242);
+  net::Network net(simu);
+  topo::Figure10 t = topo::make_figure10(net);
+  sfq::Config cfg;
+  cfg.max_backoff_stage = 5;
+  sfq::Session session(net, t.source, t.receivers, cfg);
+  session.start();
+  session.send_stream(kGroups, 6.0);
+  simu.run_until(30.0);
+  EXPECT_TRUE(session.all_complete(kGroups));
+
+  const RunOutput sharded = run_sharded(2, /*with_faults=*/false);
+  EXPECT_TRUE(sharded.complete);
+}
+
+}  // namespace
+}  // namespace sharq

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -38,10 +39,13 @@
 #include "fault/random_plan.hpp"
 #include "rm/delivery_log.hpp"
 #include "sharqfec/protocol.hpp"
+#include "sim/shard_runtime.hpp"
 #include "sim/simulator.hpp"
+#include "stats/lane.hpp"
 #include "stats/metrics.hpp"
 #include "stats/traffic_recorder.hpp"
 #include "topo/figure10.hpp"
+#include "topo/shard_plan.hpp"
 
 using namespace sharq;
 
@@ -58,6 +62,7 @@ struct Options {
   int queue_limit = 512;           // per-link queue bound (-1 = unbounded)
   bool exhaustion = false;         // overload campaign + finite budgets
   bool dump_plans = false;
+  int threads = 0;                 // 0 = serial engine; >=1 = shard runtime
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -74,7 +79,10 @@ struct Options {
       "  --exhaustion    overload campaign: finite per-node budgets plus\n"
       "                  NACK storms, flash crowds, bandwidth and queue\n"
       "                  squeezes (adds the budget invariant)\n"
-      "  --dump-plans    print each plan's spec text before running it\n",
+      "  --dump-plans    print each plan's spec text before running it\n"
+      "  --threads N     run on the zone-sharded runtime with N workers\n"
+      "                  (output is byte-identical for every N; 0 =\n"
+      "                  legacy serial engine, the default)\n",
       argv0);
   std::exit(2);
 }
@@ -96,6 +104,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--queue-limit") o.queue_limit = std::atoi(need(i));
     else if (a == "--exhaustion") o.exhaustion = true;
     else if (a == "--dump-plans") o.dump_plans = true;
+    else if (a == "--threads") o.threads = std::atoi(need(i));
     else usage(argv[0]);
   }
   return o;
@@ -140,8 +149,35 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   topo::Figure10Options topt;
   topt.queue_limit_pkts = o.queue_limit;
   const topo::Figure10 t = topo::make_figure10(net, topt);
-  stats::TrafficRecorder rec(net.node_count());
-  net.set_sink(&rec);
+
+  // Sharding decisions happen before any recorder/agent exists: agents
+  // bind their shard's Simulator at construction, and sinks must be
+  // per-shard so recording stays lane-private inside a window.
+  std::unique_ptr<sim::ShardRuntime> rt;
+  if (o.threads > 0) {
+    net::ShardMap map = topo::make_zone_shard_map(net, stats::kMaxLanes);
+    if (map.nshards > 1) {
+      rt = std::make_unique<sim::ShardRuntime>(simu, map.nshards,
+                                               map.lookahead, plan_seed,
+                                               o.threads);
+      net.enable_sharding(*rt, std::move(map));
+      rt->set_metrics(&metrics);
+    }
+  }
+  std::vector<std::unique_ptr<stats::TrafficRecorder>> recs;
+  if (rt) {
+    for (int s = 0; s < rt->nshards(); ++s) {
+      recs.push_back(
+          std::make_unique<stats::TrafficRecorder>(net.node_count()));
+      net.set_shard_sink(s, recs.back().get());
+    }
+  } else {
+    recs.push_back(
+        std::make_unique<stats::TrafficRecorder>(net.node_count()));
+    net.set_sink(recs.front().get());
+  }
+  // The shared DeliveryLog is serial-only bookkeeping (nothing below reads
+  // it); a sharded run would interleave writes across lanes, so skip it.
   rm::DeliveryLog log;
 
   sfq::Config cfg;
@@ -179,7 +215,8 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
     receivers = t.receivers;
   }
 
-  sfq::Session session(net, t.source, receivers, cfg, &log);
+  sfq::Session session(net, t.source, receivers, cfg,
+                       rt ? nullptr : &log);
   session.start();
   session.send_stream(o.groups, o.data_start);
 
@@ -246,6 +283,13 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
                     a->transfer().nack_storm(count, spacing);
                   }
                 }});
+  if (rt) {
+    // Fault events flip global state (link flags, routing, conditioners,
+    // membership), so they execute single-threaded at window barriers.
+    inject.set_scheduler([&rtr = *rt](sim::Time at, std::function<void()> fn) {
+      rtr.at_global(at, std::move(fn));
+    });
+  }
   inject.schedule(plan);
 
 #ifdef CHAOS_DEBUG_SERIES
@@ -256,7 +300,11 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
                  simu.events_pending());
   }
 #endif
-  simu.run_until(o.until);
+  if (rt) {
+    rt->run_until(o.until);
+  } else {
+    simu.run_until(o.until);
+  }
 
   PlanResult r;
   r.complete = session.all_complete(o.groups);
@@ -322,17 +370,37 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   // within the grace window (in-flight packets, pacing chains, and stale
   // scheduled lambdas all fire and no-op).
   for (const auto& a : session.agents()) a->stop();
-  simu.run_until(o.until + o.grace);
-  r.stuck_events = simu.events_pending();
+  if (rt) {
+    rt->run_until(o.until + o.grace);
+    r.stuck_events = rt->events_pending();
+  } else {
+    simu.run_until(o.until + o.grace);
+    r.stuck_events = simu.events_pending();
+  }
   r.drained = r.stuck_events == 0;
 
-  r.ledger = rec.hop_ledger_balanced();
+  // Per-hop conservation. A sharded run records a transmission on the
+  // sender's shard and the matching hop on the receiver's, so only the
+  // ledger summed across recorders balances.
+  std::uint64_t tx = 0, hops = 0, d_loss = 0, d_kill = 0;
+  auto sum_drops = [&recs](net::DropReason reason) {
+    std::uint64_t n = 0;
+    for (const auto& rp : recs) n += rp->drops(reason);
+    return n;
+  };
+  for (const auto& rp : recs) {
+    tx += rp->link_transmissions();
+    hops += rp->link_hops();
+  }
+  d_loss = sum_drops(net::DropReason::kLoss);
+  d_kill = sum_drops(net::DropReason::kEpochKill);
+  r.ledger = tx == hops + d_loss + d_kill;
   r.applied = inject.applied_events();
   r.skipped = inject.skipped_events();
-  r.drops_link_down = rec.drops(net::DropReason::kLinkDown);
-  r.drops_epoch_kill = rec.drops(net::DropReason::kEpochKill);
-  r.drops_queue_full = rec.drops(net::DropReason::kQueueFull);
-  r.events = simu.events_executed();
+  r.drops_link_down = sum_drops(net::DropReason::kLinkDown);
+  r.drops_epoch_kill = d_kill;
+  r.drops_queue_full = sum_drops(net::DropReason::kQueueFull);
+  r.events = rt ? rt->events_executed() : simu.events_executed();
   std::ostringstream mos;
   metrics.write_totals_json(mos);
   r.metrics_json = mos.str();

@@ -1,0 +1,43 @@
+// Fixture: raw threading primitives the thread-unsafe rule must catch.
+// Not compiled — parsed by sharq_lint's self-test.
+#include <thread>              // EXPECT-LINT: thread-unsafe
+#include <mutex>               // EXPECT-LINT: thread-unsafe
+#include <atomic>              // EXPECT-LINT: thread-unsafe
+#include <condition_variable>  // EXPECT-LINT: thread-unsafe
+#include <pthread.h>           // EXPECT-LINT: thread-unsafe
+
+void spawn() {
+  std::thread t([] {});  // EXPECT-LINT: thread-unsafe
+  t.join();
+  std::jthread u([] {});  // EXPECT-LINT: thread-unsafe
+}
+
+struct Shared {
+  std::mutex mu;            // EXPECT-LINT: thread-unsafe
+  std::atomic<int> n{0};    // EXPECT-LINT: thread-unsafe
+  thread_local static int slot;  // EXPECT-LINT: thread-unsafe
+};
+
+void locked(Shared& s) {
+  std::lock_guard<std::mutex> lock(s.mu);  // EXPECT-LINT: thread-unsafe, thread-unsafe
+}
+
+int posix_spawned() {
+  return pthread_create(nullptr, nullptr, nullptr, nullptr);  // EXPECT-LINT: thread-unsafe
+}
+
+// Mentions in comments or strings must NOT fire:
+// a std::mutex here would be bad, and so would pthread_join.
+const char* kDoc = "guarded by std::mutex internally";
+
+// Protocol-domain identifiers that collide with std names must NOT fire
+// without the std:: qualifier; nor may somebody else's member.
+struct Repair;
+int barrier = 0;
+int promise(Repair* r) { return barrier + (r != nullptr); }
+struct Obj;
+int member_ok(Obj* o);
+
+// The escape hatch: an annotated line is blessed.
+// sharq-lint: thread-unsafe-ok (fixture demonstrating the annotation)
+extern std::atomic<int> blessed_counter;

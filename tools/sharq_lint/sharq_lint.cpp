@@ -31,6 +31,12 @@
 //                    values >= width). Bound-check, then annotate.
 //   metric-docs      metric family names and event tags registered in
 //                    src/ must appear in docs/OBSERVABILITY.md.
+//   thread-unsafe    raw threading primitives (std::thread, std::mutex,
+//                    std::atomic, thread_local, pthreads, their headers)
+//                    in src/ outside the blessed shard-runtime files.
+//                    Protocol code must stay synchronization-free: the
+//                    deterministic parallel contract is lane/barrier
+//                    discipline (src/sim/shard_runtime.hpp), not locks.
 //
 // Annotation grammar (line comments; block comments work too):
 //   // sharq-lint: <rule>-ok                this line and the next line
@@ -670,6 +676,63 @@ void rule_unchecked_shift(const LexedFile& f, const Suppressions& sup,
   }
 }
 
+void rule_thread_unsafe(const LexedFile& f, const Suppressions& sup,
+                        std::vector<Finding>& out) {
+  static const std::set<std::string> kBannedStd = {
+      "thread", "jthread", "mutex", "timed_mutex", "recursive_mutex",
+      "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+      "atomic", "atomic_flag", "atomic_ref", "condition_variable",
+      "condition_variable_any", "lock_guard", "unique_lock", "scoped_lock",
+      "shared_lock", "counting_semaphore", "binary_semaphore", "barrier",
+      "latch", "future", "shared_future", "promise", "async", "stop_token",
+      "stop_source", "call_once", "once_flag"};
+  static const std::set<std::string> kBannedHeaders = {
+      "thread", "mutex", "atomic", "condition_variable", "future",
+      "shared_mutex", "semaphore", "barrier", "latch", "stop_token",
+      "pthread.h"};
+  const auto& toks = f.toks;
+  const std::string advice =
+      "; synchronization in protocol code breaks the deterministic "
+      "shard contract (lane/barrier discipline, "
+      "src/sim/shard_runtime.hpp) — if this file IS shard-runtime "
+      "infrastructure, annotate "
+      "`// sharq-lint: thread-unsafe-ok file (reason)`";
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == Tok::kHeader && kBannedHeaders.count(t.text) &&
+        !sup.suppressed("thread-unsafe", t.line)) {
+      out.push_back({f.path, t.line, "thread-unsafe",
+                     "#include <" + t.text + "> in src/" + advice});
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "thread_local") {
+      if (!sup.suppressed("thread-unsafe", t.line)) {
+        out.push_back({f.path, t.line, "thread-unsafe",
+                       "'thread_local' storage in src/" + advice});
+      }
+      continue;
+    }
+    if (t.text.size() > 8 && t.text.compare(0, 8, "pthread_") == 0) {
+      if (!sup.suppressed("thread-unsafe", t.line)) {
+        out.push_back({f.path, t.line, "thread-unsafe",
+                       "'" + t.text + "' in src/" + advice});
+      }
+      continue;
+    }
+    // Only the std-qualified spellings: a protocol-domain identifier that
+    // happens to be called `barrier` or `promise` must not fire.
+    const bool std_qualified =
+        i >= 2 && toks[i - 1].kind == Tok::kPunct && toks[i - 1].text == "::" &&
+        toks[i - 2].kind == Tok::kIdent && toks[i - 2].text == "std";
+    if (std_qualified && kBannedStd.count(t.text) &&
+        !sup.suppressed("thread-unsafe", t.line)) {
+      out.push_back({f.path, t.line, "thread-unsafe",
+                     "'std::" + t.text + "' in src/" + advice});
+    }
+  }
+}
+
 void rule_metric_docs(const LexedFile& f, const Suppressions& sup,
                       const std::string& doc_text, std::vector<Finding>& out) {
   const auto& toks = f.toks;
@@ -734,7 +797,10 @@ bool rule_applies(const std::string& rule, const std::string& path,
   if (all_scopes) return true;
   const bool in_src = starts_with(path, "src/");
   const bool in_tests = starts_with(path, "tests/");
-  if (rule == "wall-clock" || rule == "metric-docs") return in_src;
+  if (rule == "wall-clock" || rule == "metric-docs" ||
+      rule == "thread-unsafe") {
+    return in_src;
+  }
   if (rule == "event-tag" || rule == "unchecked-shift") return !in_tests;
   return true;  // unordered-iter: whole tree
 }
@@ -820,6 +886,8 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
       rule_event_tag(f, sup, findings);
     if (rule_applies("unchecked-shift", f.path, opt.all_scopes))
       rule_unchecked_shift(f, sup, findings);
+    if (rule_applies("thread-unsafe", f.path, opt.all_scopes))
+      rule_thread_unsafe(f, sup, findings);
     if (rule_applies("metric-docs", f.path, opt.all_scopes))
       rule_metric_docs(f, sup, doc_text, findings);
   }
@@ -881,7 +949,8 @@ void print_rules() {
       "wall-clock       no wall-clock/randomness sources in src/ outside sim/random.hpp\n"
       "event-tag        Simulator::at/after call sites must carry an event tag\n"
       "unchecked-shift  no literal-<<-nonconstant shifts without a bound-check\n"
-      "metric-docs      metric families and event tags must be in docs/OBSERVABILITY.md\n");
+      "metric-docs      metric families and event tags must be in docs/OBSERVABILITY.md\n"
+      "thread-unsafe    no raw threading primitives in src/ outside the shard runtime\n");
 }
 
 }  // namespace
