@@ -4,12 +4,11 @@
 #   2. backticked source-tree file references that no longer exist,
 #   3. protocol messages declared in src/sharqfec/messages.hpp that
 #      PROTOCOL.md does not document,
-#   4. docs/OBSERVABILITY.md catalog rows that nothing in src/ registers.
-#      (The forward direction — registered but undocumented — is enforced
-#      token-level by sharq_lint's metric-docs rule; see
-#      docs/DETERMINISM.md.)
-#   5. drift between docs/PERFORMANCE.md's bench target index and the
+#   4. drift between docs/PERFORMANCE.md's bench target index and the
 #      targets bench/CMakeLists.txt actually builds, in both directions.
+# docs/OBSERVABILITY.md drift (metric rows and event-catalog rows, both
+# directions) is enforced token-level by sharq_lint's metric-docs and
+# journal-cause rules with --reverse-docs; see docs/DETERMINISM.md.
 # Run from anywhere; operates on the repo containing this script.
 set -u
 
@@ -81,20 +80,7 @@ while IFS= read -r msg; do
 done < <(grep -oE 'struct [A-Za-z0-9]+Msg' src/sharqfec/messages.hpp |
          awk '{print $2}' | sort -u)
 
-# --- 4. every OBSERVABILITY.md catalog row has a registration -------------------
-# Registration sites keep the family name on the call line
-# (counter("name"/gauge("name"/histogram("name"), so a grep recovers the
-# registered set; the doc's catalog rows are `| `name` | type |`.
-registered=$(grep -rhoE '(counter|gauge|histogram)\("[a-z0-9_.]+"' src/ |
-             sed -E 's/^[a-z]+\("([^"]+)"/\1/' | sort -u)
-documented=$(grep -hoE '^\| `[a-z0-9_.]+` \| (counter|gauge|histogram) \|' \
-             docs/OBSERVABILITY.md | sed -E 's/^\| `([^`]+)`.*/\1/' | sort -u)
-for name in $documented; do
-  echo "$registered" | grep -qx "$name" ||
-    note_fail "docs/OBSERVABILITY.md documents $name but nothing in src/ registers it"
-done
-
-# --- 5. PERFORMANCE.md bench index <-> bench/CMakeLists.txt ---------------------
+# --- 4. PERFORMANCE.md bench index <-> bench/CMakeLists.txt ---------------------
 # Built targets: sharq_bench(name) registrations plus the google-benchmark
 # binaries listed in the foreach(micro ...) line.
 built=$( (grep -oE '^sharq_bench\([a-z0-9_]+\)' bench/CMakeLists.txt |

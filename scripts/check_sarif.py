@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Structural validator for sharq_lint's SARIF 2.1.0 output.
+
+CI cannot fetch the official JSON schema (no network in the sandboxed
+jobs), so this checks the invariants GitHub code scanning actually
+relies on, with stdlib json only:
+
+  - top level: $schema naming sarif-2.1.0, version == "2.1.0", runs[]
+  - each run: tool.driver.name/informationUri, rules[] with unique ids
+    and defaultConfiguration.level in the SARIF level set
+  - each result: ruleId present among the driver rules, ruleIndex
+    agreeing with the rules array, a level, message.text, and exactly
+    one physicalLocation with a relative uri, uriBaseId, and a
+    startLine >= 1
+
+Usage: scripts/check_sarif.py FILE.sarif
+Exits 0 when the file holds, 1 with one line per violation otherwise.
+"""
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def main(path):
+    errors = []
+
+    def bad(msg):
+        errors.append(f"check_sarif: {path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_sarif: {path}: unreadable or not JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    if "sarif-2.1.0" not in str(doc.get("$schema", "")):
+        bad(f"$schema does not name sarif-2.1.0: {doc.get('$schema')!r}")
+    if doc.get("version") != "2.1.0":
+        bad(f"version is {doc.get('version')!r}, want '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        bad("runs is missing, not a list, or empty")
+        runs = []
+
+    for ri, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            bad(f"runs[{ri}].tool.driver.name missing")
+        if not driver.get("informationUri"):
+            bad(f"runs[{ri}].tool.driver.informationUri missing")
+        rules = driver.get("rules", [])
+        ids = [r.get("id") for r in rules]
+        if len(set(ids)) != len(ids):
+            bad(f"runs[{ri}] rule ids are not unique")
+        for qi, rule in enumerate(rules):
+            if not rule.get("id"):
+                bad(f"runs[{ri}].rules[{qi}].id missing")
+            level = rule.get("defaultConfiguration", {}).get("level")
+            if level not in LEVELS:
+                bad(f"runs[{ri}].rules[{qi}] level {level!r} not in {sorted(LEVELS)}")
+            if not rule.get("shortDescription", {}).get("text"):
+                bad(f"runs[{ri}].rules[{qi}].shortDescription.text missing")
+
+        for si, res in enumerate(run.get("results", [])):
+            where = f"runs[{ri}].results[{si}]"
+            rule_id = res.get("ruleId")
+            if rule_id not in ids:
+                bad(f"{where}.ruleId {rule_id!r} not among the driver rules")
+            idx = res.get("ruleIndex")
+            if not isinstance(idx, int) or not 0 <= idx < len(ids):
+                bad(f"{where}.ruleIndex {idx!r} out of range")
+            elif ids[idx] != rule_id:
+                bad(f"{where}.ruleIndex {idx} names {ids[idx]!r}, not {rule_id!r}")
+            if res.get("level") not in LEVELS:
+                bad(f"{where}.level {res.get('level')!r} invalid")
+            if not res.get("message", {}).get("text"):
+                bad(f"{where}.message.text missing")
+            locs = res.get("locations", [])
+            if len(locs) != 1:
+                bad(f"{where} has {len(locs)} locations, want 1")
+                continue
+            phys = locs[0].get("physicalLocation", {})
+            art = phys.get("artifactLocation", {})
+            uri = art.get("uri", "")
+            if not uri:
+                bad(f"{where} artifactLocation.uri missing")
+            elif uri.startswith("/") or ":" in uri.split("/", 1)[0]:
+                bad(f"{where} uri {uri!r} is not repo-relative")
+            if not art.get("uriBaseId"):
+                bad(f"{where} artifactLocation.uriBaseId missing")
+            start = phys.get("region", {}).get("startLine")
+            if not isinstance(start, int) or start < 1:
+                bad(f"{where} region.startLine {start!r} invalid")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        nres = sum(len(r.get("results", [])) for r in runs)
+        nrules = sum(len(r.get("tool", {}).get("driver", {}).get("rules", []))
+                     for r in runs)
+        print(f"check_sarif: {path}: OK "
+              f"({len(runs)} run(s), {nrules} rule(s), {nres} result(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

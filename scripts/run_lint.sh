@@ -2,22 +2,42 @@
 # One-command static analysis: sharq_lint (always), clang-tidy and
 # shellcheck (when installed; required under --strict, which CI uses).
 #
-#   scripts/run_lint.sh [--strict] [BUILD_DIR]
+#   scripts/run_lint.sh [--strict] [--sarif FILE] [BUILD_DIR]
 #
 # BUILD_DIR defaults to ./build and must contain compile_commands.json for
 # the clang-tidy stage (the top-level CMakeLists.txt always exports it).
+# --sarif FILE is passed through to sharq_lint, which writes its findings
+# (post-baseline) as SARIF 2.1.0 for code-scanning upload.
+#
+# The sharq_lint stage runs against tools/sharq_lint/baseline.txt: a
+# shrink-only suppression list for pre-existing findings outside src/.
+# A stale entry (the finding no longer exists) fails the run so the
+# baseline can only ever get smaller.
 set -u
 
 cd "$(dirname "$0")/.." || exit 2
 
 strict=0
 build_dir=build
+sarif_out=""
+expect_sarif=0
 for arg in "$@"; do
+  if [ "$expect_sarif" -eq 1 ]; then
+    sarif_out="$arg"
+    expect_sarif=0
+    continue
+  fi
   case "$arg" in
     --strict) strict=1 ;;
+    --sarif) expect_sarif=1 ;;
+    --sarif=*) sarif_out="${arg#--sarif=}" ;;
     *) build_dir="$arg" ;;
   esac
 done
+if [ "$expect_sarif" -eq 1 ]; then
+  echo "run_lint: --sarif needs a file argument" >&2
+  exit 2
+fi
 
 fail=0
 note_fail() {
@@ -44,8 +64,13 @@ if [ ! -x "$lint_bin" ]; then
   fi
 fi
 "$lint_bin" --self-test tools/sharq_lint/fixtures || note_fail "sharq_lint self-test failed"
-"$lint_bin" --doc docs/OBSERVABILITY.md src tools bench examples tests ||
-  note_fail "sharq_lint found violations"
+lint_args=(--doc docs/OBSERVABILITY.md --reverse-docs
+           --baseline tools/sharq_lint/baseline.txt)
+if [ -n "$sarif_out" ]; then
+  lint_args+=(--sarif "$sarif_out")
+fi
+"$lint_bin" "${lint_args[@]}" src tools bench examples tests ||
+  note_fail "sharq_lint found violations or a stale baseline entry"
 
 # --- clang-tidy ------------------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -394,6 +394,7 @@ class Network {
   void count_drop(DropReason reason);
   void journal_drop(LinkId link, const Packet& packet, DropReason reason);
 
+  // sharq-lint: shard-owned begin (per-shard lanes and uid streams: touched only from the owning lane or the barrier merge)
   sim::ShardRuntime* rt_ = nullptr;
   ShardMap shard_map_;
   std::vector<TrafficSink*> shard_sinks_;  // by shard, sharded runs only
@@ -401,6 +402,7 @@ class Network {
   /// origin's shard, so uids are globally unique and depend only on each
   /// shard's own deterministic send order. Serial runs use next_uid_.
   std::vector<std::uint64_t> shard_next_uid_;
+  // sharq-lint: shard-owned end
 
   TrafficSink* sink_ = nullptr;
   stats::Metrics* metrics_ = nullptr;

@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <queue>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "sim/callback.hpp"
@@ -184,7 +185,12 @@ class EventQueue {
 
   stats::Metrics* metrics_ = nullptr;
   stats::Gauge* high_water_ = nullptr;
-  std::unordered_map<const char*, TagCounters> tag_counters_;
+  // Keyed by tag *contents*, ordered: two distinct literals spelling the
+  // same tag share one counter family, and iteration order (if anyone
+  // ever walks this) cannot follow literal addresses. The string_view
+  // keys borrow the caller's string literals, same lifetime contract as
+  // the old pointer keys.
+  std::map<std::string_view, TagCounters> tag_counters_;
 };
 
 }  // namespace sharq::sim

@@ -123,6 +123,7 @@ class ShardRuntime {
   void barrier();  // drain mailboxes + flush journal lanes
   bool next_op(std::size_t* index) const;
 
+  // sharq-lint: shard-owned begin (lane/barrier state: mutate only under the runtime's window discipline)
   std::vector<Simulator*> sims_;                  // [0] = external shard 0
   std::vector<std::unique_ptr<Simulator>> owned_;  // shards 1..K-1
   Time lookahead_;
@@ -139,6 +140,7 @@ class ShardRuntime {
   stats::Journal* journal_ = nullptr;
   stats::Counter* lookahead_stalls_ = nullptr;
   stats::Counter* xshard_msgs_ = nullptr;
+  // sharq-lint: shard-owned end
 };
 
 }  // namespace sharq::sim

@@ -340,6 +340,7 @@ void Metrics::write_totals_json(std::ostream& os) const {
         double sum = 0.0;
         for (const auto& [key, child] : fam.children) {
           count += child.histogram->count();
+          // sharq-lint: float-accum-ok (iteration order fixed: children is a std::map, label-key order)
           sum += child.histogram->sum();
         }
         os << "{\"count\":" << count << ",\"sum\":" << format_double(sum) << '}';

@@ -108,6 +108,7 @@ class Histogram {
   std::uint64_t count() const { return sum_lanes(count_); }
   double sum() const {
     double total = 0.0;
+    // sharq-lint: float-accum-ok (iteration order fixed: lane-indexed vector, lane count is seed-stable)
     for (double v : sum_) total += v;
     return total;
   }

@@ -94,6 +94,7 @@ NationalAnalytics analyze_national(const NationalParams& p) {
     double traffic = 0.0;
     for (std::int64_t nz : observable) {
       rtts += nz;
+      // sharq-lint: float-accum-ok (iteration order fixed: zone-indexed vector of a static topology)
       traffic += static_cast<double>(nz) * static_cast<double>(nz);
     }
     l.rtts_per_receiver = rtts;

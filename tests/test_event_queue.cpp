@@ -4,6 +4,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
 
 namespace sharq::sim {
 namespace {
@@ -297,6 +298,24 @@ TEST(Rng, ForkDiverges) {
     if (a.next_u64() == b.next_u64()) ++same;
   }
   EXPECT_LT(same, 32);
+}
+
+TEST_P(EventQueueTest, TagCountersKeyByContentsNotAddress) {
+  stats::Metrics m;
+  q.set_metrics(&m);
+  // Two distinct arrays spelling the same tag: equal contents, different
+  // addresses. A pointer-keyed map would mint two counter families and
+  // split the tallies; keying by contents must merge them.
+  char tag_a[] = "queue.same_tag";
+  char tag_b[] = "queue.same_tag";
+  ASSERT_NE(static_cast<const void*>(tag_a), static_cast<const void*>(tag_b));
+  q.schedule(1.0, [] {}, tag_a);
+  q.schedule(2.0, [] {}, tag_b);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(m.counter("sim.events_scheduled", {{"tag", "queue.same_tag"}}).value(),
+            2u);
+  EXPECT_EQ(m.counter("sim.events_fired", {{"tag", "queue.same_tag"}}).value(),
+            2u);
 }
 
 }  // namespace

@@ -1,0 +1,43 @@
+// Fixture: float accumulation inside range-fors without an ordering note.
+// Not compiled — parsed by sharq_lint's self-test.
+#include <vector>
+
+using FaSeconds = double;
+
+double fa_latency_total(const std::vector<double>& xs) {
+  double fa_total = 0.0;
+  for (double v : xs) fa_total += v;  // EXPECT-LINT: float-accum
+  return fa_total;
+}
+
+// A float alias resolves through the project-wide alias table:
+FaSeconds fa_alias_total(const std::vector<FaSeconds>& xs) {
+  FaSeconds fa_t = 0;
+  for (FaSeconds v : xs) fa_t += v;  // EXPECT-LINT: float-accum
+  return fa_t;
+}
+
+// Integer accumulation is associative: must not fire.
+long fa_event_count(const std::vector<long>& ns) {
+  long fa_count = 0;
+  for (long v : ns) fa_count += v;
+  return fa_count;
+}
+
+// The same name rebound to an integer after a float use: nearest
+// preceding declaration wins, so this must not fire either.
+long fa_rebound(const std::vector<long>& ns) {
+  long fa_total = 0;
+  for (long v : ns) fa_total += v;
+  return fa_total;
+}
+
+// Escape hatch: a fixed iteration order, stated in the annotation.
+double fa_annotated(const std::vector<double>& xs) {
+  double fa_sum = 0.0;
+  for (double v : xs) {
+    // sharq-lint: float-accum-ok (iteration order fixed: vector index order)
+    fa_sum += v;
+  }
+  return fa_sum;
+}

@@ -1,0 +1,39 @@
+// Fixture: journal emit sites checked against the fixture doc's event
+// catalog. Not compiled — parsed by sharq_lint's self-test.
+
+struct JcAttrs {};
+
+class Journal {
+ public:
+  unsigned long long emit(const char* ev, double t, int node, long group,
+                          unsigned long long cause, const JcAttrs& attrs);
+};
+
+class JcEngine {
+ public:
+  unsigned long long jnl(const char* ev, unsigned group,
+                         unsigned long long cause, const JcAttrs& attrs);
+  void tick();
+
+ private:
+  Journal* journal_ = nullptr;
+  unsigned long long jc_last_ = 0;
+};
+
+void JcEngine::tick() {
+  JcAttrs a;
+  // A cataloged event with a cause edge must not pass a literal zero:
+  journal_->emit("fixture.caused", 1.0, 2, 3, 0, a);  // EXPECT-LINT: journal-cause
+  // A cataloged root event may: "root (0)" is its documented shape.
+  journal_->emit("fixture.root", 1.0, 2, 3, 0, a);
+  // An event missing from the catalog fires regardless of the cause:
+  journal_->emit("fixture.unlisted", 1.0, 2, 3, 7, a);  // EXPECT-LINT: journal-cause
+  // The per-class jnl wrapper resolves through its own cause index:
+  jnl("fixture.caused", 9, 0, a);  // EXPECT-LINT: journal-cause
+  // A threaded cause id is the fix:
+  jnl("fixture.caused", 9, jc_last_, a);
+
+  // Escape hatch: a cause the checker cannot see.
+  // sharq-lint: journal-cause-ok (cause id threaded via attrs in this fixture)
+  journal_->emit("fixture.caused", 4.0, 2, 3, 0, a);
+}

@@ -1,0 +1,19 @@
+// Fixture: address-keyed associative containers and pointer comparators.
+// Not compiled — parsed by sharq_lint's self-test.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct PkCounters { int scheduled = 0; };
+
+std::unordered_map<const char*, PkCounters> pk_by_literal;  // EXPECT-LINT: pointer-key
+std::map<int*, int> pk_by_address;                          // EXPECT-LINT: pointer-key
+using PkBadAlias = std::unordered_map<const char*, int>;    // EXPECT-LINT: pointer-key
+std::set<PkCounters*, std::less<PkCounters*>> pk_addr_set;  // EXPECT-LINT: pointer-key
+
+// A pointer-valued *mapped* type is fine: only the key orders anything.
+std::map<int, PkCounters*> pk_ok_values;
+
+// Escape hatch: the annotation must silence the rule on the next line.
+// sharq-lint: pointer-key-ok (interned registry keys, diagnostic-only)
+std::map<const char*, int> pk_interned_ok;

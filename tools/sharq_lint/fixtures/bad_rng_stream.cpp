@@ -1,0 +1,32 @@
+// Fixture: ad-hoc sim::Rng streams that never fork() from a parent.
+// Not compiled — parsed by sharq_lint's self-test.
+namespace sim {
+struct Rng {
+  double uniform();
+  unsigned long long next_u64();
+  Rng fork();
+};
+}  // namespace sim
+
+struct RsOracle {
+  sim::Rng rs_drift_rng_;  // EXPECT-LINT: rng-stream
+};
+
+double rs_roll() {
+  sim::Rng rs_ad_hoc(12345);  // EXPECT-LINT: rng-stream
+  return rs_ad_hoc.uniform();
+}
+
+// Forked from a parent stream in the constructor: must not fire (the
+// fork site is found by name anywhere in the project).
+struct RsSharded {
+  explicit RsSharded(sim::Rng& parent) : rs_lane_rng_(parent.fork()) {}
+  sim::Rng rs_lane_rng_;
+};
+
+// References and return types are not by-value stream declarations:
+sim::Rng& rs_borrow(sim::Rng& parent) { return parent; }
+
+// Escape hatch: documented scratch stream.
+// sharq-lint: rng-stream-ok (doc example scratch stream, no protocol draws)
+sim::Rng rs_scratch_demo;

@@ -1,0 +1,23 @@
+// Fixture: shard-owned members declared here, touched from the paired
+// bad_shard_affinity_use.cpp whose stem differs. Proves the analyzer
+// resolves header-declared members across translation units.
+// Not compiled — parsed by sharq_lint's self-test.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+class SaLaneRuntime {
+ public:
+  void merge();
+
+ private:
+  // sharq-lint: shard-owned begin (fixture lane state)
+  std::vector<int> sa_lane_mail_;
+  std::vector<unsigned long long> sa_lane_seq_;
+  // sharq-lint: shard-owned end
+
+  // Declared outside the shard-owned region: not affinity-checked, but
+  // still the cross-TU target for the unordered-iteration rule.
+  std::unordered_map<int, int> sa_lane_peers_;
+};

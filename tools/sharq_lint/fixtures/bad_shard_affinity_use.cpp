@@ -1,0 +1,22 @@
+// Fixture: this file's stem is not bad_shard_affinity, so naming the
+// header's shard-owned members fires. Not compiled — parsed by the
+// self-test as the cross-TU half of bad_shard_affinity.hpp.
+#include "bad_shard_affinity.hpp"
+
+struct SaProbe {
+  void peek(SaLaneRuntime& rt);
+};
+
+void SaProbe::peek(SaLaneRuntime& rt) {
+  auto& m = rt.sa_lane_mail_;  // EXPECT-LINT: shard-affinity
+  m.push_back(1);
+
+  // Escape hatch: the barrier-merge path is the audited exception.
+  // sharq-lint: shard-affinity-ok (fixture: barrier merge path, audited)
+  rt.sa_lane_seq_.clear();
+
+  // Header-declared unordered member, iterated from another TU:
+  for (auto& kv : rt.sa_lane_peers_) {  // EXPECT-LINT: unordered-iter
+    (void)kv;
+  }
+}

@@ -1,0 +1,3 @@
+// Lint-clean file for the negative baseline tests: any baseline entry
+// naming it is stale by construction. Not compiled.
+int fb_answer() { return 42; }

@@ -38,6 +38,31 @@
 //                    deterministic parallel contract is lane/barrier
 //                    discipline (src/sim/shard_runtime.hpp), not locks.
 //
+// Parallel-era rules (cross-TU, driven by the project symbol index):
+//   pointer-key      no raw-pointer / const char* keys in associative
+//                    containers and no std::less/std::greater over
+//                    pointers: hash and compare order follows ASLR and
+//                    pool recycling, which TSan cannot see.
+//   shard-affinity   members declared inside `// sharq-lint: shard-owned
+//                    begin/end` regions of a header may only be touched
+//                    from files sharing that header's stem (the owning
+//                    shard runtime); anything else needs an annotation
+//                    naming the audited merge path.
+//   float-accum      no `+=` of a float-typed name inside a range-for
+//                    body without an ordering annotation: cross-shard
+//                    merge changes summation order, and FP addition is
+//                    not associative.
+//   rng-stream       every by-value sim::Rng in src/ must be initialized
+//                    from a parent stream's fork() (directly or in a
+//                    constructor); ad-hoc seeded or default-constructed
+//                    streams fork the determinism story per call site.
+//   journal-cause    journal emit sites (Journal::emit and the per-class
+//                    jnl wrappers, resolved through the symbol index)
+//                    must name a cataloged event and pass a real cause id
+//                    when docs/OBSERVABILITY.md declares a cause edge;
+//                    `--reverse-docs` additionally checks that every
+//                    cataloged event and metric row is live in src/.
+//
 // Annotation grammar (line comments; block comments work too):
 //   // sharq-lint: <rule>-ok                this line and the next line
 //   // sharq-lint: <rule>-ok file           whole file
@@ -54,6 +79,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 #include <sstream>
@@ -115,6 +141,10 @@ void parse_comment(const std::string& body, int line, LexedFile& out) {
       if (w.size() > 3 && w.compare(w.size() - 3, 3, "-ok") == 0) {
         out.annotations.push_back(
             Annotation{scope, w.substr(0, w.size() - 3), line});
+      } else if (w == "shard-owned") {
+        // Region *declaration* (not a suppression): members declared
+        // between begin/end belong to this header's shard runtime.
+        out.annotations.push_back(Annotation{scope, "shard-owned", line});
       }
     }
   });
@@ -268,7 +298,7 @@ LexedFile lex_file(const std::string& path, const std::string& text) {
     }
 
     // Punctuation: fold the multi-char operators the rules care about.
-    static const char* kTwoChar[] = {"<<", ">>", "->", "::"};
+    static const char* kTwoChar[] = {"<<", ">>", "->", "::", "+="};
     bool matched = false;
     for (const char* op : kTwoChar) {
       if (c == op[0] && peek(1) == op[1]) {
@@ -406,6 +436,59 @@ bool is_const_like(const Tok& t) {
   return caps;
 }
 
+// Index of the "[" matching toks[close] == "]" (searching backwards);
+// returns 0 on imbalance.
+std::size_t rskip_balanced(const std::vector<Tok>& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "]") ++depth;
+    else if (toks[i].text == "[" && --depth == 0) return i;
+  }
+  return 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// Tracks the innermost enclosing class/struct while walking a token
+// stream linearly. Good enough for the header shapes this tree uses:
+// `template <class T>` pendings are cleared by the closing '>' / ')',
+// forward declarations by ';'.
+struct ClassTracker {
+  struct Frame { std::string name; int depth; };
+  std::vector<Frame> stack;
+  int depth = 0;
+  std::string pending;
+
+  void feed(const std::vector<Tok>& toks, std::size_t i) {
+    const Tok& t = toks[i];
+    if (t.kind == Tok::kIdent && (t.text == "class" || t.text == "struct")) {
+      if (i > 0 && toks[i - 1].kind == Tok::kIdent && toks[i - 1].text == "enum") return;
+      if (i + 1 < toks.size() && toks[i + 1].kind == Tok::kIdent) pending = toks[i + 1].text;
+      return;
+    }
+    if (t.kind != Tok::kPunct) return;
+    if (t.text == "{") {
+      ++depth;
+      if (!pending.empty()) { stack.push_back({pending, depth}); pending.clear(); }
+    } else if (t.text == "}") {
+      if (!stack.empty() && stack.back().depth == depth) stack.pop_back();
+      --depth;
+    } else if (t.text == ";" || t.text == ")" || t.text == ">") {
+      pending.clear();
+    }
+  }
+  std::string current() const { return stack.empty() ? std::string() : stack.back().name; }
+};
+
 // ---------------------------------------------------------------------------
 // Pass 1: collect names declared with unordered container types.
 // ---------------------------------------------------------------------------
@@ -468,6 +551,313 @@ void collect_unordered_decls(const LexedFile& f, SymbolTable& sym) {
     }
     if (j < toks.size() && toks[j].kind == Tok::kIdent) {
       sym.unordered_vars.insert(toks[j].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Documentation model (docs/OBSERVABILITY.md)
+// ---------------------------------------------------------------------------
+
+struct DocEvent {
+  std::string name;
+  bool requires_cause = false;  // cause-edge cell is not "root (0)"
+  int line = 0;
+};
+
+struct DocModel {
+  std::string path;
+  std::string text;  // raw text, for the substring-based forward check
+  std::vector<std::pair<std::string, int>> metric_rows;  // name -> line
+  std::vector<DocEvent> event_rows;
+  bool has_event_catalog = false;
+
+  const DocEvent* find_event(const std::string& name) const {
+    for (const DocEvent& e : event_rows)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+};
+
+std::string trim_ws(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+// Parse the observability doc's tables. Metric rows are any table row
+// whose second cell is a metric type; event rows live under the
+// "Event catalog" heading and declare a cause edge in the third cell
+// ("root (0)" means a zero cause id is the documented shape).
+DocModel parse_doc(const std::string& path, const std::string& text) {
+  DocModel doc;
+  doc.path = path;
+  doc.text = text;
+  std::istringstream in(text);
+  int line = 0;
+  bool in_events = false;
+  for (std::string ln; std::getline(in, ln);) {
+    ++line;
+    if (!ln.empty() && ln[0] == '#') {
+      in_events = ln.find("Event catalog") != std::string::npos;
+      if (in_events) doc.has_event_catalog = true;
+      continue;
+    }
+    if (ln.empty() || ln[0] != '|') continue;
+    std::vector<std::string> cells;
+    std::size_t p = 1;
+    while (p <= ln.size()) {
+      std::size_t q = ln.find('|', p);
+      if (q == std::string::npos) break;
+      cells.push_back(trim_ws(ln.substr(p, q - p)));
+      p = q + 1;
+    }
+    if (cells.empty()) continue;
+    std::string name;
+    if (std::size_t b0 = cells[0].find('`'); b0 != std::string::npos) {
+      if (std::size_t b1 = cells[0].find('`', b0 + 1); b1 != std::string::npos)
+        name = cells[0].substr(b0 + 1, b1 - b0 - 1);
+    }
+    if (name.empty()) continue;
+    if (cells.size() >= 2 && (cells[1] == "counter" || cells[1] == "gauge" ||
+                              cells[1] == "histogram")) {
+      doc.metric_rows.emplace_back(name, line);
+    }
+    if (in_events && cells.size() >= 4) {
+      DocEvent ev;
+      ev.name = name;
+      ev.requires_cause = cells[2].find("root (0)") == std::string::npos;
+      ev.line = line;
+      doc.event_rows.push_back(ev);
+    }
+  }
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Project symbol index (cross-TU, built from every file on the command
+// line before any rule runs)
+// ---------------------------------------------------------------------------
+
+struct ProjectIndex {
+  SymbolTable sym;  // unordered container types/vars (two-tier scoping)
+  std::set<std::string> float_types{"double", "float"};
+  std::set<std::string> float_vars;  // header-declared float-typed names
+  std::map<std::string, std::string> shard_members;  // name -> owner stem
+  std::map<std::string, std::set<std::string>> member_decl_files;
+  // class -> function -> zero-based index of its `cause` parameter.
+  std::map<std::string, std::map<std::string, int>> cause_sigs;
+  std::set<std::string> rng_forked;  // names assigned a fork() anywhere
+  // Filled during the rule pass, consumed by --reverse-docs.
+  std::set<std::string> emitted_events;
+  std::set<std::string> registered_metrics;
+};
+
+// `using X = double;` (possibly through one alias level, e.g. sim::Time).
+void collect_float_aliases(const LexedFile& f, ProjectIndex& idx) {
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !idx.float_types.count(toks[i].text)) continue;
+    std::size_t b = i;
+    while (b >= 2 && ((toks[b - 1].kind == Tok::kPunct && toks[b - 1].text == "::") ||
+                      (toks[b - 1].kind == Tok::kIdent &&
+                       (toks[b - 1].text == "std" || toks[b - 1].text == "sim")))) {
+      --b;
+    }
+    if (b >= 3 && toks[b - 1].text == "=" && toks[b - 2].kind == Tok::kIdent &&
+        toks[b - 3].kind == Tok::kIdent && toks[b - 3].text == "using") {
+      idx.float_types.insert(toks[b - 2].text);
+    }
+  }
+}
+
+// `double name_;` in a header: float-typed members, global by name (the
+// underscore suffix keeps short locals like `total` out of the set).
+void collect_float_members(const LexedFile& f,
+                           const std::set<std::string>& float_types,
+                           std::set<std::string>& out) {
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !float_types.count(toks[i].text)) continue;
+    if (toks[i + 1].kind == Tok::kIdent && toks[i + 1].text.back() == '_')
+      out.insert(toks[i + 1].text);
+  }
+}
+
+// Every scalar numeric declaration in one file, in token order, so the
+// accumulation rule can resolve a name to its *nearest preceding*
+// declaration (a file may reuse `total` for a uint64 lane sum and a
+// double latency sum; only the latter is order-sensitive).
+struct NumDecl {
+  std::size_t tok = 0;
+  std::string name;
+  bool is_float = false;
+};
+
+std::vector<NumDecl> collect_num_decls(const LexedFile& f,
+                                       const std::set<std::string>& float_types) {
+  static const std::set<std::string> kIntTypes = {
+      "int",      "unsigned", "long",     "short",    "size_t",
+      "uint64_t", "int64_t",  "uint32_t", "int32_t",  "uint16_t",
+      "int16_t",  "uint8_t",  "int8_t",   "ptrdiff_t", "bool",
+      "EventId",  "uint_fast32_t"};
+  const auto& toks = f.toks;
+  std::vector<NumDecl> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (toks[i + 1].kind == Tok::kIdent) {
+      const bool flt = float_types.count(toks[i].text) > 0;
+      const bool integral = !flt && kIntTypes.count(toks[i].text) > 0;
+      if (flt || integral) {
+        out.push_back({i + 1, toks[i + 1].text, flt});
+        continue;
+      }
+      // `auto name = <number>`: decide by the literal's spelling.
+      if (toks[i].text == "auto" && i + 3 < toks.size() &&
+          toks[i + 2].kind == Tok::kPunct && toks[i + 2].text == "=" &&
+          toks[i + 3].kind == Tok::kNumber) {
+        const std::string& num = toks[i + 3].text;
+        out.push_back({i + 1, toks[i + 1].text,
+                       num.find('.') != std::string::npos});
+      }
+    }
+  }
+  return out;
+}
+
+// Trailing-underscore member declarations per header — the uniqueness
+// filter for shard-affinity (a name declared in two headers is too
+// ambiguous to attribute to one shard owner).
+void collect_member_decls(const LexedFile& f, ProjectIndex& idx) {
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text.back() != '_') continue;
+    if (toks[i + 1].kind != Tok::kPunct) continue;
+    const std::string& nx = toks[i + 1].text;
+    if (nx == ";" || nx == "=" || nx == "{" || nx == "[") {
+      idx.member_decl_files[toks[i].text].insert(f.path);
+    }
+  }
+}
+
+// Members declared inside `// sharq-lint: shard-owned begin/end` regions
+// of a header belong to that header's stem (shard_runtime, network, ...).
+void collect_shard_members(const LexedFile& f, ProjectIndex& idx) {
+  std::vector<std::pair<int, int>> regions;
+  int open = -1;
+  for (const Annotation& a : f.annotations) {
+    if (a.rule != "shard-owned") continue;
+    switch (a.scope) {
+      case Annotation::kBegin: open = a.line; break;
+      case Annotation::kEnd:
+        regions.emplace_back(open < 0 ? 0 : open, a.line);
+        open = -1;
+        break;
+      case Annotation::kFile: regions.emplace_back(0, 1 << 30); break;
+      case Annotation::kLine: regions.emplace_back(a.line, a.line + 1); break;
+    }
+  }
+  if (open >= 0) regions.emplace_back(open, 1 << 30);
+  if (regions.empty()) return;
+  const std::string stem = fs::path(f.path).stem().string();
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text.back() != '_') continue;
+    if (toks[i + 1].kind != Tok::kPunct) continue;
+    const std::string& nx = toks[i + 1].text;
+    if (nx != ";" && nx != "=" && nx != "{") continue;
+    bool inside = false;
+    for (const auto& [lo, hi] : regions) {
+      if (toks[i].line >= lo && toks[i].line <= hi) { inside = true; break; }
+    }
+    if (inside) idx.shard_members.emplace(toks[i].text, stem);
+  }
+}
+
+// Functions whose parameter list carries a `cause` parameter after a
+// `const char* ev` lead: Journal::emit and the per-class jnl wrappers.
+// Works on both in-class declarations (ClassTracker) and out-of-line
+// `Class :: fn (` definitions. Call sites never match: their first
+// argument is a string literal, not tokens containing `char`.
+void collect_cause_sigs(const LexedFile& f, ProjectIndex& idx) {
+  static const std::set<std::string> kNotFn = {
+      "if", "for", "while", "switch", "return", "sizeof", "catch"};
+  const auto& toks = f.toks;
+  ClassTracker tracker;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    tracker.feed(toks, i);
+    if (toks[i].kind != Tok::kIdent || i + 1 >= toks.size() ||
+        toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") {
+      continue;
+    }
+    if (kNotFn.count(toks[i].text)) continue;
+    std::string cls;
+    if (i >= 2 && toks[i - 1].kind == Tok::kPunct && toks[i - 1].text == "::" &&
+        toks[i - 2].kind == Tok::kIdent) {
+      cls = toks[i - 2].text;
+    } else {
+      cls = tracker.current();
+    }
+    if (cls.empty()) continue;
+    const std::size_t close = skip_balanced(toks, i + 1);
+    if (close == toks.size()) continue;
+    // Split parameters at top-level commas.
+    int depth = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> params;
+    std::size_t start = i + 2;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (toks[j].kind != Tok::kPunct) continue;
+      const std::string& p = toks[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      else if (p == ")" || p == "]" || p == "}") --depth;
+      if ((p == "," && depth == 1) || (p == ")" && depth == 0)) {
+        if (j > start) params.emplace_back(start, j);
+        start = j + 1;
+      }
+    }
+    if (params.size() < 2) continue;
+    bool first_char = false;
+    for (std::size_t j = params[0].first; j < params[0].second; ++j) {
+      if (toks[j].kind == Tok::kIdent && toks[j].text == "char") { first_char = true; break; }
+    }
+    if (!first_char) continue;
+    int cause_idx = -1;
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      std::string last_ident;
+      for (std::size_t j = params[k].first; j < params[k].second; ++j) {
+        if (toks[j].kind == Tok::kIdent) last_ident = toks[j].text;
+        if (toks[j].kind == Tok::kPunct && toks[j].text == "=") break;  // default arg
+      }
+      if (last_ident == "cause") { cause_idx = static_cast<int>(k); break; }
+    }
+    if (cause_idx > 0) idx.cause_sigs[cls][toks[i].text] = cause_idx;
+  }
+}
+
+// Names initialized or assigned from a fork(): `x = parent.fork();` and
+// constructor-style `x_(parent.fork())` / `Rng x(parent.fork())`.
+void collect_rng_forked(const LexedFile& f, ProjectIndex& idx) {
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (toks[i + 1].kind != Tok::kPunct) continue;
+    if (toks[i + 1].text == "(") {
+      const std::size_t close = skip_balanced(toks, i + 1);
+      for (std::size_t j = i + 2; j + 1 < close; ++j) {
+        if (toks[j].kind == Tok::kIdent && toks[j].text == "fork") {
+          idx.rng_forked.insert(toks[i].text);
+          break;
+        }
+      }
+    } else if (toks[i + 1].text == "=") {
+      for (std::size_t j = i + 2; j < toks.size(); ++j) {
+        if (toks[j].kind == Tok::kPunct && toks[j].text == ";") break;
+        if (toks[j].kind == Tok::kIdent && toks[j].text == "fork") {
+          idx.rng_forked.insert(toks[i].text);
+          break;
+        }
+      }
     }
   }
 }
@@ -734,7 +1124,8 @@ void rule_thread_unsafe(const LexedFile& f, const Suppressions& sup,
 }
 
 void rule_metric_docs(const LexedFile& f, const Suppressions& sup,
-                      const std::string& doc_text, std::vector<Finding>& out) {
+                      const std::string& doc_text, std::vector<Finding>& out,
+                      std::set<std::string>* registered) {
   const auto& toks = f.toks;
   auto documented = [&](const std::string& name) {
     return doc_text.find("`" + name + "`") != std::string::npos;
@@ -749,6 +1140,7 @@ void rule_metric_docs(const LexedFile& f, const Suppressions& sup,
     if (toks[i + 2].kind != Tok::kString) continue;
     const std::string& name = toks[i + 2].text;
     if (name.empty()) continue;
+    if (metric_reg && registered) registered->insert(name);
     if (!documented(name) && !sup.suppressed("metric-docs", toks[i].line)) {
       out.push_back({f.path, toks[i].line, "metric-docs",
                      std::string(metric_reg ? "metric family" : "event tag") +
@@ -774,6 +1166,385 @@ void rule_metric_docs(const LexedFile& f, const Suppressions& sup,
   }
 }
 
+// pointer-key: pointer-typed keys in associative containers and
+// std::less/std::greater over pointers. The key is the first template
+// argument; a mapped type holding pointers is fine.
+void rule_pointer_key(const LexedFile& f, const Suppressions& sup,
+                      std::vector<Finding>& out) {
+  static const std::set<std::string> kOrdered = {"map", "set", "multimap",
+                                                 "multiset"};
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  const auto& toks = f.toks;
+  auto std_qualified = [&](std::size_t i) {
+    return i >= 2 && toks[i - 1].kind == Tok::kPunct && toks[i - 1].text == "::" &&
+           toks[i - 2].kind == Tok::kIdent && toks[i - 2].text == "std";
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& id = toks[i].text;
+    const bool container = kUnordered.count(id) ||
+                           (kOrdered.count(id) && std_qualified(i));
+    const bool cmp = (id == "less" || id == "greater") && std_qualified(i);
+    if (!container && !cmp) continue;
+    if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "<") continue;
+    const std::size_t after = skip_template_args(toks, i + 1);
+    if (after == i + 1) continue;
+    // Scan the first top-level template argument (the key / compared
+    // type) for a raw pointer declarator.
+    int angle = 1, paren = 0;
+    bool ptr = false;
+    for (std::size_t j = i + 2; j + 1 < after; ++j) {
+      if (toks[j].kind != Tok::kPunct) continue;
+      const std::string& p = toks[j].text;
+      if (p == "<") ++angle;
+      else if (p == ">") --angle;
+      else if (p == ">>") angle -= 2;
+      else if (p == "(" || p == "[") ++paren;
+      else if (p == ")" || p == "]") --paren;
+      else if (p == "," && angle == 1 && paren == 0 && container) break;
+      else if (p == "*") { ptr = true; break; }
+    }
+    if (ptr && !sup.suppressed("pointer-key", toks[i].line)) {
+      out.push_back({f.path, toks[i].line, "pointer-key",
+                     container
+                         ? "pointer-typed key in '" + id + "': hash/compare "
+                           "order follows allocation addresses (ASLR, pool "
+                           "recycling) and silently breaks same-seed "
+                           "byte-identity; key by value (e.g. "
+                           "std::map<std::string_view, ...>) or annotate "
+                           "`// sharq-lint: pointer-key-ok (reason)`"
+                         : "std::" + id + " over a pointer type: comparison "
+                           "order is the allocator's, not the program's; "
+                           "sort by a value key or annotate "
+                           "`// sharq-lint: pointer-key-ok (reason)`"});
+    }
+  }
+}
+
+// shard-affinity: a member declared in a shard-owned region of a header
+// may only be named from files sharing that header's stem.
+void rule_shard_affinity(const LexedFile& f, const ProjectIndex& idx,
+                         const Suppressions& sup, std::vector<Finding>& out) {
+  if (idx.shard_members.empty()) return;
+  const std::string stem = fs::path(f.path).stem().string();
+  const auto& toks = f.toks;
+  for (const Tok& t : toks) {
+    if (t.kind != Tok::kIdent) continue;
+    auto it = idx.shard_members.find(t.text);
+    if (it == idx.shard_members.end()) continue;
+    if (stem == it->second) continue;
+    // A name declared in more than one header cannot be attributed to
+    // one owner; drop it rather than guess.
+    auto df = idx.member_decl_files.find(t.text);
+    if (df != idx.member_decl_files.end() && df->second.size() > 1) continue;
+    if (sup.suppressed("shard-affinity", t.line)) continue;
+    out.push_back({f.path, t.line, "shard-affinity",
+                   "'" + t.text + "' is shard-owned state of " + it->second +
+                       ".hpp: cross-shard access is only deterministic on "
+                       "the barrier-merge path; keep the access in " +
+                       it->second + ".* or annotate "
+                       "`// sharq-lint: shard-affinity-ok (merge path, "
+                       "barrier audited)`"});
+  }
+}
+
+// float-accum: `name += ...` on a float-typed name inside a range-for
+// body. FP addition is not associative, so summation order is part of
+// the output contract; an annotation records why the order is fixed.
+void rule_float_accum(const LexedFile& f, const ProjectIndex& idx,
+                      const Suppressions& sup, std::vector<Finding>& out) {
+  const auto& toks = f.toks;
+  const std::vector<NumDecl> decls = collect_num_decls(f, idx.float_types);
+  // Is the name float-typed at this use? The nearest preceding
+  // declaration in this file wins; header-declared float members are the
+  // cross-TU fallback.
+  auto is_float_at = [&](const std::string& name, std::size_t use) {
+    for (std::size_t d = decls.size(); d-- > 0;) {
+      if (decls[d].tok < use && decls[d].name == name) return decls[d].is_float;
+    }
+    return idx.float_vars.count(name) > 0;
+  };
+  // Token-index intervals of range-for bodies.
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != "for") continue;
+    if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") continue;
+    const std::size_t close = skip_balanced(toks, i + 1);
+    if (close == toks.size()) continue;
+    int depth = 0;
+    bool is_range = false;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (toks[j].kind != Tok::kPunct) continue;
+      const std::string& p = toks[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      else if (p == ")" || p == "]" || p == "}") --depth;
+      else if (p == ":" && depth == 1) { is_range = true; break; }
+      else if (p == ";") break;
+    }
+    if (!is_range) continue;
+    std::size_t b1 = close;
+    if (close < toks.size() && toks[close].kind == Tok::kPunct &&
+        toks[close].text == "{") {
+      b1 = skip_balanced(toks, close);
+    } else {
+      while (b1 < toks.size() &&
+             !(toks[b1].kind == Tok::kPunct && toks[b1].text == ";")) {
+        ++b1;
+      }
+    }
+    bodies.emplace_back(close, b1);
+  }
+  if (bodies.empty()) return;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct || toks[i].text != "+=") continue;
+    bool inside = false;
+    for (const auto& [lo, hi] : bodies) {
+      if (i > lo && i < hi) { inside = true; break; }
+    }
+    if (!inside) continue;
+    std::size_t k = i - 1;
+    while (k > 0 && toks[k].kind == Tok::kPunct && toks[k].text == "]") {
+      const std::size_t open = rskip_balanced(toks, k);
+      if (open == 0) break;
+      k = open - 1;
+    }
+    if (toks[k].kind != Tok::kIdent || !is_float_at(toks[k].text, i)) continue;
+    if (sup.suppressed("float-accum", toks[i].line)) continue;
+    out.push_back({f.path, toks[i].line, "float-accum",
+                   "'" + toks[k].text + " +=' inside a range-for: float "
+                       "summation order is observable output, and a sharded "
+                       "merge can reorder it; accumulate in a fixed order "
+                       "and annotate `// sharq-lint: float-accum-ok "
+                       "(iteration order fixed: ...)`, or sum integers"});
+  }
+}
+
+// rng-stream: by-value sim::Rng declarations must be initialized from a
+// parent stream's fork() (at the declaration, or via a constructor /
+// assignment seen anywhere in the project — rng_forked is name-based).
+void rule_rng_stream(const LexedFile& f, const ProjectIndex& idx,
+                     const Suppressions& sup, bool all_scopes,
+                     std::vector<Finding>& out) {
+  if (!all_scopes &&
+      (ends_with(f.path, "src/sim/random.hpp") ||
+       ends_with(f.path, "src/sim/simulator.hpp") ||
+       ends_with(f.path, "src/sim/simulator.cpp"))) {
+    return;  // the stream factories themselves
+  }
+  const auto& toks = f.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != "Rng") continue;
+    // Qualified spelling must be sim::Rng; another namespace's Rng is
+    // not ours.
+    if (i >= 2 && toks[i - 1].kind == Tok::kPunct && toks[i - 1].text == "::" &&
+        !(toks[i - 2].kind == Tok::kIdent && toks[i - 2].text == "sim")) {
+      continue;
+    }
+    // Skip type-position uses that are not by-value declarations.
+    const std::size_t prev = (i >= 2 && toks[i - 1].text == "::") ? i - 3 : i - 1;
+    if (prev + 1 > 0 && prev < toks.size() && toks[prev].kind == Tok::kIdent) {
+      static const std::set<std::string> kNotDecl = {
+          "class", "struct", "using", "enum", "typename", "return"};
+      if (kNotDecl.count(toks[prev].text)) continue;
+    }
+    if (toks[i + 1].kind != Tok::kIdent) continue;  // Rng&, Rng*, Rng::, Rng)
+    const std::string& name = toks[i + 1].text;
+    if (i + 2 >= toks.size() || toks[i + 2].kind != Tok::kPunct) continue;
+    const std::string& nx = toks[i + 2].text;
+    bool flagged = false;
+    if (nx == ";") {
+      flagged = true;  // uninitialized member/local
+    } else if (nx == "=" ) {
+      flagged = true;
+      for (std::size_t j = i + 3; j < toks.size(); ++j) {
+        if (toks[j].kind == Tok::kPunct && toks[j].text == ";") break;
+        if (toks[j].kind == Tok::kIdent &&
+            (toks[j].text == "fork" || toks[j].text == "next_u64")) {
+          flagged = false;
+          break;
+        }
+      }
+    } else if (nx == "(" || nx == "{") {
+      const std::size_t close = skip_balanced(toks, i + 2);
+      if (close == toks.size()) continue;
+      bool has_fork = false, adjacent_idents = false, empty = close == i + 4;
+      for (std::size_t j = i + 3; j + 1 < close; ++j) {
+        if (toks[j].kind == Tok::kIdent &&
+            (toks[j].text == "fork" || toks[j].text == "next_u64")) {
+          has_fork = true;
+        }
+        if (toks[j].kind == Tok::kIdent && toks[j + 1].kind == Tok::kIdent) {
+          adjacent_idents = true;  // `type name`: a function declaration
+        }
+      }
+      flagged = !has_fork && !adjacent_idents && !(nx == "(" && empty);
+    }
+    if (!flagged) continue;
+    if (idx.rng_forked.count(name)) continue;
+    if (sup.suppressed("rng-stream", toks[i].line)) continue;
+    out.push_back({f.path, toks[i].line, "rng-stream",
+                   "'" + name + "' is a sim::Rng that is never fork()ed "
+                       "from a Simulator/shard stream: ad-hoc streams make "
+                       "draw order depend on call-site history, not the "
+                       "seed; initialize from a parent stream's fork() or "
+                       "annotate `// sharq-lint: rng-stream-ok (reason)`"});
+  }
+}
+
+// Shared scanner for journal emit sites: Journal::emit through a
+// journal-named receiver, and the per-class wrappers recorded in
+// cause_sigs, resolved via the enclosing class (in headers) or the last
+// `Class :: fn (` definition seen (in .cpp files).
+template <typename Cb>
+void scan_emit_sites(const LexedFile& f, const ProjectIndex& idx, Cb&& cb) {
+  const auto& toks = f.toks;
+  ClassTracker tracker;
+  std::string cur_qual;  // class of the enclosing out-of-line definition
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    tracker.feed(toks, i);
+    if (toks[i].kind == Tok::kPunct && toks[i].text == "::" && i >= 1 &&
+        i + 2 < toks.size() && toks[i - 1].kind == Tok::kIdent &&
+        toks[i + 1].kind == Tok::kIdent && toks[i + 2].kind == Tok::kPunct &&
+        toks[i + 2].text == "(") {
+      // A definition's class name sits in type position: what precedes it
+      // is a return type, a scope close, or another qualifier — never
+      // expression punctuation (`cond ? std::min(...) : y` must not read
+      // as a constructor-init definition of class `std`).
+      if (i >= 2 && toks[i - 2].kind == Tok::kPunct) {
+        const std::string& b = toks[i - 2].text;
+        if (b != ";" && b != "}" && b != "{" && b != "*" && b != "&" &&
+            b != ">" && b != "::") {
+          continue;
+        }
+      }
+      std::size_t close = skip_balanced(toks, i + 2);
+      std::size_t k = close;
+      while (k < toks.size() && toks[k].kind == Tok::kIdent &&
+             (toks[k].text == "const" || toks[k].text == "noexcept" ||
+              toks[k].text == "override")) {
+        ++k;
+      }
+      if (k < toks.size() && toks[k].kind == Tok::kPunct &&
+          (toks[k].text == "{" || toks[k].text == ":")) {
+        cur_qual = toks[i - 1].text;
+      }
+    }
+    if (toks[i].kind != Tok::kIdent || i + 1 >= toks.size() ||
+        toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") {
+      continue;
+    }
+    const std::string& fn = toks[i].text;
+    if (i >= 1 && toks[i - 1].kind == Tok::kPunct && toks[i - 1].text == "::")
+      continue;  // definition or qualified static call, not an emit site
+    std::string cls;
+    if (fn == "emit") {
+      if (i < 2 || toks[i - 1].kind != Tok::kPunct ||
+          (toks[i - 1].text != "." && toks[i - 1].text != "->")) {
+        continue;
+      }
+      if (toks[i - 2].kind != Tok::kIdent ||
+          lower(toks[i - 2].text).find("journal") == std::string::npos) {
+        continue;
+      }
+      // The journal class itself: prefer "Journal", else the unique
+      // class declaring emit.
+      if (idx.cause_sigs.count("Journal") &&
+          idx.cause_sigs.at("Journal").count("emit")) {
+        cls = "Journal";
+      } else {
+        for (const auto& [c, fns] : idx.cause_sigs) {
+          if (!fns.count("emit")) continue;
+          if (!cls.empty()) { cls.clear(); break; }
+          cls = c;
+        }
+        if (cls.empty()) continue;
+      }
+    } else {
+      std::vector<std::string> candidates;
+      for (const auto& [c, fns] : idx.cause_sigs) {
+        if (fns.count(fn)) candidates.push_back(c);
+      }
+      if (candidates.empty()) continue;
+      auto defines = [&](const std::string& c) {
+        auto it = idx.cause_sigs.find(c);
+        return it != idx.cause_sigs.end() && it->second.count(fn) > 0;
+      };
+      if (!cur_qual.empty() && defines(cur_qual)) cls = cur_qual;
+      else if (!tracker.current().empty() && defines(tracker.current())) cls = tracker.current();
+      else if (candidates.size() == 1) cls = candidates[0];
+      else continue;
+    }
+    const int cause_idx = idx.cause_sigs.at(cls).at(fn);
+    const std::size_t close = skip_balanced(toks, i + 1);
+    if (close == toks.size()) continue;
+    int depth = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t start = i + 2;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (toks[j].kind != Tok::kPunct) continue;
+      const std::string& p = toks[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      else if (p == ")" || p == "]" || p == "}") --depth;
+      if ((p == "," && depth == 1) || (p == ")" && depth == 0)) {
+        if (j > start) args.emplace_back(start, j);
+        start = j + 1;
+      }
+    }
+    // The event name must be a single string literal: wrapper bodies
+    // forwarding `ev` are not call sites.
+    if (args.empty() || args[0].second != args[0].first + 1 ||
+        toks[args[0].first].kind != Tok::kString) {
+      continue;
+    }
+    if (static_cast<std::size_t>(cause_idx) >= args.size()) continue;
+    cb(toks[args[0].first].text, args[static_cast<std::size_t>(cause_idx)],
+       toks[i].line);
+  }
+}
+
+// journal-cause: every emit site naming an event literal must name a
+// cataloged event, and must pass a non-zero-literal cause id when the
+// catalog declares a cause edge (anything but "root (0)").
+void rule_journal_cause(const LexedFile& f, const ProjectIndex& idx,
+                        const DocModel& doc, const Suppressions& sup,
+                        std::vector<Finding>& out,
+                        std::set<std::string>* emitted) {
+  if (!doc.has_event_catalog) return;
+  const auto& toks = f.toks;
+  scan_emit_sites(f, idx, [&](const std::string& ev,
+                              std::pair<std::size_t, std::size_t> cause_arg,
+                              int line) {
+    if (emitted) emitted->insert(ev);
+    const DocEvent* row = doc.find_event(ev);
+    if (!row) {
+      if (!sup.suppressed("journal-cause", line)) {
+        out.push_back({f.path, line, "journal-cause",
+                       "journal event \"" + ev + "\" is not in the " +
+                           doc.path + " event catalog: the catalog is the "
+                           "machine-checked schema for every emitted event; "
+                           "add a row (with its cause edge) or rename"});
+      }
+      return;
+    }
+    if (!row->requires_cause) return;
+    const bool literal_zero =
+        cause_arg.second == cause_arg.first + 1 &&
+        toks[cause_arg.first].kind == Tok::kNumber &&
+        toks[cause_arg.first].text == "0";
+    if (literal_zero && !sup.suppressed("journal-cause", line)) {
+      out.push_back({f.path, line, "journal-cause",
+                     "journal event \"" + ev + "\" declares the cause edge "
+                         "\"" + ev + " <- ...\" in " + doc.path + " but this "
+                         "site passes cause=0: thread the causing EventId "
+                         "through (or recatalog the event as root (0)), or "
+                         "annotate `// sharq-lint: journal-cause-ok "
+                         "(reason)`"});
+    }
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -782,7 +1553,10 @@ struct Options {
   std::vector<std::string> paths;
   std::string doc_path = "docs/OBSERVABILITY.md";
   bool all_scopes = false;  // fixtures: every rule applies everywhere
+  bool reverse_docs = false;  // docs -> source liveness (lint_tree / CI)
   std::string self_test_dir;
+  std::string sarif_path;
+  std::string baseline_path;
 };
 
 bool starts_with(const std::string& s, const std::string& p) {
@@ -798,11 +1572,15 @@ bool rule_applies(const std::string& rule, const std::string& path,
   const bool in_src = starts_with(path, "src/");
   const bool in_tests = starts_with(path, "tests/");
   if (rule == "wall-clock" || rule == "metric-docs" ||
-      rule == "thread-unsafe") {
+      rule == "thread-unsafe" || rule == "shard-affinity" ||
+      rule == "rng-stream" || rule == "journal-cause") {
     return in_src;
   }
-  if (rule == "event-tag" || rule == "unchecked-shift") return !in_tests;
-  return true;  // unordered-iter: whole tree
+  if (rule == "event-tag" || rule == "unchecked-shift" ||
+      rule == "float-accum") {
+    return !in_tests;
+  }
+  return true;  // unordered-iter, pointer-key: whole tree
 }
 
 bool lintable(const fs::path& p) {
@@ -847,36 +1625,47 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
                               const Options& opt) {
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
-  // Global table: header declarations only (see SymbolTable). Types from
-  // .cpp files still feed the global alias set — a type names the same
-  // thing wherever it is spelled.
-  SymbolTable sym;
-  auto collect_scoped = [&](const LexedFile& f, SymbolTable& into) {
+  // Round 1+2 build the project-wide type sets. Unordered-variable names
+  // use two-tier scoping: header declarations are global, .cpp names are
+  // file-local; type/alias names are global wherever they are spelled.
+  // Two rounds reach the fixed point for one level of aliasing, which is
+  // all the tree uses.
+  ProjectIndex idx;
+  auto collect_types = [&](const LexedFile& f) {
     if (is_header(f.path)) {
-      collect_unordered_decls(f, into);
+      collect_unordered_decls(f, idx.sym);
     } else {
       SymbolTable local;
-      local.unordered_types = into.unordered_types;
+      local.unordered_types = idx.sym.unordered_types;
       collect_unordered_decls(f, local);
-      into.unordered_types = std::move(local.unordered_types);
+      idx.sym.unordered_types = std::move(local.unordered_types);
     }
+    collect_float_aliases(f, idx);
   };
   for (const std::string& path : files) {
     lexed.push_back(lex_file(path, slurp(path)));
-    collect_scoped(lexed.back(), sym);
+    collect_types(lexed.back());
   }
-  // Alias declarations may be seen after their uses in file order; one
-  // more collection round reaches the fixed point for one level of
-  // aliasing, which is all the tree uses.
-  for (const LexedFile& f : lexed) collect_scoped(f, sym);
+  for (const LexedFile& f : lexed) collect_types(f);
+  // Round 3: member ownership, function signatures, and fork sites — the
+  // cross-TU facts the parallel-era rules resolve through.
+  for (const LexedFile& f : lexed) {
+    if (is_header(f.path)) {
+      collect_float_members(f, idx.float_types, idx.float_vars);
+      collect_member_decls(f, idx);
+      collect_shard_members(f, idx);
+    }
+    collect_cause_sigs(f, idx);
+    collect_rng_forked(f, idx);
+  }
 
-  const std::string doc_text = slurp(opt.doc_path);
+  const DocModel doc = parse_doc(opt.doc_path, slurp(opt.doc_path));
   std::vector<Finding> findings;
   for (const LexedFile& f : lexed) {
     const Suppressions sup(f);
     if (rule_applies("unordered-iter", f.path, opt.all_scopes)) {
       // Effective table for this file: globals plus its own declarations.
-      SymbolTable eff = sym;
+      SymbolTable eff = idx.sym;
       collect_unordered_decls(f, eff);
       rule_unordered_iter(f, eff, sup, findings);
     }
@@ -889,10 +1678,196 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
     if (rule_applies("thread-unsafe", f.path, opt.all_scopes))
       rule_thread_unsafe(f, sup, findings);
     if (rule_applies("metric-docs", f.path, opt.all_scopes))
-      rule_metric_docs(f, sup, doc_text, findings);
+      rule_metric_docs(f, sup, doc.text, findings, &idx.registered_metrics);
+    if (rule_applies("pointer-key", f.path, opt.all_scopes))
+      rule_pointer_key(f, sup, findings);
+    if (rule_applies("shard-affinity", f.path, opt.all_scopes))
+      rule_shard_affinity(f, idx, sup, findings);
+    if (rule_applies("float-accum", f.path, opt.all_scopes))
+      rule_float_accum(f, idx, sup, findings);
+    if (rule_applies("rng-stream", f.path, opt.all_scopes))
+      rule_rng_stream(f, idx, sup, opt.all_scopes, findings);
+    if (rule_applies("journal-cause", f.path, opt.all_scopes))
+      rule_journal_cause(f, idx, doc, sup, findings, &idx.emitted_events);
+  }
+  if (opt.reverse_docs) {
+    // Docs -> source: every documented metric row and cataloged event
+    // must still be live, so the doc cannot drift above the code.
+    for (const auto& [name, line] : doc.metric_rows) {
+      if (idx.registered_metrics.count(name)) continue;
+      findings.push_back({opt.doc_path, line, "metric-docs",
+                          "metric family \"" + name + "\" is documented but "
+                          "never registered by counter()/gauge()/histogram() "
+                          "in the linted tree: delete the stale row or "
+                          "restore the metric"});
+    }
+    for (const DocEvent& ev : doc.event_rows) {
+      if (idx.emitted_events.count(ev.name)) continue;
+      findings.push_back({opt.doc_path, ev.line, "journal-cause",
+                          "event \"" + ev.name + "\" is cataloged but never "
+                          "emitted with a literal name in the linted tree: "
+                          "delete the stale row or restore the emit site"});
+    }
   }
   std::sort(findings.begin(), findings.end());
   return findings;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 writer
+// ---------------------------------------------------------------------------
+
+struct RuleDoc { const char* id; const char* text; };
+constexpr RuleDoc kRuleDocs[] = {
+    {"unordered-iter", "no iteration over unordered containers (order feeds output)"},
+    {"wall-clock", "no wall-clock/randomness sources in src/ outside sim/random.hpp"},
+    {"event-tag", "Simulator::at/after call sites must carry an event tag"},
+    {"unchecked-shift", "no literal-<<-nonconstant shifts without a bound-check"},
+    {"metric-docs", "metric families and event tags must match docs/OBSERVABILITY.md"},
+    {"thread-unsafe", "no raw threading primitives in src/ outside the shard runtime"},
+    {"pointer-key", "no pointer-typed keys in associative containers or std::less-over-pointers"},
+    {"shard-affinity", "shard-owned members only touched from the owning shard's files"},
+    {"float-accum", "no float += in range-for bodies without an ordering annotation"},
+    {"rng-stream", "every by-value sim::Rng must be fork()ed from a simulator stream"},
+    {"journal-cause", "journal emits must be cataloged and pass a cause id when declared"},
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_sarif(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "sharq_lint: cannot write SARIF to %s\n", path.c_str());
+    return false;
+  }
+  std::map<std::string, int> rule_index;
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"sharq_lint\",\n"
+         "          \"version\": \"2.0.0\",\n"
+         "          \"informationUri\": \"docs/DETERMINISM.md\",\n"
+         "          \"rules\": [\n";
+  int n = 0;
+  for (const RuleDoc& r : kRuleDocs) {
+    rule_index[r.id] = n;
+    out << "            {\"id\": \"" << r.id
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(r.text)
+        << "\"}, \"defaultConfiguration\": {\"level\": \"error\"}}"
+        << (++n < static_cast<int>(std::size(kRuleDocs)) ? ",\n" : "\n");
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& fi = findings[i];
+    const auto it = rule_index.find(fi.rule);
+    out << "        {\"ruleId\": \"" << json_escape(fi.rule) << "\"";
+    if (it != rule_index.end()) out << ", \"ruleIndex\": " << it->second;
+    out << ", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(fi.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \""
+        << json_escape(fi.file)
+        << "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": "
+        << (fi.line > 0 ? fi.line : 1) << "}}}]}"
+        << (i + 1 < findings.size() ? ",\n" : "\n");
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.good();
+}
+
+// ---------------------------------------------------------------------------
+// Suppression baseline (`path rule count` per line, shrink-only)
+// ---------------------------------------------------------------------------
+
+// Filters findings covered by the baseline in place. Returns 0 when the
+// baseline is exact, 1 when it is stale (an entry no longer fires at its
+// recorded count — shrink the file), 2 on malformed or src/ entries.
+int apply_baseline(const std::string& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "sharq_lint: cannot read baseline %s\n", path.c_str());
+    return 2;
+  }
+  std::map<std::pair<std::string, std::string>, int> allowed;
+  int lineno = 0, rc = 0;
+  for (std::string ln; std::getline(in, ln);) {
+    ++lineno;
+    const std::string t = trim_ws(ln);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream is(t);
+    std::string file, rule;
+    int count = 0;
+    if (!(is >> file >> rule >> count) || count <= 0) {
+      std::fprintf(stderr, "sharq_lint: %s:%d: malformed baseline entry "
+                   "(want `path rule count`)\n", path.c_str(), lineno);
+      return 2;
+    }
+    if (starts_with(file, "src/")) {
+      std::fprintf(stderr, "sharq_lint: %s:%d: baseline entries for src/ are "
+                   "not permitted — src/ must be clean or annotated\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+    allowed[{file, rule}] += count;
+  }
+  std::map<std::pair<std::string, std::string>, int> actual;
+  for (const Finding& fi : findings) ++actual[{fi.file, fi.rule}];
+  for (const auto& [key, allow] : allowed) {
+    const auto it = actual.find(key);
+    const int have = it == actual.end() ? 0 : it->second;
+    if (have < allow) {
+      std::fprintf(stderr, "sharq_lint: stale baseline entry `%s %s %d` "
+                   "(only %d finding(s) still fire): shrink %s\n",
+                   key.first.c_str(), key.second.c_str(), allow, have,
+                   path.c_str());
+      rc = 1;
+    } else if (have > allow) {
+      std::fprintf(stderr, "sharq_lint: `%s %s` exceeds its baseline "
+                   "(%d > %d): fix the new finding(s), do not grow the "
+                   "baseline\n", key.first.c_str(), key.second.c_str(), have,
+                   allow);
+    }
+  }
+  // Suppress exactly-covered groups; over-baseline groups stay reported.
+  std::vector<Finding> keep;
+  keep.reserve(findings.size());
+  for (Finding& fi : findings) {
+    const auto it = allowed.find({fi.file, fi.rule});
+    if (it != allowed.end() && actual[{fi.file, fi.rule}] <= it->second) continue;
+    keep.push_back(std::move(fi));
+  }
+  findings = std::move(keep);
+  return rc;
 }
 
 // Self-test: every fixture line marked `// EXPECT-LINT: rule` must produce
@@ -944,13 +1919,9 @@ int run_self_test(const Options& opt) {
 }
 
 void print_rules() {
-  std::printf(
-      "unordered-iter   no iteration over unordered containers (order feeds output)\n"
-      "wall-clock       no wall-clock/randomness sources in src/ outside sim/random.hpp\n"
-      "event-tag        Simulator::at/after call sites must carry an event tag\n"
-      "unchecked-shift  no literal-<<-nonconstant shifts without a bound-check\n"
-      "metric-docs      metric families and event tags must be in docs/OBSERVABILITY.md\n"
-      "thread-unsafe    no raw threading primitives in src/ outside the shard runtime\n");
+  for (const RuleDoc& r : kRuleDocs) {
+    std::printf("%-16s %s\n", r.id, r.text);
+  }
 }
 
 }  // namespace
@@ -961,8 +1932,13 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--list-rules") { print_rules(); return 0; }
     if (a == "--all-scopes") { opt.all_scopes = true; continue; }
+    if (a == "--reverse-docs") { opt.reverse_docs = true; continue; }
     if (starts_with(a, "--doc=")) { opt.doc_path = a.substr(6); continue; }
     if (a == "--doc" && i + 1 < argc) { opt.doc_path = argv[++i]; continue; }
+    if (starts_with(a, "--sarif=")) { opt.sarif_path = a.substr(8); continue; }
+    if (a == "--sarif" && i + 1 < argc) { opt.sarif_path = argv[++i]; continue; }
+    if (starts_with(a, "--baseline=")) { opt.baseline_path = a.substr(11); continue; }
+    if (a == "--baseline" && i + 1 < argc) { opt.baseline_path = argv[++i]; continue; }
     if (a == "--self-test" && i + 1 < argc) { opt.self_test_dir = argv[++i]; continue; }
     if (starts_with(a, "--")) {
       std::fprintf(stderr, "sharq_lint: unknown option %s\n", a.c_str());
@@ -973,17 +1949,31 @@ int main(int argc, char** argv) {
   if (!opt.self_test_dir.empty()) return run_self_test(opt);
   if (opt.paths.empty()) {
     std::fprintf(stderr,
-                 "usage: sharq_lint [--doc PATH] [--all-scopes] [--list-rules] "
-                 "[--self-test FIXTURE_DIR] paths...\n");
+                 "usage: sharq_lint [--doc PATH] [--sarif FILE] "
+                 "[--baseline FILE] [--reverse-docs] [--all-scopes] "
+                 "[--list-rules] [--self-test FIXTURE_DIR] paths...\n");
     return 2;
   }
   const std::vector<std::string> files = collect_files(opt.paths);
-  const std::vector<Finding> findings = run_lint(files, opt);
+  std::vector<Finding> findings = run_lint(files, opt);
+  int baseline_rc = 0;
+  if (!opt.baseline_path.empty()) {
+    baseline_rc = apply_baseline(opt.baseline_path, findings);
+    if (baseline_rc == 2) return 2;
+  }
+  if (!opt.sarif_path.empty() && !write_sarif(opt.sarif_path, findings)) {
+    return 2;
+  }
   for (const Finding& fi : findings) {
     std::printf("%s:%d: [%s] %s\n", fi.file.c_str(), fi.line, fi.rule.c_str(),
                 fi.message.c_str());
   }
   if (findings.empty()) {
+    if (baseline_rc != 0) {
+      std::printf("sharq_lint: %zu files clean, but the baseline is stale\n",
+                  files.size());
+      return baseline_rc;
+    }
     std::printf("sharq_lint: %zu files clean\n", files.size());
     return 0;
   }
