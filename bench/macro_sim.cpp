@@ -7,10 +7,17 @@
 //
 // Usage:
 //   macro_sim [--smoke] [--max-receivers N] [--out PATH] [--threads LIST]
-//             [--dump-metrics DIR]
+//             [--dump-metrics DIR] [--case NAME] [--profile FILE]
 //
 //   --smoke           run only the smallest sweep point (CI smoke job)
 //   --max-receivers N skip sweep points with more receivers than N
+//   --case NAME       run only the named sweep point (CI profile job runs
+//                     `--case d3_f8_8k`)
+//   --profile FILE    write a sharqfec.profile.v1 self-profile (wall-time
+//                     + memory attribution; see docs/OBSERVABILITY.md).
+//                     Each executed case overwrites FILE — combine with
+//                     --case (and a single --threads count) to profile
+//                     one configuration.
 //   --out PATH        write JSON here (default BENCH_sim.json, or the
 //                     SHARQFEC_BENCH_SIM_JSON env var)
 //   --threads LIST    after the serial sweep, rerun the largest executed
@@ -44,6 +51,7 @@
 #include "sim/simulator.hpp"
 #include "stats/lane.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 #include "topo/shapes.hpp"
 #include "topo/shard_plan.hpp"
 
@@ -76,6 +84,7 @@ struct CaseResult {
   long long rss_delta_bytes = 0;  // resident growth across build+run
   double bytes_per_receiver = 0.0;
   std::uint32_t complete_receivers = 0;
+  stats::MemCensus census;  // post-run memory attribution by category
 };
 
 /// Current resident set in bytes (Linux /proc; 0 where unavailable).
@@ -110,8 +119,8 @@ long long peak_rss_bytes() {
 /// >= 1 partitions by zone subtree and runs the conservative-lookahead
 /// shard runtime with that many workers. `dump_dir`, when non-null, gets
 /// a <case>.metrics.json registry export for byte-identity checks.
-CaseResult run_case(const SweepPoint& pt, int threads,
-                    const char* dump_dir) {
+CaseResult run_case(const SweepPoint& pt, int threads, const char* dump_dir,
+                    const char* profile_path) {
   CaseResult res;
   res.point = pt;
   res.name = pt.name;
@@ -124,6 +133,14 @@ CaseResult run_case(const SweepPoint& pt, int threads,
 #endif
   const long long rss0 = current_rss_bytes();
   const auto wall0 = std::chrono::steady_clock::now();
+  // Install the profiler before any protocol object exists so the build
+  // phase is attributed too. Probes cost one branch when this is absent,
+  // so unprofiled cases measure the same code the committed baseline did.
+  std::unique_ptr<stats::Profiler> prof;
+  if (profile_path != nullptr) {
+    prof = std::make_unique<stats::Profiler>();
+    stats::Profiler::set_active(prof.get());
+  }
 
   sim::Simulator simu(7);
   stats::Metrics metrics;
@@ -208,6 +225,29 @@ CaseResult run_case(const SweepPoint& pt, int threads,
     }
     res.complete_receivers += all ? 1 : 0;
   }
+  // Memory attribution census: every named owner of retained bytes
+  // reports live/peak per category (pull-based — zero hot-path cost).
+  session.memory_census(res.census);
+  net.memory_census(res.census);
+  std::uint64_t evq = 0;
+  if (rt) {
+    for (int s = 0; s < rt->nshards(); ++s) {
+      evq += rt->sim(s).queue_memory_bytes();
+    }
+  } else {
+    evq = simu.queue_memory_bytes();
+  }
+  res.census.add("event_queue", evq, evq);
+  if (prof) {
+    prof->set_memory(res.census);
+    prof->set_rss_delta(static_cast<std::uint64_t>(res.rss_delta_bytes));
+    prof->set_shards(rt ? rt->nshards() : 1);
+    prof->set_env("tool", "macro_sim");
+    prof->set_env("case", res.name);
+    prof->set_env("threads", std::to_string(threads));
+    stats::Profiler::set_active(nullptr);
+    prof->write_file(profile_path);
+  }
   if (dump_dir != nullptr) {
     const std::string path =
         std::string(dump_dir) + "/" + res.name + ".metrics.json";
@@ -253,6 +293,16 @@ void write_json(std::FILE* f, const std::vector<CaseResult>& results) {
     std::fprintf(f, "      \"rss_delta_bytes\": %lld,\n", r.rss_delta_bytes);
     std::fprintf(f, "      \"bytes_per_receiver\": %.0f,\n",
                  r.bytes_per_receiver);
+    // Per-subsystem retained bytes at end of run (the census's peak
+    // column). Optional in the schema: older baselines predate it.
+    std::fprintf(f, "      \"mem_peak_bytes\": {");
+    bool first_cat = true;
+    for (const auto& [cat, e] : r.census.categories) {
+      std::fprintf(f, "%s\"%s\": %llu", first_cat ? "" : ", ", cat.c_str(),
+                   static_cast<unsigned long long>(e.peak_bytes));
+      first_cat = false;
+    }
+    std::fprintf(f, "},\n");
     std::fprintf(f, "      \"complete_receivers\": %u\n",
                  r.complete_receivers);
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
@@ -268,6 +318,8 @@ int main(int argc, char** argv) {
   long max_receivers = -1;
   std::vector<int> thread_counts;
   const char* dump_dir = nullptr;
+  const char* only_case = nullptr;
+  const char* profile_path = nullptr;
   const char* out = std::getenv("SHARQFEC_BENCH_SIM_JSON");
   if (out == nullptr) out = "BENCH_sim.json";
   for (int i = 1; i < argc; ++i) {
@@ -290,10 +342,17 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--dump-metrics") == 0 && i + 1 < argc) {
       dump_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--case") == 0 && i + 1 < argc) {
+      only_case = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile_path = argv[i] + 10;
     } else {
       std::fprintf(stderr,
                    "usage: macro_sim [--smoke] [--max-receivers N] "
-                   "[--out PATH] [--threads LIST] [--dump-metrics DIR]\n");
+                   "[--out PATH] [--threads LIST] [--dump-metrics DIR] "
+                   "[--case NAME] [--profile FILE]\n");
       return 2;
     }
   }
@@ -320,6 +379,9 @@ int main(int argc, char** argv) {
 
   std::vector<CaseResult> results;
   for (const SweepPoint& pt : sweep) {
+    if (only_case != nullptr && std::strcmp(pt.name, only_case) != 0) {
+      continue;
+    }
     // Receivers = hubs (geometric series) + deepest hubs * leaves.
     long hubs = 0, tier = 1;
     for (int l = 1; l <= pt.zone_depth; ++l) {
@@ -331,9 +393,15 @@ int main(int argc, char** argv) {
     std::printf("running %-14s depth=%d fanout=%d (~%ld receivers)...\n",
                 pt.name, pt.zone_depth, pt.fanout, receivers);
     std::fflush(stdout);
-    results.push_back(run_case(pt, /*threads=*/0, dump_dir));
+    results.push_back(run_case(pt, /*threads=*/0, dump_dir, profile_path));
     report(results.back());
     if (smoke) break;
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no sweep point matched%s%s\n",
+                 only_case != nullptr ? " --case " : "",
+                 only_case != nullptr ? only_case : "");
+    return 2;
   }
 
   // Sharded reruns of the largest executed point, one per requested
@@ -346,7 +414,7 @@ int main(int argc, char** argv) {
       std::printf("running %s on the shard runtime, %d worker%s...\n",
                   pt.name, n, n == 1 ? "" : "s");
       std::fflush(stdout);
-      results.push_back(run_case(pt, n, dump_dir));
+      results.push_back(run_case(pt, n, dump_dir, profile_path));
       report(results.back());
     }
   }

@@ -62,6 +62,28 @@ CASE_FIELDS = {
     "complete_receivers": (int, False),
 }
 
+# Optional columns newer macro_sim builds add; older committed baselines
+# predate them. "mem_peak_bytes" is the profiler census: category name ->
+# retained bytes at end of run (docs/OBSERVABILITY.md, "Profiles").
+OPTIONAL_CASE_FIELDS = ("mem_peak_bytes",)
+
+
+def check_mem_peak(case, where, bad):
+    mem = case.get("mem_peak_bytes")
+    if mem is None:
+        return
+    if not isinstance(mem, dict) or not mem:
+        bad(f"{where}: mem_peak_bytes is {mem!r}, expected a non-empty "
+            f"object of category -> bytes")
+        return
+    for cat, val in mem.items():
+        if not isinstance(cat, str) or not cat:
+            bad(f"{where}: mem_peak_bytes has a non-string category "
+                f"{cat!r}")
+        if not isinstance(val, int) or isinstance(val, bool) or val < 0:
+            bad(f"{where}: mem_peak_bytes[{cat!r}] is {val!r}, expected a "
+                f"non-negative integer")
+
 
 def check(doc, min_receivers, require_complete, max_kb_per_receiver=None):
     errors = []
@@ -105,9 +127,10 @@ def check(doc, min_receivers, require_complete, max_kb_per_receiver=None):
                 bad(f"{where}: {field} is {val!r}, expected a finite number")
             elif positive and val <= 0:
                 bad(f"{where}: {field} must be positive, got {val!r}")
-        extra = set(case) - set(CASE_FIELDS)
+        extra = set(case) - set(CASE_FIELDS) - set(OPTIONAL_CASE_FIELDS)
         if extra:
             bad(f"{where}: unknown fields {sorted(extra)}")
+        check_mem_peak(case, where, bad)
         if len(errors) > before:
             continue  # this case's sanity checks assume its schema held
 

@@ -39,6 +39,15 @@ class GroupEncoder {
   /// instead of allocating per shard.
   void shard_into(int index, std::vector<std::uint8_t>& out) const;
 
+  /// Heap bytes retained by the cached data view (memory-census probe;
+  /// std-only so fec stays free of stats dependencies).
+  std::size_t memory_bytes() const {
+    std::size_t total = data_.capacity() * sizeof(data_[0]) +
+                        data_ptrs_.capacity() * sizeof(data_ptrs_[0]);
+    for (const auto& d : data_) total += d.capacity();
+    return total;
+  }
+
  private:
   std::shared_ptr<const ReedSolomon> codec_;
   std::vector<std::vector<std::uint8_t>> data_;
@@ -76,6 +85,14 @@ class GroupDecoder {
 
   /// Recover the k original packets; nullopt unless complete().
   std::optional<std::vector<std::vector<std::uint8_t>>> reconstruct() const;
+
+  /// Heap bytes retained by the accumulated shards (memory-census probe).
+  std::size_t memory_bytes() const {
+    std::size_t total = shards_.capacity() * sizeof(shards_[0]) +
+                        have_.capacity() / 8;
+    for (const auto& s : shards_) total += s.bytes.capacity();
+    return total;
+  }
 
  private:
   std::shared_ptr<const ReedSolomon> codec_;

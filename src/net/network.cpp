@@ -10,6 +10,7 @@
 #include "stats/journal.hpp"
 #include "stats/lane.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 
 namespace sharq::net {
 
@@ -95,6 +96,48 @@ void Network::set_metrics(stats::Metrics* metrics) {
   }
   corrupted_ = &metrics_->counter("net.corrupted");
   duplicated_ = &metrics_->counter("net.duplicated");
+}
+
+void Network::memory_census(stats::MemCensus& census) const {
+  // Topology vectors are append-only after build, so live == retained.
+  std::uint64_t topo = nodes_.capacity() * sizeof(NodeRec) +
+                       links_.capacity() * sizeof(Link) +
+                       channels_.capacity() * sizeof(Channel);
+  for (const NodeRec& n : nodes_) {
+    topo += n.out_links.capacity() * sizeof(LinkId) +
+            n.agents.capacity() * sizeof(Agent*);
+  }
+  for (const Channel& c : channels_) {
+    // Hash-set node approximation: payload plus bucket/next pointers.
+    topo += c.subs.size() * (sizeof(NodeId) + 2 * sizeof(void*));
+  }
+  census.add("net_topology", topo, topo);
+
+  // Lazily built per-lane routing/forwarding caches; they only grow (no
+  // eviction), so live == retained here too.
+  std::uint64_t caches = lanes_.capacity() * sizeof(LaneCtx);
+  for (const LaneCtx& lc : lanes_) {
+    caches += lc.routing.capacity() * sizeof(Routing);
+    for (const Routing& r : lc.routing) {
+      caches += r.dist.capacity() * sizeof(sim::Time) +
+                r.pred_link.capacity() * sizeof(LinkId) +
+                r.next_hop.capacity() * sizeof(NodeId) +
+                r.next_hop_known.capacity() / 8;
+    }
+    caches += lc.fwd_cache.size() *
+              (sizeof(FwdKey) + sizeof(FwdEntry) + 2 * sizeof(void*));
+    // The census sums integers, so iteration order never shows.
+    for (const auto& [key, e] : lc.fwd_cache) {  // sharq-lint: unordered-iter-ok (integer byte sums commute)
+      caches += e.nodes.capacity() * sizeof(NodeId) +
+                e.out_begin.capacity() * sizeof(std::uint32_t) +
+                e.links.capacity() * sizeof(LinkId) +
+                e.deliver.capacity() / 8;
+    }
+    caches += (lc.arrive_outs.capacity() + lc.send_outs.capacity()) *
+                  sizeof(LinkId) +
+              lc.arrive_agents.capacity() * sizeof(Agent*);
+  }
+  census.add("net_caches", caches, caches);
 }
 
 void Network::count_drop(DropReason reason) {
@@ -479,6 +522,7 @@ std::uint64_t Network::send(NodeId origin, ChannelId ch, TrafficClass cls,
                             bool lossless) {
   assert(origin >= 0 && origin < node_count());
   assert(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  SHARQ_PROF_SCOPE(net_forward);
   if (!nodes_[origin].up) return 0;  // a crashed node's NIC sends nothing
   Packet p;
   if (rt_) {
@@ -606,6 +650,7 @@ void Network::transmit(LinkId link, const Packet& packet) {
     return;
   }
   if (TrafficSink* s = sink()) s->on_transmit(now, link, packet);
+  stats::Profiler::count(stats::ProfCounter::packets_forwarded);
   const sim::Time tx_time =
       static_cast<double>(packet.size_bytes) * 8.0 / l.bandwidth_bps;
   const sim::Time start = std::max(now, l.busy_until);
@@ -619,6 +664,7 @@ void Network::transmit(LinkId link, const Packet& packet) {
   sim_of_node(l.from).at(
       start + tx_time,
       [this, link, packet, epoch = l.epoch] {
+        SHARQ_PROF_SCOPE(net_forward);
         Link& lk = links_[link];
         const sim::Time snow = ctx_sim().now();
         if (!lk.up || lk.epoch != epoch) {  // link or endpoint died mid-flight
@@ -660,6 +706,7 @@ void Network::transmit(LinkId link, const Packet& packet) {
 }
 
 void Network::arrive(NodeId at, const Packet& packet) {
+  SHARQ_PROF_SCOPE(net_forward);
   if (!nodes_[at].up) return;  // a crashed node terminates nothing
   // Copy what we need out of the cache entry first: agent callbacks may
   // send(), which can rebuild entries and invalidate references into the
@@ -683,6 +730,7 @@ void Network::arrive(NodeId at, const Packet& packet) {
   // anything an agent transmits synchronously on the same links.
   for (LinkId l : lc.arrive_outs) transmit(l, packet);
   if (deliver_here) {
+    stats::Profiler::count(stats::ProfCounter::packets_delivered);
     if (TrafficSink* s = sink()) s->on_deliver(ctx_sim().now(), at, packet);
     // Copy: an agent may detach others while handling the packet.
     lc.arrive_agents.assign(nodes_[at].agents.begin(), nodes_[at].agents.end());

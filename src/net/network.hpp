@@ -23,6 +23,7 @@ namespace sharq::stats {
 class Counter;
 class Journal;
 class Metrics;
+struct MemCensus;
 }  // namespace sharq::stats
 
 namespace sharq::net {
@@ -240,6 +241,11 @@ class Network {
   /// Attach a metrics registry: net.sends{class}, net.drops{reason},
   /// net.corrupted, net.duplicated. Pass nullptr to detach.
   void set_metrics(stats::Metrics* metrics);
+
+  /// Contribute the network's retained bytes to the profiler's memory
+  /// census: topology vectors under "net_topology", per-lane routing and
+  /// forwarding caches (plus packet scratch) under "net_caches".
+  void memory_census(stats::MemCensus& census) const;
 
   /// Attach the recovery-lifecycle journal: drops of recovery traffic
   /// (NACK / repair classes only — data loss is ordinary, journaled

@@ -77,6 +77,16 @@ class Agent final : public net::Agent {
   /// Entries aged out beyond normal window rotation (state pressure).
   std::uint64_t dedup_shed() const { return dedup_shed_; }
 
+  /// Contribute this endpoint's retained bytes to the profiler's memory
+  /// census: the uid dedup window under "dedup_windows" (live vs high
+  /// water), then the session manager's and transfer engine's categories.
+  void memory_census(stats::MemCensus& census) const {
+    census.add("dedup_windows", seen_order_.size() * kDedupEntryBytes,
+               dedup_high_water_ * kDedupEntryBytes);
+    session_->memory_census(census);
+    transfer_->memory_census(census);
+  }
+
   /// Name of the GF(256) kernel every agent's FEC work dispatches to
   /// ("scalar", "ssse3", "avx2", "neon"); fixed for the process lifetime.
   /// See README "Debugging aids" for the SHARQFEC_FORCE_SCALAR contract.

@@ -24,12 +24,18 @@ BudgetTracker::BudgetTracker(const ResourceBudget& limits, net::NodeId node,
     m_state_bytes_ = &metrics_->gauge("sharqfec.budget_state_bytes",
                                       {{"node", std::to_string(node_)}});
   }
+  // The fleet-wide high water is a single unlabeled child, so it is safe
+  // to register even when no budget is enabled (the ledger still runs).
+  if (metrics_) {
+    m_state_hw_ = &metrics_->gauge("sharqfec.budget_state_high_water");
+  }
 }
 
 void BudgetTracker::add_state(std::size_t bytes) {
   state_bytes_ += bytes;
   if (state_bytes_ > state_high_water_) state_high_water_ = state_bytes_;
   if (m_state_bytes_) m_state_bytes_->set_max(static_cast<double>(state_bytes_));
+  if (m_state_hw_) m_state_hw_->set_max(static_cast<double>(state_bytes_));
 }
 
 void BudgetTracker::sub_state(std::size_t bytes) {

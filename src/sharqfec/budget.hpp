@@ -106,6 +106,9 @@ class BudgetTracker {
   stats::Metrics* metrics_;
   stats::Journal* journal_;
   stats::Gauge* m_state_bytes_ = nullptr;
+  /// Fleet-wide high-water mirror of state_high_water_ (unlabeled,
+  /// set_max across every node — one registry child at any scale).
+  stats::Gauge* m_state_hw_ = nullptr;
 
   std::size_t state_bytes_ = 0;
   std::size_t state_high_water_ = 0;

@@ -55,6 +55,14 @@ class Session {
   /// True if every receiver completed every group in [0, total).
   bool all_complete(std::uint32_t total) const;
 
+  /// Memory census over every agent, retired ones included (their state
+  /// is retained until destruction, so the resident set still pays for
+  /// it). Drivers feed the result to Profiler::set_memory.
+  void memory_census(stats::MemCensus& census) const {
+    for (const auto& a : agents_) a->memory_census(census);
+    for (const auto& a : retired_) a->memory_census(census);
+  }
+
  private:
   net::Network& net_;
   // One immutable Config aliased by every agent (see Agent's primary

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sharqfec/ewma.hpp"
+#include "stats/profiler.hpp"
 
 namespace sharq::sfq {
 
@@ -83,6 +84,9 @@ void SessionManager::register_metrics() {
   m_takeovers_ = &m->counter("sharqfec.zcr_takeovers", by_node);
   m_zcr_expiries_ = &m->counter("sharqfec.zcr_expiries", by_node);
   m_peers_expired_ = &m->counter("sharqfec.peers_expired", by_node);
+  // Fleet-wide high-water gauges (unlabeled; set_max across every node):
+  // one registry child each regardless of receiver count.
+  m_peer_table_hw_ = &m->gauge("sharqfec.peer_table_high_water");
   if (budget_ && budget_->limits().any_enabled()) {
     m_peers_shed_ = &m->counter("sharqfec.peers_shed", by_node);
   }
@@ -91,6 +95,20 @@ void SessionManager::register_metrics() {
     const stats::Labels by_scope{{"node", node}, {"scope", std::to_string(l)}};
     m_session_msgs_[l] = &m->counter("sharqfec.session_msgs", by_scope);
   }
+}
+
+void SessionManager::memory_census(stats::MemCensus& census) const {
+  // The per-entry constants are the budget ledger's (approximate by
+  // design); tables shrink on expiry, so live is also the best retained
+  // figure we can attribute without walking allocator internals.
+  std::uint64_t tables = 0;
+  for (const Level& lv : levels_) {
+    tables += lv.peers.size() * kPeerEntryBytes +
+              lv.bridge_rtt.size() * kBridgeEntryBytes;
+  }
+  census.add("peer_tables", tables, tables);
+  const sim::PoolStats& ps = session_pool_.stats();
+  census.add("session_pools", ps.bytes_live, ps.bytes_capacity);
 }
 
 stats::EventId SessionManager::jnl(const char* ev, stats::EventId cause,
@@ -267,6 +285,7 @@ void SessionManager::ewma_rtt(double& slot, double sample) const {
 void SessionManager::schedule_session() {
   const sim::Time delay = cfg_->stagger.next_delay(rng_, session_rounds_);
   session_timer_.arm(delay, [this] {
+    SHARQ_PROF_SCOPE(session);
     send_session_messages();
     ++session_rounds_;
     // Prune challenge timings that never saw a response.
@@ -423,6 +442,9 @@ void SessionManager::handle_session(const SessionMsg& msg, int level) {
     if (lv.peers.size() > peers_high_water_) {
       peers_high_water_ = lv.peers.size();
     }
+    if (m_peer_table_hw_) {
+      m_peer_table_hw_->set_max(static_cast<double>(lv.peers.size()));
+    }
   }
   Peer& peer = pit->second;
   peer.last_ts = msg.ts;
@@ -479,6 +501,7 @@ void SessionManager::schedule_challenge(int level) {
   const sim::Time period =
       cfg_->zcr_challenge_period * rng_.uniform(0.8, 1.2);
   lv.challenge_timer->arm(period, [this, level] {
+    SHARQ_PROF_SCOPE(session);
     if (levels_[level].zcr == node_) {
       issue_challenge(level);
       schedule_challenge(level);
@@ -495,6 +518,7 @@ void SessionManager::schedule_watchdog(int level) {
       bootstrap ? cfg_->zcr_bootstrap_delay * rng_.uniform(1.0, 2.0)
                 : cfg_->zcr_watchdog_period * rng_.uniform(1.0, 1.5);
   lv.watchdog->arm(period, [this, level] {
+    SHARQ_PROF_SCOPE(session);
     Level& l = levels_[level];
     const bool parent_known =
         level + 1 < static_cast<int>(levels_.size()) &&
@@ -724,6 +748,7 @@ void SessionManager::handle_takeover(const ZcrTakeoverMsg& msg) {
 // --- dispatch ----------------------------------------------------------------
 
 bool SessionManager::handle(const net::Packet& packet) {
+  SHARQ_PROF_SCOPE(session);
   // Cross-node causality: whatever this packet triggers is caused by the
   // event that sent it (bound to the uid on the sender's side).
   cause_in_ = journal_ ? journal_->uid_event(packet.uid) : 0;

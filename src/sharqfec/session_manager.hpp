@@ -14,6 +14,7 @@
 #include "sim/simulator.hpp"
 #include "stats/journal.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 
 namespace sharq::sfq {
 
@@ -113,6 +114,11 @@ class SessionManager {
   /// invariant: never exceeds ResourceBudget::peers_per_level when set).
   std::size_t peer_table_high_water() const { return peers_high_water_; }
   std::size_t bridge_table_high_water() const { return bridge_high_water_; }
+
+  /// Contribute this manager's retained bytes to the profiler's memory
+  /// census: RTT/bridge tables under "peer_tables" (the budget ledger's
+  /// per-entry constants), session-message pool under "session_pools".
+  void memory_census(stats::MemCensus& census) const;
 
  private:
   struct Peer {
@@ -229,6 +235,7 @@ class SessionManager {
   stats::Counter* m_takeovers_ = nullptr;
   stats::Counter* m_zcr_expiries_ = nullptr;
   stats::Counter* m_peers_expired_ = nullptr;
+  stats::Gauge* m_peer_table_hw_ = nullptr;  ///< fleet-wide, unlabeled
   stats::Counter* m_peers_shed_ = nullptr;
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sharqfec/ewma.hpp"
+#include "stats/profiler.hpp"
 
 namespace sharq::sfq {
 
@@ -67,6 +68,7 @@ void TransferEngine::register_metrics() {
   m_nacks_deduped_ = &m->counter("sharqfec.nacks_deduped", by_node);
   m_malformed_ = &m->counter("sharqfec.malformed_rejects", by_node);
   m_arrival_ewma_ = &m->gauge("sharqfec.arrival_ewma", by_node);
+  m_pending_hw_ = &m->gauge("sharqfec.pending_repair_high_water");
   m_completion_ = &m->histogram("sharqfec.group_completion_seconds", by_node);
   if (budget_ && budget_->limits().any_enabled()) {
     m_repairs_deferred_ = &m->counter("sharqfec.repairs_deferred", by_node);
@@ -179,6 +181,35 @@ void TransferEngine::stop() {
   }
 }
 
+void TransferEngine::memory_census(stats::MemCensus& census) const {
+  // Message/shard pools: arena figures are exact (header-inclusive);
+  // the buffer pool walk counts retained vector capacities.
+  std::uint64_t pool_live = shard_pool_.live_bytes();
+  std::uint64_t pool_peak = shard_pool_.retained_bytes();
+  for (const sim::PoolStats* ps :
+       {&data_pool_.stats(), &repair_pool_.stats(), &nack_pool_.stats()}) {
+    pool_live += ps->bytes_live;
+    pool_peak += ps->bytes_capacity;
+  }
+  census.add("transfer_pools", pool_live, pool_peak);
+
+  // Per-group state. groups_ never erases and the level arenas only
+  // append, so live == retained here. The map-node overhead constant
+  // covers the rb-tree bookkeeping around each Group.
+  constexpr std::uint64_t kMapNodeOverhead = 48;
+  std::uint64_t grp_bytes =
+      chain_arena_.capacity() * sizeof(ChainLevel) +
+      slice_arena_.capacity() * sizeof(SliceLevel) + payload_.capacity();
+  for (const auto& [id, grp] : groups_) {
+    grp_bytes += sizeof(Group) + kMapNodeOverhead;
+    grp_bytes += grp.decoder.memory_bytes();
+    if (grp.encoder) {
+      grp_bytes += sizeof(fec::GroupEncoder) + grp.encoder->memory_bytes();
+    }
+  }
+  census.add("transfer_groups", grp_bytes, grp_bytes);
+}
+
 std::uint32_t TransferEngine::groups_completed() const {
   std::uint32_t n = 0;
   for (const auto& [g, grp] : groups_) n += grp.complete ? 1 : 0;
@@ -203,6 +234,7 @@ std::vector<std::uint8_t> TransferEngine::reconstructed(std::uint32_t g) const {
   if (it == groups_.end() || !it->second.complete || !cfg_->real_payload) {
     return {};
   }
+  SHARQ_PROF_SCOPE(codec);
   auto data = it->second.decoder.reconstruct();
   if (!data) return {};
   std::vector<std::uint8_t> out;
@@ -232,6 +264,7 @@ void TransferEngine::send_stream(std::uint32_t group_count, sim::Time start_at,
 std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
     Group& grp, int index) {
   if (!cfg_->real_payload) return nullptr;
+  SHARQ_PROF_SCOPE(codec);
   if (!grp.encoder) {
     if (is_source_ && grp.id < send_total_groups_) {
       std::vector<std::vector<std::uint8_t>> data(cfg_->group_size);
@@ -260,6 +293,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> TransferEngine::shard_bytes(
 }
 
 void TransferEngine::source_send_next() {
+  SHARQ_PROF_SCOPE(transfer);
   if (stopped_ || send_group_ >= send_total_groups_) return;
   Group& grp = ensure_group(send_group_);
   if (send_index_ == 0) {
@@ -326,6 +360,7 @@ void TransferEngine::source_send_next() {
 // --- receive path -------------------------------------------------------------
 
 bool TransferEngine::handle(const net::Packet& packet) {
+  SHARQ_PROF_SCOPE(transfer);
   // Cross-node causality: whatever this packet triggers is caused by the
   // event that sent it (bound to the uid on the sender's side).
   cause_in_ = journal_ ? journal_->uid_event(packet.uid) : 0;
@@ -646,6 +681,7 @@ void TransferEngine::adapt_request_window(bool heard_duplicate) {
 }
 
 void TransferEngine::fire_request(std::uint32_t g) {
+  SHARQ_PROF_SCOPE(transfer);
   if (stopped_) return;
   auto it = groups_.find(g);
   if (it == groups_.end()) return;
@@ -840,6 +876,7 @@ void TransferEngine::on_nack(const NackMsg& msg) {
   }
   lv.pending = want;
   if (lv.pending > pending_high_water_) pending_high_water_ = lv.pending;
+  if (m_pending_hw_) m_pending_hw_->set_max(static_cast<double>(lv.pending));
   if (!eligible_repairer(grp)) return;
   if (cfg_->sender_only && !is_source_) return;
   if (grp.reply_timer.pending()) {
@@ -878,6 +915,7 @@ void TransferEngine::arm_reply_timer(Group& grp, int level,
 }
 
 void TransferEngine::fire_reply(std::uint32_t g) {
+  SHARQ_PROF_SCOPE(transfer);
   if (stopped_) return;
   auto it = groups_.find(g);
   if (it == groups_.end()) return;
@@ -967,6 +1005,10 @@ void TransferEngine::send_one_repair(Group& grp, int level, bool preemptive) {
   msg->preemptive = preemptive;
   msg->hints = session_.make_hints();
   msg->bytes = shard_bytes(grp, index);
+  // Logical parity bytes: counted in both payload modes so the profile's
+  // FEC figures survive the (fast) shard-count configuration.
+  stats::Profiler::count(stats::ProfCounter::fec_bytes_encoded,
+                         static_cast<std::uint64_t>(cfg_->shard_size_bytes));
   ++repairs_sent_;
   if (preemptive) ++preemptive_sent_;
   if (level >= 0 && level < static_cast<int>(m_repairs_by_level_.size())) {
@@ -1074,6 +1116,18 @@ void TransferEngine::on_group_complete(Group& grp) {
   grp.ldp_done = true;
   grp.ldp_timer.cancel();
   grp.request_timer.cancel();
+  // Originals never heard directly are what the decode rebuilt (logical
+  // bytes, mode-independent — same rationale as fec_bytes_encoded).
+  int rebuilt = 0;
+  for (int j = 0; j < cfg_->group_size; ++j) {
+    if (!grp.decoder.has(j)) ++rebuilt;
+  }
+  if (rebuilt > 0) {
+    stats::Profiler::count(
+        stats::ProfCounter::fec_bytes_decoded,
+        static_cast<std::uint64_t>(rebuilt) *
+            static_cast<std::uint64_t>(cfg_->shard_size_bytes));
+  }
   if (m_completion_ && grp.first_arrival != sim::kTimeNever) {
     m_completion_->observe(simu_.now() - grp.first_arrival);
   }

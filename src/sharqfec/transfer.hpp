@@ -17,6 +17,7 @@
 #include "sim/simulator.hpp"
 #include "stats/journal.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 
 namespace sharq::sfq {
 
@@ -105,6 +106,11 @@ class TransferEngine {
   sim::PoolStats repair_pool_stats() const { return repair_pool_.stats(); }
   sim::PoolStats nack_pool_stats() const { return nack_pool_.stats(); }
   sim::PoolStats shard_pool_stats() const { return shard_pool_.stats(); }
+
+  /// Contribute this engine's retained bytes to the profiler's memory
+  /// census: message/shard pools under "transfer_pools", per-group state
+  /// (decoders, encoders, level arenas, payload) under "transfer_groups".
+  void memory_census(stats::MemCensus& census) const;
 
  private:
   /// Per chain-level state, indexed like the session manager's chain.
@@ -320,6 +326,10 @@ class TransferEngine {
   std::vector<stats::Counter*> m_preemptive_by_level_;
   std::vector<stats::Gauge*> m_zlc_pred_;
   stats::Gauge* m_arrival_ewma_ = nullptr;
+  /// Fleet-wide (unlabeled, set_max across every engine) mirror of
+  /// pending_high_water_: the deepest per-level repair backlog any node
+  /// saw. One registry child total, so macro-scale runs pay nothing.
+  stats::Gauge* m_pending_hw_ = nullptr;
   stats::Histogram* m_completion_ = nullptr;
   stats::Counter* m_repairs_deferred_ = nullptr;
   stats::Counter* m_repairs_coalesced_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "stats/metrics.hpp"
@@ -32,22 +33,42 @@ EventQueue::EventQueue(Backend backend) : backend_(backend) {
   }
 }
 
-void EventQueue::set_metrics(stats::Metrics* metrics) {
+void EventQueue::set_metrics(stats::Metrics* metrics, int shard) {
   metrics_ = metrics;
+  shard_ = shard;
   tag_counters_.clear();
-  high_water_ = metrics_ ? &metrics_->gauge("sim.queue_high_water") : nullptr;
+  if (!metrics_) {
+    high_water_ = nullptr;
+    return;
+  }
+  stats::Labels labels;
+  if (shard_ >= 0) labels.emplace("shard", std::to_string(shard_));
+  high_water_ = &metrics_->gauge("sim.queue_high_water", labels);
 }
 
 EventQueue::TagCounters& EventQueue::counters_for(const char* tag) {
   if (!tag) tag = kUntagged;
   auto [it, inserted] = tag_counters_.try_emplace(tag);
   if (inserted) {
-    const stats::Labels labels{{"tag", tag}};
+    stats::Labels labels{{"tag", tag}};
+    if (shard_ >= 0) labels.emplace("shard", std::to_string(shard_));
     it->second.scheduled = &metrics_->counter("sim.events_scheduled", labels);
     it->second.fired = &metrics_->counter("sim.events_fired", labels);
     it->second.cancelled = &metrics_->counter("sim.events_cancelled", labels);
   }
   return it->second;
+}
+
+std::size_t EventQueue::memory_bytes() const {
+  std::size_t total = slots_.capacity() * sizeof(Slot) +
+                      free_slots_.capacity() * sizeof(std::uint32_t);
+  // priority_queue exposes size(), not capacity; size is the retained
+  // lower bound and the census is approximate by design.
+  total += heap_.size() * sizeof(Key);
+  total += overflow_.size() * sizeof(Key);
+  total += buckets_.capacity() * sizeof(std::vector<Key>);
+  for (const auto& b : buckets_) total += b.capacity() * sizeof(Key);
+  return total;
 }
 
 EventId EventQueue::schedule(Time at, Callback fn, const char* tag) {

@@ -106,7 +106,16 @@ class EventQueue {
   /// Attach a metrics registry: per-tag scheduled/fired/cancelled counters
   /// and the queue high-water mark. Pass nullptr to detach. Events
   /// scheduled before the call are still counted at fire/cancel time.
-  void set_metrics(stats::Metrics* metrics);
+  /// `shard >= 0` adds a {"shard", N} label to every family this queue
+  /// registers, so sharded runs can tell the per-shard queues apart
+  /// (ShardRuntime::set_metrics passes each shard's index, including
+  /// shard 0 — overriding the unlabeled registration from setup).
+  void set_metrics(stats::Metrics* metrics, int shard = -1);
+
+  /// Bytes retained by the queue's own containers (slot slab, heap /
+  /// calendar keys, free list) — capacity, since vectors never shrink.
+  /// Feeds the "event_queue" category of the profiler's memory census.
+  std::size_t memory_bytes() const;
 
  private:
   /// Ordering key held by the backends; the callback stays in its slot.
@@ -185,6 +194,7 @@ class EventQueue {
 
   stats::Metrics* metrics_ = nullptr;
   stats::Gauge* high_water_ = nullptr;
+  int shard_ = -1;  ///< label for this queue's metric families (-1 = none)
   // Keyed by tag *contents*, ordered: two distinct literals spelling the
   // same tag share one counter family, and iteration order (if anyone
   // ever walks this) cannot follow literal addresses. The string_view

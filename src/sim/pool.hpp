@@ -13,13 +13,20 @@ namespace sharq::sim {
 
 /// Allocation statistics shared by the pool types below. `live` is
 /// acquired - released; `high_water` tracks the peak of `live`;
-/// `capacity` counts nodes ever carved (live + free).
+/// `capacity` counts nodes ever carved (live + free). The `bytes_*`
+/// mirrors count heap bytes including per-node headers, feeding the
+/// profiler's memory census (stats/profiler.hpp) — `bytes_capacity` is
+/// what the resident set actually paid, since nothing is returned to the
+/// system before destruction.
 struct PoolStats {
   std::uint64_t acquired = 0;
   std::uint64_t released = 0;
   std::size_t live = 0;
   std::size_t capacity = 0;
   std::size_t high_water = 0;
+  std::uint64_t bytes_live = 0;
+  std::uint64_t bytes_capacity = 0;
+  std::uint64_t bytes_high_water = 0;
 };
 
 /// Grow-only size-class freelist allocator — the memory substrate of the
@@ -52,6 +59,10 @@ class Arena {
     ++stats_.acquired;
     ++stats_.live;
     if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+    stats_.bytes_live += sizeof(Header) + sc.node_bytes;
+    if (stats_.bytes_live > stats_.bytes_high_water) {
+      stats_.bytes_high_water = stats_.bytes_live;
+    }
     return h + 1;
   }
 
@@ -66,6 +77,7 @@ class Arena {
     sc.free.push_back(h);
     ++stats_.released;
     --stats_.live;
+    stats_.bytes_live -= sizeof(Header) + sc.node_bytes;
   }
 
   const PoolStats& stats() const { return stats_; }
@@ -113,6 +125,7 @@ class Arena {
       sc.free.push_back(h);
     }
     stats_.capacity += nodes;
+    stats_.bytes_capacity += stride * nodes;
   }
 
   [[noreturn]] static void misuse(const char* what) {
@@ -220,6 +233,28 @@ class BufferPool {
 
   const PoolStats& stats() const { return core_->stats; }
   std::size_t free_count() const { return core_->free.size(); }
+
+  /// Export-time census walk (stats/profiler.hpp): heap bytes retained by
+  /// the pool — every owned buffer's capacity (buffers are recycled, never
+  /// shrunk), node/freelist storage, and the control-block arena.
+  std::uint64_t retained_bytes() const {
+    const Core& c = *core_;
+    std::uint64_t total = c.ctrl_arena.stats().bytes_capacity;
+    total += c.owned.capacity() * sizeof(std::unique_ptr<Node>);
+    total += c.free.capacity() * sizeof(Node*);
+    for (const auto& n : c.owned) total += sizeof(Node) + n->buf.capacity();
+    return total;
+  }
+
+  /// Same walk restricted to buffers currently referenced.
+  std::uint64_t live_bytes() const {
+    const Core& c = *core_;
+    std::uint64_t total = c.ctrl_arena.stats().bytes_live;
+    for (const auto& n : c.owned) {
+      if (!n->in_free) total += sizeof(Node) + n->buf.capacity();
+    }
+    return total;
+  }
 
  private:
   struct Node {

@@ -9,6 +9,7 @@
 #include "stats/journal.hpp"
 #include "stats/lane.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 
 namespace sharq::sim {
 
@@ -45,7 +46,12 @@ ShardRuntime::ShardRuntime(Simulator& shard0, int nshards, Time lookahead,
 ShardRuntime::~ShardRuntime() = default;
 
 void ShardRuntime::set_metrics(stats::Metrics* metrics) {
-  for (auto& owned : owned_) owned->set_metrics(metrics);
+  // Every shard's queue — including shard 0, whose unlabeled registration
+  // from setup this overrides — re-registers with a {"shard", s} label so
+  // sharded runs can tell the per-shard queues and tag counters apart.
+  for (int s = 0; s < nshards(); ++s) {
+    sims_[static_cast<std::size_t>(s)]->set_metrics(metrics, metrics ? s : -1);
+  }
   if (!metrics) {
     lookahead_stalls_ = nullptr;
     xshard_msgs_ = nullptr;
@@ -68,6 +74,7 @@ void ShardRuntime::post(int dst, Time at, Callback fn, const char* tag) {
   box.push_back(Xmsg{at, src, mail_seq_[static_cast<std::size_t>(src)]++, dst,
                      std::move(fn), tag});
   if (xshard_msgs_) xshard_msgs_->inc();
+  stats::Profiler::count(stats::ProfCounter::xshard_msgs);
 }
 
 void ShardRuntime::at_global(Time t, std::function<void()> fn) {
@@ -90,8 +97,10 @@ bool ShardRuntime::next_op(std::size_t* index) const {
 void ShardRuntime::run_window(Time end, bool inclusive) {
   const int k = nshards();
   const int workers = std::min(nthreads_, k);
+  stats::Profiler* prof = stats::Profiler::active();
+  if (prof) prof->window_begin();
   in_window_ = true;
-  auto run_lane_set = [this, k, workers, end, inclusive](int w) {
+  auto run_lane_set = [this, k, workers, end, inclusive, prof](int w) {
     for (int s = w; s < k; s += workers) {
       stats::ScopedLane scoped(s);
       Simulator& sim = *sims_[static_cast<std::size_t>(s)];
@@ -103,6 +112,9 @@ void ShardRuntime::run_window(Time end, bool inclusive) {
       }
       window_executed_[static_cast<std::size_t>(s)] =
           sim.events_executed() - before;
+      // The finish stamp feeds the barrier-wait histogram: a shard's wait
+      // is the gap between its own finish and the last finisher's.
+      if (prof) prof->shard_window_done(s);
     }
   };
   if (workers == 1) {
@@ -123,6 +135,7 @@ void ShardRuntime::run_window(Time end, bool inclusive) {
     if (window_executed_[static_cast<std::size_t>(s)] == 0) stalled = true;
   }
   if (stalled && lookahead_stalls_) lookahead_stalls_->inc();
+  if (prof) prof->window_end(k, stalled);
   barrier();
 }
 
@@ -131,6 +144,10 @@ void ShardRuntime::barrier() {
   // order — the deterministic rank the tentpole contract names. The order
   // keys destination-queue tie-breaking (schedule order = seq order), so
   // it must never depend on which worker finished first.
+  // Sampling gate (see ProfGate): every barrier counts, one in
+  // kSamplePeriod is wall-timed under shard_barrier.
+  stats::ProfGate gate(stats::ProfCounter::barriers,
+                       stats::ProfSubsys::shard_barrier);
   std::vector<Xmsg> batch;
   for (auto& box : mail_) {
     for (Xmsg& m : box) batch.push_back(std::move(m));

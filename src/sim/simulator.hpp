@@ -83,7 +83,13 @@ class Simulator {
 
   /// Attach a metrics registry to the event queue (per-tag event counters
   /// and the queue high-water mark). Pass nullptr to detach.
-  void set_metrics(stats::Metrics* metrics) { queue_.set_metrics(metrics); }
+  void set_metrics(stats::Metrics* metrics, int shard = -1) {
+    queue_.set_metrics(metrics, shard);
+  }
+
+  /// Bytes retained by the event queue (slots, heap/calendar storage) —
+  /// the profiler census's "event_queue" category.
+  std::size_t queue_memory_bytes() const { return queue_.memory_bytes(); }
 
  private:
   EventQueue queue_;

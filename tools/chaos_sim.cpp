@@ -43,6 +43,7 @@
 #include "sim/simulator.hpp"
 #include "stats/lane.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 #include "stats/traffic_recorder.hpp"
 #include "topo/figure10.hpp"
 #include "topo/shard_plan.hpp"
@@ -63,6 +64,7 @@ struct Options {
   bool exhaustion = false;         // overload campaign + finite budgets
   bool dump_plans = false;
   int threads = 0;                 // 0 = serial engine; >=1 = shard runtime
+  const char* profile = nullptr;   // campaign-wide sharqfec.profile.v1
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -82,7 +84,10 @@ struct Options {
       "  --dump-plans    print each plan's spec text before running it\n"
       "  --threads N     run on the zone-sharded runtime with N workers\n"
       "                  (output is byte-identical for every N; 0 =\n"
-      "                  legacy serial engine, the default)\n",
+      "                  legacy serial engine, the default)\n"
+      "  --profile FILE  write a campaign-wide sharqfec.profile.v1 (time\n"
+      "                  and memory attribution summed over every plan;\n"
+      "                  never part of the byte-compared stdout)\n",
       argv0);
   std::exit(2);
 }
@@ -105,6 +110,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--exhaustion") o.exhaustion = true;
     else if (a == "--dump-plans") o.dump_plans = true;
     else if (a == "--threads") o.threads = std::atoi(need(i));
+    else if (a == "--profile") o.profile = need(i);
+    else if (a.rfind("--profile=", 0) == 0) o.profile = argv[i] + 10;
     else usage(argv[0]);
   }
   return o;
@@ -138,7 +145,8 @@ struct PlanResult {
 };
 
 PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
-                    const std::string& plan_name, bool dump) {
+                    const std::string& plan_name, bool dump,
+                    stats::MemCensus* census) {
   // Declared before the simulator/network/agents that cache pointers into
   // it, so it is destroyed last.
   stats::Metrics metrics;
@@ -404,6 +412,24 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
   std::ostringstream mos;
   metrics.write_totals_json(mos);
   r.metrics_json = mos.str();
+  // Campaign-wide memory attribution: each plan's retained bytes add onto
+  // the caller's census (the profile reports the campaign sum).
+  if (census != nullptr) {
+    session.memory_census(*census);
+    net.memory_census(*census);
+    std::uint64_t evq = 0;
+    if (rt) {
+      for (int s = 0; s < rt->nshards(); ++s) {
+        evq += rt->sim(s).queue_memory_bytes();
+      }
+      if (stats::Profiler* prof = stats::Profiler::active()) {
+        prof->set_shards(rt->nshards());
+      }
+    } else {
+      evq = simu.queue_memory_bytes();
+    }
+    census->add("event_queue", evq, evq);
+  }
   return r;
 }
 
@@ -412,11 +438,18 @@ PlanResult run_plan(const Options& o, std::uint64_t plan_seed,
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   sim::Rng master(o.seed);
+  std::unique_ptr<stats::Profiler> prof;
+  stats::MemCensus census;
+  if (o.profile != nullptr) {
+    prof = std::make_unique<stats::Profiler>();
+    stats::Profiler::set_active(prof.get());
+  }
   int failed = 0;
   for (int i = 0; i < o.plans; ++i) {
     const std::uint64_t plan_seed = master.next_u64();
     const PlanResult r =
-        run_plan(o, plan_seed, "chaos-" + std::to_string(i), o.dump_plans);
+        run_plan(o, plan_seed, "chaos-" + std::to_string(i), o.dump_plans,
+                 prof ? &census : nullptr);
     if (!r.ok()) ++failed;
     std::printf(
         "{\"plan\":%d,\"seed\":%llu,\"applied\":%llu,\"skipped\":%llu,"
@@ -462,5 +495,13 @@ int main(int argc, char** argv) {
   }
   std::printf("{\"plans\":%d,\"failed\":%d,\"ok\":%s}\n", o.plans, failed,
               failed == 0 ? "true" : "false");
+  if (prof) {
+    prof->set_memory(census);
+    prof->set_env("tool", "chaos_sim");
+    prof->set_env("plans", std::to_string(o.plans));
+    prof->set_env("threads", std::to_string(o.threads));
+    stats::Profiler::set_active(nullptr);
+    prof->write_file(o.profile);
+  }
   return failed == 0 ? 0 : 1;
 }

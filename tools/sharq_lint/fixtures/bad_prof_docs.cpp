@@ -1,0 +1,16 @@
+// Fixture: profiler probe names (SHARQ_PROF_SCOPE arguments, ProfSubsys
+// and ProfCounter members) must appear in the observability doc's probe
+// catalog; everything named `rogue` is deliberately absent from
+// observability_fixture.md.
+// Not compiled — parsed by sharq_lint's self-test.
+
+void probe_catalog_sites() {
+  SHARQ_PROF_SCOPE(fixture_probe);  // cataloged: must not fire
+  SHARQ_PROF_SCOPE(rogue_probe);    // EXPECT-LINT: prof-docs
+
+  stats::Profiler::count(stats::ProfCounter::fixture_counter);  // cataloged
+  stats::Profiler::count(stats::ProfCounter::rogue_counter);  // EXPECT-LINT: prof-docs
+
+  stats::ProfGate gate(stats::ProfCounter::fixture_counter,
+                       stats::ProfSubsys::rogue_subsys);  // EXPECT-LINT: prof-docs
+}

@@ -1,0 +1,21 @@
+// Fixture: self-profiling probe sites must stay clock-free. Channel B
+// timing reads live only in src/stats/profiler.cpp, the tree's single
+// file-scope wall-clock-ok annotation; a SHARQ_PROF_SCOPE call site that
+// stamps time itself breaks that confinement and must fire the
+// wall-clock rule.
+// Not compiled — parsed by sharq_lint's self-test.
+#include <chrono>  // EXPECT-LINT: wall-clock
+
+void probed_hot_path() {
+  // The probe macro itself carries no clock token — this line is clean:
+  // SHARQ_PROF_SCOPE(net_forward) expands to a ProfScope whose clock
+  // reads happen out of line inside the annotated profiler.cpp.
+  int sharq_prof_scope_7 = 0;
+  (void)sharq_prof_scope_7;
+
+  // Hand-rolling the timing at the call site is the violation:
+  auto t0 = std::chrono::steady_clock::now();  // EXPECT-LINT: wall-clock
+  (void)t0;
+  unsigned long long t1 = __rdtsc();  // EXPECT-LINT: wall-clock
+  (void)t1;
+}

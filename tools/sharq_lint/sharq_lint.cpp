@@ -570,6 +570,8 @@ struct DocModel {
   std::string text;  // raw text, for the substring-based forward check
   std::vector<std::pair<std::string, int>> metric_rows;  // name -> line
   std::vector<DocEvent> event_rows;
+  // Profiler probe-catalog rows (type cell "probe" / "profile counter").
+  std::vector<std::pair<std::string, int>> probe_rows;
   bool has_event_catalog = false;
 
   const DocEvent* find_event(const std::string& name) const {
@@ -624,6 +626,10 @@ DocModel parse_doc(const std::string& path, const std::string& text) {
                               cells[1] == "histogram")) {
       doc.metric_rows.emplace_back(name, line);
     }
+    if (cells.size() >= 2 &&
+        (cells[1] == "probe" || cells[1] == "profile counter")) {
+      doc.probe_rows.emplace_back(name, line);
+    }
     if (in_events && cells.size() >= 4) {
       DocEvent ev;
       ev.name = name;
@@ -652,6 +658,7 @@ struct ProjectIndex {
   // Filled during the rule pass, consumed by --reverse-docs.
   std::set<std::string> emitted_events;
   std::set<std::string> registered_metrics;
+  std::set<std::string> used_probes;
 };
 
 // `using X = double;` (possibly through one alias level, e.g. sim::Time).
@@ -942,7 +949,11 @@ void rule_wall_clock(const LexedFile& f, const Suppressions& sup,
       "rand", "srand", "drand48", "lrand48", "random_device", "mt19937",
       "mt19937_64", "minstd_rand", "default_random_engine", "system_clock",
       "steady_clock", "high_resolution_clock", "gettimeofday",
-      "clock_gettime", "localtime", "gmtime", "strftime"};
+      "clock_gettime", "localtime", "gmtime", "strftime",
+      // Raw cycle counters: the self-profiler's tick source. Timing reads
+      // belong in src/stats/profiler.cpp (the one `wall-clock-ok file`
+      // annotation); a probe call site must stay clock-free.
+      "__rdtsc", "__rdtscp", "_rdtsc"};
   static const std::set<std::string> kBannedHeaders = {"chrono", "ctime",
                                                        "time.h", "sys/time.h",
                                                        "random"};
@@ -1163,6 +1174,49 @@ void rule_metric_docs(const LexedFile& f, const Suppressions& sup,
                      "event tag \"" + name + "\" is not documented in "
                          "docs/OBSERVABILITY.md: add it to the event-tag table"});
     }
+  }
+}
+
+// prof-docs: every profiler probe name used in src/ — a SHARQ_PROF_SCOPE
+// argument or a ProfSubsys:: / ProfCounter:: member — must have a row in
+// the docs/OBSERVABILITY.md probe catalog (type cell "probe" for
+// subsystems, "profile counter" for named counters); --reverse-docs
+// checks the cataloged rows stay live. The catalog is part of the
+// sharqfec.profile.v1 schema contract the same way the metric tables are
+// part of the metrics schema.
+void rule_prof_docs(const LexedFile& f, const Suppressions& sup,
+                    const std::string& doc_text, std::vector<Finding>& out,
+                    std::set<std::string>* used) {
+  const auto& toks = f.toks;
+  auto documented = [&](const std::string& name) {
+    return doc_text.find("`" + name + "`") != std::string::npos;
+  };
+  auto flag = [&](const std::string& name, int line) {
+    if (used) used->insert(name);
+    if (!documented(name) && !sup.suppressed("prof-docs", line)) {
+      out.push_back({f.path, line, "prof-docs",
+                     "profiler probe \"" + name + "\" is not documented in "
+                     "docs/OBSERVABILITY.md: add a probe-catalog row (the "
+                     "catalog is part of the profile schema contract)"});
+    }
+  };
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (toks[i].text == "SHARQ_PROF_SCOPE") {
+      if (toks[i + 1].kind == Tok::kPunct && toks[i + 1].text == "(" &&
+          toks[i + 2].kind == Tok::kIdent) {
+        flag(toks[i + 2].text, toks[i].line);
+      }
+      continue;
+    }
+    if (toks[i].text != "ProfSubsys" && toks[i].text != "ProfCounter") {
+      continue;
+    }
+    if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "::") continue;
+    if (toks[i + 2].kind != Tok::kIdent) continue;
+    const std::string& name = toks[i + 2].text;
+    if (name == "kCount") continue;  // the enum's own size sentinel
+    flag(name, toks[i].line);
   }
 }
 
@@ -1572,8 +1626,9 @@ bool rule_applies(const std::string& rule, const std::string& path,
   const bool in_src = starts_with(path, "src/");
   const bool in_tests = starts_with(path, "tests/");
   if (rule == "wall-clock" || rule == "metric-docs" ||
-      rule == "thread-unsafe" || rule == "shard-affinity" ||
-      rule == "rng-stream" || rule == "journal-cause") {
+      rule == "prof-docs" || rule == "thread-unsafe" ||
+      rule == "shard-affinity" || rule == "rng-stream" ||
+      rule == "journal-cause") {
     return in_src;
   }
   if (rule == "event-tag" || rule == "unchecked-shift" ||
@@ -1679,6 +1734,8 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
       rule_thread_unsafe(f, sup, findings);
     if (rule_applies("metric-docs", f.path, opt.all_scopes))
       rule_metric_docs(f, sup, doc.text, findings, &idx.registered_metrics);
+    if (rule_applies("prof-docs", f.path, opt.all_scopes))
+      rule_prof_docs(f, sup, doc.text, findings, &idx.used_probes);
     if (rule_applies("pointer-key", f.path, opt.all_scopes))
       rule_pointer_key(f, sup, findings);
     if (rule_applies("shard-affinity", f.path, opt.all_scopes))
@@ -1708,6 +1765,14 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
                           "emitted with a literal name in the linted tree: "
                           "delete the stale row or restore the emit site"});
     }
+    for (const auto& [name, line] : doc.probe_rows) {
+      if (idx.used_probes.count(name)) continue;
+      findings.push_back({opt.doc_path, line, "prof-docs",
+                          "probe \"" + name + "\" is cataloged but no "
+                          "SHARQ_PROF_SCOPE / ProfSubsys / ProfCounter site "
+                          "in the linted tree uses it: delete the stale row "
+                          "or restore the probe"});
+    }
   }
   std::sort(findings.begin(), findings.end());
   return findings;
@@ -1724,6 +1789,7 @@ constexpr RuleDoc kRuleDocs[] = {
     {"event-tag", "Simulator::at/after call sites must carry an event tag"},
     {"unchecked-shift", "no literal-<<-nonconstant shifts without a bound-check"},
     {"metric-docs", "metric families and event tags must match docs/OBSERVABILITY.md"},
+    {"prof-docs", "profiler probe names must match the docs/OBSERVABILITY.md probe catalog"},
     {"thread-unsafe", "no raw threading primitives in src/ outside the shard runtime"},
     {"pointer-key", "no pointer-typed keys in associative containers or std::less-over-pointers"},
     {"shard-affinity", "shard-owned members only touched from the owning shard's files"},

@@ -26,6 +26,7 @@
 #include "srm/session.hpp"
 #include "stats/journal.hpp"
 #include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
 #include "stats/report.hpp"
 #include "stats/trace_writer.hpp"
 #include "stats/traffic_recorder.hpp"
@@ -55,6 +56,7 @@ struct Options {
   std::string trace_file;    // empty = no trace
   std::string metrics_file;  // empty = no metrics JSON
   std::string journal_file;  // empty = no event journal
+  std::string profile_file;  // empty = no self-profile
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -71,7 +73,10 @@ struct Options {
       "  --trace FILE                 write a nam-style event trace\n"
       "  --metrics-json FILE          write the metrics registry as JSON\n"
       "  --journal FILE               write the causal recovery journal\n"
-      "                               (JSONL; analyze with sharq_trace)\n",
+      "                               (JSONL; analyze with sharq_trace)\n"
+      "  --profile FILE               write a sharqfec.profile.v1 self-\n"
+      "                               profile (analyze with sharq_prof;\n"
+      "                               never byte-compared)\n",
       argv0);
   std::exit(2);
 }
@@ -104,6 +109,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--journal") o.journal_file = need(i);
     else if (a.rfind("--journal=", 0) == 0)
       o.journal_file = a.substr(std::strlen("--journal="));
+    else if (a == "--profile") o.profile_file = need(i);
+    else if (a.rfind("--profile=", 0) == 0)
+      o.profile_file = a.substr(std::strlen("--profile="));
     else if (a == "--adaptive") o.adaptive = true;
     else usage(argv[0]);
   }
@@ -177,6 +185,15 @@ Built build_topology(net::Network& net, const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  // Installed before any protocol object exists; removed before export.
+  // Probes cost one branch when absent, so --profile never changes the
+  // simulated history (tests compare journal/metrics bytes both ways).
+  std::unique_ptr<stats::Profiler> prof;
+  stats::MemCensus census;
+  if (!o.profile_file.empty()) {
+    prof = std::make_unique<stats::Profiler>();
+    stats::Profiler::set_active(prof.get());
+  }
   sim::Simulator simu(o.seed);
   net::Network net(simu);
   stats::Metrics metrics;
@@ -254,6 +271,7 @@ int main(int argc, char** argv) {
       repairs += a->transfer().repairs_sent();
     }
     units = o.packets / cfg.group_size;
+    if (prof) s.memory_census(census);
   }
 
   int incomplete = 0;
@@ -290,6 +308,17 @@ int main(int argc, char** argv) {
     mos << ",\"series\":";
     rec.write_series_json(mos);
     mos << "}\n";
+  }
+  if (prof) {
+    net.memory_census(census);
+    const std::uint64_t evq = simu.queue_memory_bytes();
+    census.add("event_queue", evq, evq);
+    prof->set_memory(census);
+    prof->set_env("tool", "sharqfec_sim");
+    prof->set_env("topo", o.topo);
+    prof->set_env("protocol", o.protocol);
+    stats::Profiler::set_active(nullptr);
+    prof->write_file(o.profile_file);
   }
   return incomplete == 0 ? 0 : 1;
 }
